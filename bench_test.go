@@ -1,0 +1,327 @@
+package edgeauction
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (§V, Figures 3-6) plus the DESIGN.md ablations and micro-benchmarks of
+// the mechanism hot paths. The figure benches run the same experiment
+// drivers as cmd/repro in Quick mode so `go test -bench=.` stays tractable;
+// run cmd/repro for the full paper-scale sweeps.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/experiments"
+	"edgeauction/internal/optimal"
+	"edgeauction/internal/sim"
+	"edgeauction/internal/workload"
+)
+
+func benchCfg(seed int64) experiments.Config {
+	return experiments.Config{Seed: seed, Quick: true, OptTimeLimit: 300 * time.Millisecond}
+}
+
+// BenchmarkFig3aSSAMRatio regenerates Figure 3(a): SSAM performance ratio
+// vs number of microservices for J ∈ {1, 2}.
+func BenchmarkFig3aSSAMRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3a(benchCfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RatioByJ[1].Len() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig3bSSAMSocialCost regenerates Figure 3(b): SSAM social cost,
+// payment, and optimal cost vs number of microservices for 100/200
+// requests.
+func BenchmarkFig3bSSAMSocialCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3b(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aIndividualRationality regenerates Figure 4(a): per-winner
+// payment vs actual price.
+func BenchmarkFig4aIndividualRationality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4a(benchCfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("%d individual-rationality violations", res.Violations)
+		}
+	}
+}
+
+// BenchmarkFig4bRunningTime regenerates Figure 4(b): SSAM running time vs
+// instance size.
+func BenchmarkFig4bRunningTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4b(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5aMSOARatio regenerates Figure 5(a): MSOA performance ratio
+// vs number of microservices for 100/200 requests.
+func BenchmarkFig5aMSOARatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5a(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5bMSOAVariants regenerates Figure 5(b): the MSOA / MSOA-DA /
+// MSOA-RC / MSOA-OA comparison.
+func BenchmarkFig5bMSOAVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5b(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6aRoundsBids regenerates Figure 6(a): MSOA ratio vs rounds T
+// and bids-per-bidder J.
+func BenchmarkFig6aRoundsBids(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6a(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6bMSOASocialCost regenerates Figure 6(b): MSOA social cost,
+// payment, and optimal vs number of microservices.
+func BenchmarkFig6bMSOASocialCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6b(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScaledPrice measures the ψ price-augmentation ablation.
+func BenchmarkAblationScaledPrice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationScaledPrice(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPayments measures the critical-value vs first-price
+// payment ablation.
+func BenchmarkAblationPayments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPayments(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyMetric measures the greedy-metric ablation.
+func BenchmarkAblationGreedyMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGreedyMetric(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFixedPrice measures the auction vs posted-price
+// ablation.
+func BenchmarkAblationFixedPrice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFixedPrice(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Mechanism micro-benchmarks -----------------------------------------
+
+func benchInstance(b *testing.B, bidders int) *core.Instance {
+	b.Helper()
+	return workload.Instance(workload.NewRand(1), workload.InstanceConfig{Bidders: bidders})
+}
+
+// BenchmarkSSAM25 measures one single-stage auction at the paper's default
+// scale (25 microservices), payments included.
+func BenchmarkSSAM25(b *testing.B) {
+	ins := benchInstance(b, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SSAM(ins, core.Options{SkipCertificate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSAM75 measures one single-stage auction at the paper's largest
+// scale (75 microservices).
+func BenchmarkSSAM75(b *testing.B) {
+	ins := benchInstance(b, 75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SSAM(ins, core.Options{SkipCertificate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSAMWithCertificate includes the primal-dual certificate
+// bookkeeping (the default configuration).
+func BenchmarkSSAMWithCertificate(b *testing.B) {
+	ins := benchInstance(b, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SSAM(ins, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSOARound measures one online round end to end, including
+// scaled-price derivation and dual-state updates.
+func BenchmarkMSOARound(b *testing.B) {
+	scn := workload.Online(workload.NewRand(1), workload.OnlineConfig{
+		Rounds: 1, Stage: workload.InstanceConfig{Bidders: 25},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMSOA(scn.Config(core.Options{SkipCertificate: true}))
+		if res := m.RunRound(scn.TrueRounds[0]); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkOfflineOptimal25 measures the exact branch-and-bound solve at
+// the default scale — the denominator of every ratio figure.
+func BenchmarkOfflineOptimal25(b *testing.B) {
+	ins := benchInstance(b, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimal.Solve(ins, optimal.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPRelaxation25 measures one LP-relaxation solve (the
+// branch-and-bound node bound).
+func BenchmarkLPRelaxation25(b *testing.B) {
+	ins := benchInstance(b, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimal.LowerBound(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorRound measures one discrete-event simulation round
+// with 30 microservices.
+func BenchmarkSimulatorRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.Config{Services: 30, Rounds: 1, WorkMean: 600, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunRound()
+	}
+}
+
+// BenchmarkDemandEstimate measures one §III demand estimation.
+func BenchmarkDemandEstimate(b *testing.B) {
+	est, err := NewDemandEstimator(DemandConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := Indicators{
+		ServedResponses: 40, ReceivedResponses: 50, NeededRate: 0.02,
+		AchievedRate: 0.015, Allocated: 30, MaxAllocated: 50,
+		ExecutionRate: 0.8, NeighborDensity: 3, Round: 5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if est.Estimate(in) < 0 {
+			b.Fatal("negative estimate")
+		}
+	}
+}
+
+// BenchmarkTraceRoundTrip measures trace encode+decode of a 10-round
+// scenario.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	scn := workload.Online(workload.NewRand(1), workload.OnlineConfig{
+		Rounds: 10, Stage: workload.InstanceConfig{Bidders: 25},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := workload.WriteTrace(&buf, scn); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workload.ReadTrace(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWinningStats regenerates the §V supplementary winning-bid
+// statistics (percentage of winning tasks, price distribution).
+func BenchmarkWinningStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WinningStats(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCapacity measures the Theorem 7 capacity-slack study.
+func BenchmarkAblationCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCapacity(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTruthfulnessSweep measures the empirical truthfulness probe.
+func BenchmarkTruthfulnessSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TruthfulnessSweep(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederation measures the cross-cloud borrowing extension sweep.
+func BenchmarkFederation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Federation(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDemand measures the demand-estimation scheme ablation.
+func BenchmarkAblationDemand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DemandAblation(benchCfg(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command edgesim runs the full simulated pipeline: the discrete-event
+// edge-cloud simulator, the §III demand estimator, and the online auction,
+// printing per-round system state and the long-run economic summary.
+//
+// Usage:
+//
+//	edgesim -services 30 -rounds 10 -seed 7 -workmean 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edgesim", flag.ContinueOnError)
+	services := fs.Int("services", 30, "number of microservices")
+	rounds := fs.Int("rounds", 10, "rounds to simulate")
+	seed := fs.Int64("seed", 7, "simulation seed")
+	workMean := fs.Float64("workmean", 600, "mean work units per request")
+	workDist := fs.String("workdist", "exponential", "work distribution: exponential, pareto, uniform, deterministic")
+	capacity := fs.Int("capacity", 12, "per-bidder lifetime sharing capacity (coverage slots)")
+	verbose := fs.Bool("v", false, "print per-microservice indicators each round")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dist, err := parseWorkDist(*workDist)
+	if err != nil {
+		return err
+	}
+	simulator, err := sim.New(sim.Config{
+		Services: *services,
+		Rounds:   *rounds,
+		WorkMean: *workMean,
+		Work:     dist,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("build simulator: %w", err)
+	}
+	bridge, err := sim.NewBridge(simulator, sim.BridgeConfig{Seed: *seed})
+	if err != nil {
+		return fmt.Errorf("build bridge: %w", err)
+	}
+	auction := core.NewMSOA(core.MSOAConfig{
+		DefaultCapacity:    *capacity,
+		CapacityExemptFrom: sim.ReserveBidderID,
+	})
+
+	topo := simulator.Topology()
+	fmt.Printf("topology: %d edge clouds, %d users, backhaul connected: %v\n",
+		len(topo.Clouds), len(topo.Users), topo.Connected())
+	fmt.Printf("services: %d (alternating delay-sensitive / delay-tolerant)\n\n", *services)
+
+	totalSLA := 0
+	for _, report := range simulator.Run() {
+		ar := bridge.Convert(report)
+		sla := 0
+		for _, v := range report.SLAViolations {
+			sla += v
+		}
+		totalSLA += sla
+		fmt.Printf("round %d: %d needy, %d bids, %d SLA misses",
+			report.Round, ar.Round.Instance.NumNeedy(), len(ar.Round.Instance.Bids), sla)
+		if ar.Round.Instance.NumNeedy() == 0 {
+			fmt.Println(" — nothing to auction")
+			continue
+		}
+		res := auction.RunRound(ar.Round)
+		if res.Err != nil {
+			fmt.Printf(" — infeasible: %v\n", res.Err)
+			continue
+		}
+		reserveUnits := 0
+		for _, w := range res.Outcome.Winners {
+			if ar.Round.Instance.Bids[w].Bidder >= sim.ReserveBidderID {
+				reserveUnits++
+			}
+		}
+		fmt.Printf(" — %d winners, social cost %.2f, paid %.2f",
+			len(res.Outcome.Winners), res.Outcome.SocialCost, res.Outcome.TotalPayment())
+		if reserveUnits > 0 {
+			fmt.Printf(" (platform reserve used)")
+		}
+		fmt.Println()
+		if *verbose {
+			printIndicators(report, ar)
+		}
+	}
+
+	sum := auction.Summary()
+	fmt.Printf("\nsummary: %d auctioned rounds, social cost %.2f, payments %.2f, %d winning bids, %d infeasible, %d SLA misses\n",
+		sum.Rounds, sum.SocialCost, sum.TotalPayment, sum.WinningBids, sum.InfeasibleRounds, totalSLA)
+	return nil
+}
+
+// parseWorkDist maps the CLI flag to a WorkDist.
+func parseWorkDist(name string) (sim.WorkDist, error) {
+	switch name {
+	case "exponential", "":
+		return sim.WorkExponential, nil
+	case "pareto":
+		return sim.WorkPareto, nil
+	case "uniform":
+		return sim.WorkUniform, nil
+	case "deterministic":
+		return sim.WorkDeterministic, nil
+	default:
+		return 0, fmt.Errorf("unknown work distribution %q", name)
+	}
+}
+
+func printIndicators(report *sim.RoundReport, ar *sim.AuctionRound) {
+	ids := make([]int, 0, len(report.Indicators))
+	for id := range report.Indicators {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		in := report.Indicators[id]
+		fmt.Printf("    ms-%-3d util=%.2f served=%d/%d queue=%d alloc=%.1f estimate=%.2f\n",
+			id, in.ExecutionRate, in.ServedResponses, in.ReceivedResponses,
+			report.QueueLengths[id], in.Allocated, ar.Estimates[id])
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"edgeauction/internal/sim"
+)
+
+func TestParseWorkDist(t *testing.T) {
+	cases := map[string]sim.WorkDist{
+		"exponential":   sim.WorkExponential,
+		"":              sim.WorkExponential,
+		"pareto":        sim.WorkPareto,
+		"uniform":       sim.WorkUniform,
+		"deterministic": sim.WorkDeterministic,
+	}
+	for name, want := range cases {
+		got, err := parseWorkDist(name)
+		if err != nil {
+			t.Fatalf("parseWorkDist(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("parseWorkDist(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := parseWorkDist("zipf"); err == nil {
+		t.Fatal("want error for unknown distribution")
+	}
+}
+
+func TestRunTinySimulation(t *testing.T) {
+	if err := run([]string{"-services", "10", "-rounds", "2", "-workmean", "600"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadWorkDist(t *testing.T) {
+	if err := run([]string{"-workdist", "zipf"}); err == nil {
+		t.Fatal("want error")
+	}
+}

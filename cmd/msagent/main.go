@@ -1,0 +1,93 @@
+// Command msagent runs a microservice agent: it connects to a platformd
+// auctioneer, bids each announced round according to a synthetic load
+// profile, and reports payments received. Run several with different -id
+// and -load values against one platformd.
+//
+// Usage:
+//
+//	msagent -connect 127.0.0.1:7070 -id 1 -load 0.2
+//	msagent -connect 127.0.0.1:7070 -id 2 -load 0.8 -capacity 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"edgeauction/internal/platform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "msagent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("msagent", flag.ContinueOnError)
+	connect := fs.String("connect", "127.0.0.1:7070", "auctioneer address")
+	id := fs.Int("id", 1, "agent (microservice) id")
+	load := fs.Float64("load", 0.3, "synthetic utilization in [0,1]: drives bid prices; >0.85 abstains")
+	capacity := fs.Int("capacity", 0, "lifetime sharing capacity in coverage slots (0 = unlimited)")
+	bids := fs.Int("bids", 2, "alternative bids per round")
+	seed := fs.Int64("seed", 0, "bid randomization seed (0 = id)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *load < 0 || *load > 1 {
+		return fmt.Errorf("load must be in [0,1], got %v", *load)
+	}
+	if *seed == 0 {
+		*seed = int64(*id)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	policy := func(msg *platform.AnnounceMsg) []platform.WireBid {
+		if *load > 0.85 {
+			return nil // too busy to spare resources
+		}
+		out := make([]platform.WireBid, 0, *bids)
+		for alt := 0; alt < *bids; alt++ {
+			k := 1 + rng.Intn(len(msg.Demand))
+			out = append(out, platform.WireBid{
+				Alt:    alt,
+				Price:  10 + 25*(*load) + 5*rng.Float64(),
+				Covers: rng.Perm(len(msg.Demand))[:k],
+				Units:  1 + rng.Intn(4),
+			})
+		}
+		return out
+	}
+
+	agent, err := platform.Dial(*connect, platform.AgentConfig{
+		ID:       *id,
+		Capacity: *capacity,
+		Policy:   policy,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = agent.Close() }()
+	fmt.Printf("agent %d connected to %s (load %.2f, capacity %d)\n", *id, *connect, *load, *capacity)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-agent.Done():
+		if agent.ShutdownSeen() {
+			fmt.Println("platform shut down")
+		} else if err := agent.Err(); err != nil {
+			return fmt.Errorf("connection lost: %w", err)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("received %v, disconnecting\n", sig)
+	}
+
+	fmt.Printf("agent %d saw %d rounds, won %d awards, earned %.2f\n",
+		*id, agent.RoundsSeen(), len(agent.Awards()), agent.Earnings())
+	return nil
+}

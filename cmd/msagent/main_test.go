@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"edgeauction/internal/platform"
+)
+
+func TestAgentLifecycleAgainstServer(t *testing.T) {
+	srv, err := platform.NewServer("127.0.0.1:0", platform.ServerConfig{
+		BidDeadline: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-connect", srv.Addr(), "-id", "7", "-load", "0.3"})
+	}()
+
+	// Wait for registration, clear one round, then shut the platform down;
+	// the agent must observe the shutdown and exit cleanly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && srv.AgentCount() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.AgentCount() != 1 {
+		t.Fatal("agent never registered")
+	}
+	if _, err := srv.RunRound([]int{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("agent exited with error: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("agent did not exit after platform shutdown")
+	}
+}
+
+func TestAgentRejectsBadLoad(t *testing.T) {
+	if err := run([]string{"-load", "1.5"}); err == nil {
+		t.Fatal("want load validation error")
+	}
+}
+
+func TestAgentRejectsUnreachableServer(t *testing.T) {
+	if err := run([]string{"-connect", "127.0.0.1:1", "-id", "1"}); err == nil {
+		t.Fatal("want dial error")
+	}
+}

@@ -1,0 +1,126 @@
+// Command platformd runs the auctioneer daemon: it listens for
+// microservice agents (see cmd/msagent), then clears auction rounds on a
+// fixed period with a synthetic residual demand, printing results as they
+// happen. SIGINT/SIGTERM shut it down gracefully, notifying agents.
+//
+// Usage:
+//
+//	platformd -listen 127.0.0.1:7070 -period 2s -rounds 0   # run forever
+//	platformd -listen 127.0.0.1:7070 -rounds 10             # ten rounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edgeauction/internal/platform"
+	"edgeauction/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "platformd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("platformd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
+	period := fs.Duration("period", 2*time.Second, "time between auction rounds")
+	rounds := fs.Int("rounds", 0, "rounds to run (0 = until interrupted)")
+	needyLo := fs.Int("needy-min", 1, "minimum needy microservices per round")
+	needyHi := fs.Int("needy-max", 3, "maximum needy microservices per round")
+	demandLo := fs.Int("demand-min", 1, "minimum coverage demand per needy microservice")
+	demandHi := fs.Int("demand-max", 4, "maximum coverage demand per needy microservice")
+	deadline := fs.Duration("bid-deadline", 500*time.Millisecond, "how long each round stays open for bids")
+	seed := fs.Int64("seed", 1, "demand generator seed")
+	auditPath := fs.String("audit", "", "append a JSONL audit record per round to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *needyHi < *needyLo || *demandHi < *demandLo {
+		return fmt.Errorf("invalid demand ranges")
+	}
+
+	logger := log.New(os.Stderr, "platformd: ", log.LstdFlags)
+	scfg := platform.ServerConfig{
+		BidDeadline: *deadline,
+		Logger:      logger,
+	}
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open audit log: %w", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				logger.Printf("close audit log: %v", err)
+			}
+		}()
+		scfg.Audit = platform.NewAudit(f)
+	}
+	srv, err := platform.NewServer(*listen, scfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			logger.Printf("close: %v", err)
+		}
+	}()
+	fmt.Printf("auctioneer listening on %s (round period %v)\n", srv.Addr(), *period)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*period)
+	defer ticker.Stop()
+
+	rng := workload.NewRand(*seed)
+	done := 0
+	for {
+		select {
+		case sig := <-sigCh:
+			fmt.Printf("\nreceived %v, shutting down\n", sig)
+			printSummary(srv)
+			return nil
+		case <-ticker.C:
+		}
+		if srv.AgentCount() == 0 {
+			fmt.Println("no agents registered; skipping round")
+			continue
+		}
+		needy := rng.UniformInt(*needyLo, *needyHi)
+		demand := make([]int, needy)
+		for k := range demand {
+			demand[k] = rng.UniformInt(*demandLo, *demandHi)
+		}
+		out, err := srv.RunRound(demand, nil)
+		if err != nil {
+			return fmt.Errorf("round: %w", err)
+		}
+		if out.Infeasible {
+			fmt.Printf("round %d: demand %v infeasible (%d bids)\n", out.T, demand, out.Bids)
+		} else {
+			fmt.Printf("round %d: demand %v cleared at social cost %.2f, %d winners, %d bids\n",
+				out.T, demand, out.SocialCost, len(out.Awards), out.Bids)
+		}
+		done++
+		if *rounds > 0 && done >= *rounds {
+			printSummary(srv)
+			return nil
+		}
+	}
+}
+
+func printSummary(srv *platform.Server) {
+	if sum := srv.Summary(); sum != nil {
+		fmt.Printf("summary: %d rounds, social cost %.2f, paid %.2f, %d infeasible\n",
+			sum.Rounds, sum.SocialCost, sum.TotalPayment, sum.InfeasibleRounds)
+	}
+}

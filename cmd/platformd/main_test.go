@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"edgeauction/internal/platform"
+)
+
+func TestPlatformdRunsConfiguredRounds(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-period", "50ms", "-rounds", "2",
+			"-needy-min", "1", "-needy-max", "1", "-demand-min", "1", "-demand-max", "1",
+		})
+	}()
+	// The daemon skips rounds while no agents are registered, so it keeps
+	// running; we cannot easily dial its random port from here (it is not
+	// exposed), so this test only checks the daemon survives a few empty
+	// periods and that bad ranges fail fast below. Stop it by timeout.
+	select {
+	case err := <-done:
+		// With no agents it never completes rounds; finishing early means
+		// an error occurred.
+		if err == nil {
+			t.Fatal("daemon exited without error before completing rounds")
+		}
+		t.Fatalf("daemon failed: %v", err)
+	case <-time.After(300 * time.Millisecond):
+		// Still running and skipping rounds: expected. The process exits
+		// with the test binary; no cleanup handle is exposed, which is
+		// acceptable for a daemon entrypoint test.
+	}
+}
+
+func TestPlatformdRejectsBadRanges(t *testing.T) {
+	if err := run([]string{"-needy-min", "5", "-needy-max", "1"}); err == nil {
+		t.Fatal("want range validation error")
+	}
+}
+
+func TestPlatformdRejectsBusyAddress(t *testing.T) {
+	srv, err := platform.NewServer("127.0.0.1:0", platform.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	if err := run([]string{"-listen", srv.Addr(), "-rounds", "1"}); err == nil {
+		t.Fatal("want listen error on busy address")
+	}
+}

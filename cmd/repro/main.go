@@ -1,0 +1,237 @@
+// Command repro regenerates the paper's evaluation (Figures 3-6) and the
+// ablation studies described in DESIGN.md. It prints each figure as an
+// aligned table and can optionally emit CSV files for plotting.
+//
+// Usage:
+//
+//	repro -fig all                 # every figure, paper-scale sweeps
+//	repro -fig 3a -trials 10       # one figure, more averaging
+//	repro -fig ablations -quick    # ablations at reduced scale
+//	repro -fig all -csv out/       # also write out/fig3a.csv etc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/experiments"
+	"edgeauction/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+type figure struct {
+	name string
+	run  func(experiments.Config) (renderable, []*metrics.Series, error)
+}
+
+type renderable interface{ Render() string }
+
+func figures() []figure {
+	return []figure{
+		{"3a", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig3a(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.RatioByJ[1], r.RatioByJ[2], r.CertifiedByJ[1], r.CertifiedByJ[2]}, nil
+		}},
+		{"3b", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig3b(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			s1, s2 := r.ByRequests[100], r.ByRequests[200]
+			return r, []*metrics.Series{s1.SocialCost, s1.Payment, s1.Optimal, s2.SocialCost, s2.Payment, s2.Optimal}, nil
+		}},
+		{"4a", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig4a(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.Price, r.Payment}, nil
+		}},
+		{"4b", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig4b(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.MillisByRequests[100], r.MillisByRequests[200]}, nil
+		}},
+		{"5a", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig5a(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.RatioByRequests[100], r.RatioByRequests[200]}, nil
+		}},
+		{"5b", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig5b(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{
+				r.RatioByVariant[core.VariantBase], r.RatioByVariant[core.VariantDA],
+				r.RatioByVariant[core.VariantRC], r.RatioByVariant[core.VariantOA],
+			}, nil
+		}},
+		{"6a", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig6a(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.RatioByJ[1], r.RatioByJ[2], r.RatioByJ[4]}, nil
+		}},
+		{"6b", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.Fig6b(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			s1, s2 := r.ByRequests[100], r.ByRequests[200]
+			return r, []*metrics.Series{s1.SocialCost, s1.Payment, s1.Optimal, s2.SocialCost, s2.Payment, s2.Optimal}, nil
+		}},
+		{"winstats", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.WinningStats(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.WinPercent, r.BidderWinPercent}, nil
+		}},
+	}
+}
+
+func ablations() map[string]func(experiments.Config) (*experiments.AblationResult, error) {
+	return map[string]func(experiments.Config) (*experiments.AblationResult, error){
+		"scaledprice": experiments.AblationScaledPrice,
+		"payments":    experiments.AblationPayments,
+		"greedy":      experiments.AblationGreedyMetric,
+		"fixedprice":  experiments.AblationFixedPrice,
+		"capacity":    experiments.AblationCapacity,
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	figFlag := fs.String("fig", "all", "figure to regenerate: 3a,3b,4a,4b,5a,5b,6a,6b, winstats, 'ablations', or 'all'")
+	seed := fs.Int64("seed", 1, "workload seed")
+	trials := fs.Int("trials", 5, "instances averaged per sweep point")
+	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	optTime := fs.Duration("opt-time", 2*time.Second, "time budget per exact offline solve")
+	csvDir := fs.String("csv", "", "directory to also write per-figure CSV files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, OptTimeLimit: *optTime}
+	want := strings.ToLower(*figFlag)
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	ranAny := false
+	for _, f := range figures() {
+		if want != "all" && want != f.name {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		result, series, err := f.run(cfg)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.name, err)
+		}
+		fmt.Println(result.Render())
+		fmt.Printf("(figure %s regenerated in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, "fig"+f.name+".csv"), series); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want == "all" || want == "ablations" {
+		ranAny = true
+		for name, runAbl := range ablations() {
+			start := time.Now()
+			result, err := runAbl(cfg)
+			if err != nil {
+				return fmt.Errorf("ablation %s: %w", name, err)
+			}
+			fmt.Println(result.Render())
+			fmt.Printf("(ablation %s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			if *csvDir != "" {
+				if err := writeCSV(filepath.Join(*csvDir, "ablation_"+name+".csv"), result.Series); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if want == "all" || want == "federation" {
+		ranAny = true
+		start := time.Now()
+		res, err := experiments.Federation(cfg)
+		if err != nil {
+			return fmt.Errorf("federation sweep: %w", err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(federation sweep done in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, "federation.csv"),
+				[]*metrics.Series{res.Covered, res.Cost, res.Borrowed}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want == "all" || want == "demand" {
+		ranAny = true
+		start := time.Now()
+		res, err := experiments.DemandAblation(cfg)
+		if err != nil {
+			return fmt.Errorf("demand ablation: %w", err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(demand ablation done in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if want == "all" || want == "truthfulness" {
+		ranAny = true
+		start := time.Now()
+		res, err := experiments.TruthfulnessSweep(cfg)
+		if err != nil {
+			return fmt.Errorf("truthfulness sweep: %w", err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(truthfulness sweep done in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if !ranAny {
+		return fmt.Errorf("unknown figure %q (want 3a,3b,4a,4b,5a,5b,6a,6b, winstats, truthfulness, ablations, or all)", *figFlag)
+	}
+	return nil
+}
+
+func writeCSV(path string, series []*metrics.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := metrics.WriteCSV(f, "x", series...); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigureNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range figures() {
+		if seen[f.name] {
+			t.Fatalf("duplicate figure name %q", f.name)
+		}
+		seen[f.name] = true
+	}
+	for _, want := range []string{"3a", "3b", "4a", "4b", "5a", "5b", "6a", "6b", "winstats"} {
+		if !seen[want] {
+			t.Fatalf("missing figure %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	if err := run([]string{"-fig", "4a", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	err := run([]string{"-fig", "9z", "-quick"})
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("want unknown-figure error, got %v", err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "4b", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,") {
+		t.Fatalf("csv missing header: %q", string(data[:20]))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}

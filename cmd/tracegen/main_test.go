@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-o", path, "-bidders", "6", "-rounds", "3", "-seed", "9"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestGenerateWindowed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-o", path, "-bidders", "5", "-rounds", "4", "-windowed"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiresOutputOrInspect(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("want usage error")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run([]string{"-inspect", filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
+		t.Fatal("want open error")
+	}
+}

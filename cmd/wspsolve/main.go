@@ -1,0 +1,122 @@
+// Command wspsolve solves one winner selection problem instance from a
+// JSON file (or generates one), comparing the mechanisms side by side:
+// SSAM's greedy selection and payments, the offline optimum, and the
+// baselines. It is the workbench for inspecting a single disputed round.
+//
+// Usage:
+//
+//	wspsolve -in instance.json
+//	wspsolve -gen -bidders 25 -seed 7 -out instance.json   # generate
+//	wspsolve -gen -bidders 25 -budget 500                  # budgeted run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgeauction/internal/baseline"
+	"edgeauction/internal/core"
+	"edgeauction/internal/optimal"
+	"edgeauction/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wspsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wspsolve", flag.ContinueOnError)
+	in := fs.String("in", "", "instance JSON to solve")
+	out := fs.String("out", "", "write the (possibly generated) instance here")
+	gen := fs.Bool("gen", false, "generate an instance instead of reading one")
+	bidders := fs.Int("bidders", 25, "bidders when generating")
+	seed := fs.Int64("seed", 1, "generator seed")
+	budget := fs.Float64("budget", 0, "also run the budget-capped auction with this payment budget")
+	optTime := fs.Duration("opt-time", 10*time.Second, "time budget for the exact solve")
+	vcg := fs.Bool("vcg", false, "also run VCG (|winners|+1 exact solves)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ins *core.Instance
+	switch {
+	case *gen:
+		ins = workload.Instance(workload.NewRand(*seed), workload.InstanceConfig{Bidders: *bidders})
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", *in, err)
+		}
+		defer func() { _ = f.Close() }()
+		ins, err = workload.ReadInstance(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -in FILE or -gen is required")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer func() { _ = f.Close() }()
+		if err := workload.WriteInstance(f, ins); err != nil {
+			return err
+		}
+		fmt.Printf("instance written to %s\n", *out)
+	}
+
+	fmt.Printf("instance: %d needy (total demand %d), %d bids\n\n",
+		ins.NumNeedy(), ins.TotalDemand(), len(ins.Bids))
+
+	ssam, err := core.SSAM(ins, core.Options{})
+	if err != nil {
+		return fmt.Errorf("SSAM: %w", err)
+	}
+	fmt.Printf("SSAM:    cost %10.2f  payment %10.2f  winners %3d  certified ratio %.3f\n",
+		ssam.SocialCost, ssam.TotalPayment(), len(ssam.Winners), ssam.Dual.Ratio())
+
+	res, err := optimal.Solve(ins, optimal.Options{TimeLimit: *optTime})
+	if err != nil {
+		return fmt.Errorf("offline optimum: %w", err)
+	}
+	tag := "exact"
+	if !res.Exact {
+		tag = fmt.Sprintf("bound [%.2f, %.2f]", res.LowerBound, res.Cost)
+	}
+	fmt.Printf("OPT:     cost %10.2f  (%s, %d nodes)  SSAM/OPT = %.4f\n",
+		res.Cost, tag, res.Nodes, ssam.SocialCost/res.Cost)
+
+	if *budget > 0 {
+		bud, err := core.BudgetedSSAM(ins, *budget, core.Options{})
+		if err != nil {
+			return fmt.Errorf("budgeted SSAM: %w", err)
+		}
+		fmt.Printf("BUDGET:  cost %10.2f  spent %10.2f / %.2f  coverage %.1f%%  rejected %d\n",
+			bud.SocialCost, bud.BudgetSpent, *budget,
+			100*bud.CoverageFraction(ins), len(bud.RejectedByBudget))
+	}
+
+	if *vcg {
+		v, err := baseline.VCG(ins, optimal.Options{TimeLimit: *optTime})
+		if err != nil {
+			return fmt.Errorf("VCG: %w", err)
+		}
+		fmt.Printf("VCG:     cost %10.2f  payment %10.2f  winners %3d\n",
+			v.SocialCost, v.TotalPayment(), len(v.Winners))
+	}
+
+	fmt.Printf("\n%-8s %-6s %10s %10s\n", "winner", "bid", "price", "payment")
+	for _, w := range ssam.Winners {
+		b := ins.Bids[w]
+		fmt.Printf("ms-%-5d alt-%-2d %10.2f %10.2f\n", b.Bidder, b.Alt, b.Price, ssam.Payments[w])
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package edgeauction is an open reproduction of "Incentivizing
+// Microservices for Online Resource Sharing in Edge Clouds" (Samanta, Jiao,
+// Mühlhäuser, Wang — IEEE ICDCS 2019): a truthful, individually rational,
+// polynomial-time online reverse-auction mechanism that lets an edge cloud
+// platform reclaim resources from under-loaded microservices and reallocate
+// them to overloaded ones.
+//
+// The package is a facade over the implementation packages: it re-exports
+// the mechanism types and provides one-call entry points for the common
+// workflows. The building blocks are:
+//
+//   - SSAM — the single-stage auction (Algorithm 1): greedy winner
+//     selection for the NP-hard set-multicover winner selection problem,
+//     critical-value (Myerson) payments, and a per-instance primal-dual
+//     approximation certificate.
+//   - MSOA — the multi-stage online auction (Algorithm 2): a sequence of
+//     SSAM rounds glued by per-bidder dual variables ψ that protect each
+//     microservice's remaining sharing capacity, achieving a constant
+//     competitive ratio αβ/(β−1).
+//   - Demand estimation (§III): waiting-time, processing-rate, and
+//     request-rate indicators combined with AHP-derived weights.
+//   - A discrete-event edge-cloud simulator, a workload/trace generator
+//     matching the paper's §V-A settings, offline-optimal solvers, baseline
+//     mechanisms, and a TCP auctioneer/agent platform.
+//
+// # Quick start
+//
+//	ins := edgeauction.GenerateInstance(42, edgeauction.InstanceConfig{Bidders: 25})
+//	out, err := edgeauction.RunAuction(ins, edgeauction.Options{})
+//	if err != nil { ... }
+//	fmt.Println(out.SocialCost, out.TotalPayment())
+//
+// See examples/ for runnable programs and internal/experiments for the
+// harness that regenerates every figure of the paper's evaluation.
+package edgeauction
+
+import (
+	"edgeauction/internal/core"
+	"edgeauction/internal/demand"
+	"edgeauction/internal/optimal"
+	"edgeauction/internal/platform"
+	"edgeauction/internal/sim"
+	"edgeauction/internal/workload"
+)
+
+// Mechanism types (see internal/core for full documentation).
+type (
+	// Bid is one alternative bid (Ŝ, J_ij) submitted by a microservice.
+	Bid = core.Bid
+	// Instance is one single-stage winner selection problem.
+	Instance = core.Instance
+	// Outcome is the result of a winner selection mechanism run.
+	Outcome = core.Outcome
+	// Options configures a single-stage auction run.
+	Options = core.Options
+	// Round is the input to one stage of the online auction.
+	Round = core.Round
+	// MSOAConfig configures the multi-stage online auction.
+	MSOAConfig = core.MSOAConfig
+	// MSOA is the multi-stage online auction with persistent dual state.
+	MSOA = core.MSOA
+	// OnlineSummary aggregates an online run.
+	OnlineSummary = core.OnlineSummary
+	// BidderWindow bounds a bidder's participation to rounds [t⁻, t⁺].
+	BidderWindow = core.BidderWindow
+	// DualCertificate is SSAM's primal–dual approximation certificate.
+	DualCertificate = core.DualCertificate
+	// Variant identifies the MSOA flavours of §V (DA/RC/OA).
+	Variant = core.Variant
+)
+
+// Re-exported mechanism constants.
+const (
+	// VariantBase is plain MSOA with estimated demand.
+	VariantBase = core.VariantBase
+	// VariantDA is MSOA with oracle demand estimation.
+	VariantDA = core.VariantDA
+	// VariantRC is MSOA with relaxed capacities.
+	VariantRC = core.VariantRC
+	// VariantOA combines oracle demand and relaxed capacities.
+	VariantOA = core.VariantOA
+)
+
+// Workload and simulation types.
+type (
+	// InstanceConfig parameterizes instance generation (§V-A defaults).
+	InstanceConfig = workload.InstanceConfig
+	// OnlineConfig parameterizes multi-round scenario generation.
+	OnlineConfig = workload.OnlineConfig
+	// Scenario is a drawn online workload (true + estimated rounds).
+	Scenario = workload.Scenario
+	// SimConfig parameterizes the discrete-event edge-cloud simulator.
+	SimConfig = sim.Config
+	// Simulator is the discrete-event edge cloud simulator.
+	Simulator = sim.Simulator
+	// DemandEstimator computes §III demand estimates.
+	DemandEstimator = demand.Estimator
+	// DemandConfig parameterizes the estimator.
+	DemandConfig = demand.Config
+	// Indicators is one round's observation of a microservice.
+	Indicators = demand.Indicators
+)
+
+// Platform types (distributed auctioneer/agents).
+type (
+	// PlatformServer is the auctioneer daemon.
+	PlatformServer = platform.Server
+	// PlatformServerConfig configures the auctioneer.
+	PlatformServerConfig = platform.ServerConfig
+	// Agent is a microservice-side client of the platform.
+	Agent = platform.Agent
+	// AgentConfig configures an agent.
+	AgentConfig = platform.AgentConfig
+	// BidPolicy decides an agent's bids for an announced round.
+	BidPolicy = platform.BidPolicy
+	// AnnounceMsg opens a bidding round on the wire.
+	AnnounceMsg = platform.AnnounceMsg
+	// WireBid is one alternative bid on the wire.
+	WireBid = platform.WireBid
+)
+
+// RunAuction runs the single-stage auction mechanism SSAM (Algorithm 1) on
+// an instance: winner selection, critical-value payments, and the
+// primal–dual certificate. It returns core.ErrInfeasible if the bids
+// cannot cover the demand.
+func RunAuction(ins *Instance, opts Options) (*Outcome, error) {
+	return core.SSAM(ins, opts)
+}
+
+// NewOnlineAuction builds the multi-stage online auction MSOA
+// (Algorithm 2) with zeroed dual state. Feed rounds with RunRound or Run.
+func NewOnlineAuction(cfg MSOAConfig) *MSOA {
+	return core.NewMSOA(cfg)
+}
+
+// OfflineOptimum computes the offline-optimal social cost of an instance
+// with branch-and-bound (exact for paper-scale instances; see
+// internal/optimal for bounded-effort options).
+func OfflineOptimum(ins *Instance) (float64, error) {
+	res, err := optimal.Solve(ins, optimal.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost, nil
+}
+
+// GenerateInstance draws one single-stage auction instance with the §V-A
+// parameter defaults (prices U[10,35], demands U[10,40], J=2).
+func GenerateInstance(seed int64, cfg InstanceConfig) *Instance {
+	return workload.Instance(workload.NewRand(seed), cfg)
+}
+
+// GenerateScenario draws a multi-round online workload, including per-round
+// true and estimated demands, bidder capacities, and participation windows.
+func GenerateScenario(seed int64, cfg OnlineConfig) *Scenario {
+	return workload.Online(workload.NewRand(seed), cfg)
+}
+
+// NewSimulator builds the discrete-event edge-cloud simulator.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	return sim.New(cfg)
+}
+
+// NewDemandEstimator builds a §III demand estimator; the zero config
+// derives the indicator weights via AHP.
+func NewDemandEstimator(cfg DemandConfig) (*DemandEstimator, error) {
+	return demand.NewEstimator(cfg)
+}
+
+// StartPlatform starts the auctioneer daemon listening on addr
+// (e.g. "127.0.0.1:0").
+func StartPlatform(addr string, cfg PlatformServerConfig) (*PlatformServer, error) {
+	return platform.NewServer(addr, cfg)
+}
+
+// DialPlatform connects and registers a microservice agent with the
+// auctioneer at addr.
+func DialPlatform(addr string, cfg AgentConfig) (*Agent, error) {
+	return platform.Dial(addr, cfg)
+}
+
+// VerifyOutcome checks an outcome against the paper's proved properties:
+// primal feasibility (Theorem 2) and individual rationality (Theorem 5).
+// A non-nil error indicates a mechanism bug.
+func VerifyOutcome(ins *Instance, out *Outcome) error {
+	if err := core.VerifyFeasible(ins, out); err != nil {
+		return err
+	}
+	return core.VerifyIndividualRationality(ins, out, nil)
+}

@@ -1,0 +1,114 @@
+package edgeauction
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeSingleStageWorkflow(t *testing.T) {
+	ins := GenerateInstance(42, InstanceConfig{Bidders: 15})
+	out, err := RunAuction(ins, Options{})
+	if err != nil {
+		t.Fatalf("RunAuction: %v", err)
+	}
+	if err := VerifyOutcome(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SocialCost <= 0 || out.TotalPayment() < out.SocialCost {
+		t.Fatalf("implausible economics: cost %v, payment %v", out.SocialCost, out.TotalPayment())
+	}
+	opt, err := OfflineOptimum(ins)
+	if err != nil {
+		t.Fatalf("OfflineOptimum: %v", err)
+	}
+	if opt > out.SocialCost+1e-9 {
+		t.Fatalf("optimum %v above greedy %v", opt, out.SocialCost)
+	}
+	if out.Dual == nil || out.Dual.Ratio() < 1 {
+		t.Fatal("missing or invalid certificate")
+	}
+}
+
+func TestFacadeOnlineWorkflow(t *testing.T) {
+	scn := GenerateScenario(7, OnlineConfig{Rounds: 4, Stage: InstanceConfig{Bidders: 10}})
+	auction := NewOnlineAuction(scn.Config(Options{}))
+	sum := auction.Run(scn.TrueRounds)
+	if sum.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", sum.Rounds)
+	}
+	if sum.InfeasibleRounds != 0 {
+		t.Fatalf("%d infeasible rounds on reserve-backed scenario", sum.InfeasibleRounds)
+	}
+	if sum.TotalPayment < sum.SocialCost {
+		t.Fatalf("payments %v below social cost %v", sum.TotalPayment, sum.SocialCost)
+	}
+}
+
+func TestFacadeSimulatorAndEstimator(t *testing.T) {
+	s, err := NewSimulator(SimConfig{Services: 8, Rounds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := s.Run()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	est, err := NewDemandEstimator(DemandConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, in := range reports[1].Indicators {
+		if x := est.Estimate(in); x < 0 {
+			t.Fatalf("ms %d negative demand estimate %v", id, x)
+		}
+	}
+}
+
+func TestFacadePlatformRoundTrip(t *testing.T) {
+	srv, err := StartPlatform("127.0.0.1:0", PlatformServerConfig{BidDeadline: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+	agent, err := DialPlatform(srv.Addr(), AgentConfig{
+		ID: 1,
+		Policy: func(msg *AnnounceMsg) []WireBid {
+			covers := make([]int, len(msg.Demand))
+			for i := range covers {
+				covers[i] = i
+			}
+			return []WireBid{{Alt: 0, Price: 12, Covers: covers, Units: 3}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := agent.Close(); err != nil {
+			t.Errorf("close agent: %v", err)
+		}
+	}()
+	out, err := srv.RunRound([]int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Infeasible || len(out.Awards) != 1 {
+		t.Fatalf("unexpected outcome: %+v", out)
+	}
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("addr = %q", srv.Addr())
+	}
+}
+
+func TestFacadeVariantsExported(t *testing.T) {
+	for _, v := range []Variant{VariantBase, VariantDA, VariantRC, VariantOA} {
+		if v.String() == "MSOA-?" {
+			t.Fatalf("variant %d unnamed", v)
+		}
+	}
+}

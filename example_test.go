@@ -1,0 +1,71 @@
+package edgeauction_test
+
+import (
+	"fmt"
+
+	"edgeauction"
+)
+
+// ExampleRunAuction runs one single-stage auction on a hand-built instance:
+// two needy microservices, three bidders, and deterministic prices so the
+// winner set and payments are stable.
+func ExampleRunAuction() {
+	ins := &edgeauction.Instance{
+		// Needy microservice 0 needs 1 coverage unit, needy 1 needs 2.
+		Demand: []int{1, 2},
+		Bids: []edgeauction.Bid{
+			{Bidder: 1, Price: 12, TrueCost: 12, Covers: []int{0, 1}, Units: 1},
+			{Bidder: 2, Price: 7, TrueCost: 7, Covers: []int{1}, Units: 1},
+			{Bidder: 3, Price: 9, TrueCost: 9, Covers: []int{0, 1}, Units: 1},
+		},
+	}
+	out, err := edgeauction.RunAuction(ins, edgeauction.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("winners: %d, social cost: %.0f\n", len(out.Winners), out.SocialCost)
+	for _, w := range out.Winners {
+		fmt.Printf("  ms-%d wins at price %.0f, paid %.2f\n",
+			ins.Bids[w].Bidder, ins.Bids[w].Price, out.Payments[w])
+	}
+	// Output:
+	// winners: 2, social cost: 16
+	//   ms-3 wins at price 9, paid 12.00
+	//   ms-2 wins at price 7, paid 12.00
+}
+
+// ExampleNewOnlineAuction runs two online rounds with a lifetime capacity:
+// the cheap bidder wins round one, exhausts its sharing budget, and the
+// expensive bidder covers round two.
+func ExampleNewOnlineAuction() {
+	auction := edgeauction.NewOnlineAuction(edgeauction.MSOAConfig{
+		Capacity: map[int]int{1: 1}, // bidder 1 shares at most one slot
+	})
+	round := func(t int) edgeauction.Round {
+		return edgeauction.Round{T: t, Instance: &edgeauction.Instance{
+			Demand: []int{1},
+			Bids: []edgeauction.Bid{
+				{Bidder: 1, Price: 5, TrueCost: 5, Covers: []int{0}, Units: 1},
+				{Bidder: 2, Price: 20, TrueCost: 20, Covers: []int{0}, Units: 1},
+			},
+		}}
+	}
+	for t := 1; t <= 2; t++ {
+		r := round(t)
+		res := auction.RunRound(r)
+		winner := r.Instance.Bids[res.Outcome.Winners[0]].Bidder
+		fmt.Printf("round %d winner: ms-%d\n", t, winner)
+	}
+	// Output:
+	// round 1 winner: ms-1
+	// round 2 winner: ms-2
+}
+
+// ExampleGenerateInstance draws a §V-A workload instance deterministically.
+func ExampleGenerateInstance() {
+	ins := edgeauction.GenerateInstance(42, edgeauction.InstanceConfig{Bidders: 10})
+	fmt.Printf("needy: %d, market bids: at least %d\n", ins.NumNeedy(), 10*2)
+	// Output:
+	// needy: 2, market bids: at least 20
+}

@@ -1,0 +1,110 @@
+// Command federation demonstrates multi-cloud resource sharing: three edge
+// clouds run their local auctions; when one cloud's market cannot cover
+// its demand, the platform borrows from peer clouds over the backhaul at a
+// latency-dependent premium, while every microservice's lifetime sharing
+// capacity is honoured globally.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/federation"
+	"edgeauction/internal/topology"
+	"edgeauction/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := workload.NewRand(11)
+	topo := topology.Generate(rng.Fork(), topology.Config{Clouds: 3, Users: 60})
+	fed, err := federation.New(federation.Config{
+		Topology:       topo,
+		LatencyPremium: 0.5,
+		Auction: core.MSOAConfig{
+			DefaultCapacity: 6,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("three edge clouds; cloud 3 is demand-heavy and supply-poor")
+	for t := 1; t <= 5; t++ {
+		markets := []federation.CloudMarket{
+			cloudMarket(rng, 1, t, 2, 5), // balanced
+			cloudMarket(rng, 2, t, 1, 6), // supply-rich
+			cloudMarket(rng, 3, t, 3, 1), // demand-heavy: will borrow
+		}
+		res, err := fed.RunRound(t, markets)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nround %d: social cost %.2f, paid %.2f, borrowed slots %d\n",
+			t, res.SocialCost, res.TotalPayment, res.BorrowedSlots)
+		for _, cr := range res.Clouds {
+			switch {
+			case cr.Err != nil:
+				fmt.Printf("  cloud %d: UNCOVERED (%v)\n", cr.Cloud, cr.Err)
+			case cr.Federated:
+				fmt.Printf("  cloud %d: cleared via federation,", cr.Cloud)
+				for _, tr := range cr.Transfers {
+					fmt.Printf(" ms-%d from cloud %d (+%.2f premium)", tr.Bidder, tr.From, tr.Premium)
+				}
+				fmt.Println()
+			case cr.Outcome != nil && len(cr.Outcome.Winners) > 0:
+				fmt.Printf("  cloud %d: cleared locally with %d winners\n", cr.Cloud, len(cr.Outcome.Winners))
+			default:
+				fmt.Printf("  cloud %d: no demand\n", cr.Cloud)
+			}
+		}
+	}
+
+	if sum := fed.Summary(); sum != nil {
+		fmt.Printf("\nfederation summary: %d market clearings, social cost %.2f, paid %.2f\n",
+			sum.Rounds, sum.SocialCost, sum.TotalPayment)
+	}
+	return nil
+}
+
+// cloudMarket draws a small local market: `needy` needy microservices
+// demanding 1-3 units each and `suppliers` bidders local to the cloud.
+// Bidder ids are partitioned per cloud so identities stay distinct. A
+// supply-only cloud (needy = 0) still advertises bid WIDTH — how many
+// needy microservices a bid could span when borrowed — via zero-demand
+// placeholder slots.
+func cloudMarket(rng *workload.Rand, cloud, t, needy, suppliers int) federation.CloudMarket {
+	ins := &core.Instance{}
+	slots := needy
+	if slots == 0 {
+		slots = 3 // width slots for supply-only pools
+	}
+	for k := 0; k < slots; k++ {
+		d := 0
+		if k < needy {
+			d = rng.UniformInt(1, 2)
+		}
+		ins.Demand = append(ins.Demand, d)
+	}
+	base := cloud * 100
+	for s := 0; s < suppliers; s++ {
+		price := rng.Uniform(10, 35)
+		covers := rng.Subset(slots, 1+rng.Intn(slots))
+		ins.Bids = append(ins.Bids, core.Bid{
+			Bidder:   base + s,
+			Alt:      0,
+			Price:    price,
+			TrueCost: price,
+			Covers:   covers,
+			Units:    rng.UniformInt(2, 4),
+		})
+	}
+	return federation.CloudMarket{Cloud: cloud, Instance: ins}
+}

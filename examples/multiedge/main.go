@@ -1,0 +1,115 @@
+// Command multiedge runs the distributed deployment: an auctioneer daemon
+// (the edge platform) and a fleet of microservice agents talking JSON over
+// TCP on localhost. Each round the platform announces the residual demand,
+// agents respond with bids priced by their (synthetic) load, and the online
+// mechanism clears the round and pays winners — the §II message flow as a
+// real networked system.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"edgeauction"
+)
+
+const (
+	numAgents = 12
+	numRounds = 6
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiedge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	srv, err := edgeauction.StartPlatform("127.0.0.1:0", edgeauction.PlatformServerConfig{
+		BidDeadline: 200 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("start platform: %w", err)
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("auctioneer listening on %s\n", srv.Addr())
+
+	rng := rand.New(rand.NewSource(99))
+	agents := make([]*edgeauction.Agent, 0, numAgents)
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	for i := 1; i <= numAgents; i++ {
+		load := rng.Float64() // the agent's synthetic utilization
+		agent, err := edgeauction.DialPlatform(srv.Addr(), edgeauction.AgentConfig{
+			ID:       i,
+			Capacity: 8,
+			Policy:   loadBasedPolicy(load, rand.New(rand.NewSource(int64(i)))),
+		})
+		if err != nil {
+			return fmt.Errorf("agent %d: %w", i, err)
+		}
+		agents = append(agents, agent)
+		fmt.Printf("agent %2d connected (load %.2f)\n", i, load)
+	}
+
+	for t := 1; t <= numRounds; t++ {
+		needy := 1 + rng.Intn(3)
+		demand := make([]int, needy)
+		for k := range demand {
+			demand[k] = 2 + rng.Intn(4)
+		}
+		out, err := srv.RunRound(demand, nil)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", t, err)
+		}
+		if out.Infeasible {
+			fmt.Printf("round %d: infeasible (demand %v, %d bids)\n", t, demand, out.Bids)
+			continue
+		}
+		fmt.Printf("round %d: demand %v, %d bids, social cost %.2f, winners:",
+			t, demand, out.Bids, out.SocialCost)
+		for _, aw := range out.Awards {
+			fmt.Printf(" ms-%d(+%.2f)", aw.Bidder, aw.Payment)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nagent earnings:")
+	for _, a := range agents {
+		fmt.Printf("  agent earned %.2f across %d announcements\n", a.Earnings(), a.RoundsSeen())
+	}
+	if sum := srv.Summary(); sum != nil {
+		fmt.Printf("\nplatform summary: %d rounds, social cost %.2f, paid %.2f\n",
+			sum.Rounds, sum.SocialCost, sum.TotalPayment)
+	}
+	return nil
+}
+
+// loadBasedPolicy prices the agent's resources by its utilization: busy
+// agents bid high (they value their resources), idle agents bid low. Each
+// round the agent offers to cover a random subset of the needy services.
+func loadBasedPolicy(load float64, rng *rand.Rand) edgeauction.BidPolicy {
+	return func(msg *edgeauction.AnnounceMsg) []edgeauction.WireBid {
+		if load > 0.85 {
+			return nil // too busy to share anything
+		}
+		var bids []edgeauction.WireBid
+		for alt := 0; alt < 2; alt++ {
+			k := 1 + rng.Intn(len(msg.Demand))
+			covers := rng.Perm(len(msg.Demand))[:k]
+			bids = append(bids, edgeauction.WireBid{
+				Alt:    alt,
+				Price:  10 + 25*load + 5*rng.Float64(),
+				Covers: covers,
+				Units:  1 + rng.Intn(4),
+			})
+		}
+		return bids
+	}
+}

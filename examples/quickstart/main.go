@@ -1,0 +1,54 @@
+// Command quickstart shows the minimal edgeauction workflow: generate a
+// single-stage instance with the paper's §V-A parameters, run the SSAM
+// auction, inspect winners/payments, and compare against the offline
+// optimum.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgeauction"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 25 microservices offer resources, 2 alternative bids each, prices
+	// uniform in [10,35]; needy microservices demand 10-40 coverage units.
+	ins := edgeauction.GenerateInstance(42, edgeauction.InstanceConfig{Bidders: 25})
+	fmt.Printf("instance: %d needy microservices (total demand %d units), %d bids\n",
+		ins.NumNeedy(), ins.TotalDemand(), len(ins.Bids))
+
+	out, err := edgeauction.RunAuction(ins, edgeauction.Options{})
+	if err != nil {
+		return fmt.Errorf("auction: %w", err)
+	}
+	if err := edgeauction.VerifyOutcome(ins, out); err != nil {
+		return fmt.Errorf("outcome failed property check: %w", err)
+	}
+
+	fmt.Printf("\n%-8s %-6s %10s %10s %10s\n", "winner", "bid", "price", "payment", "utility")
+	for _, w := range out.Winners {
+		b := ins.Bids[w]
+		fmt.Printf("ms-%-5d alt-%-2d %10.2f %10.2f %10.2f\n",
+			b.Bidder, b.Alt, b.Price, out.Payments[w], out.Payments[w]-b.TrueCost)
+	}
+
+	fmt.Printf("\nsocial cost:    %10.2f\n", out.SocialCost)
+	fmt.Printf("total payment:  %10.2f\n", out.TotalPayment())
+	fmt.Printf("certified ratio: %9.3f (theoretical bound W*Xi = %.3f)\n",
+		out.Dual.Ratio(), out.Dual.TheoreticalRatio())
+
+	opt, err := edgeauction.OfflineOptimum(ins)
+	if err != nil {
+		return fmt.Errorf("offline optimum: %w", err)
+	}
+	fmt.Printf("offline optimum: %9.2f  (greedy/optimal = %.4f)\n", opt, out.SocialCost/opt)
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command truthfulness demonstrates the mechanism's incentive properties
+// empirically (Theorems 4-5): it takes a bidder, sweeps its reported price
+// away from its true cost, and shows that no deviation beats truthful
+// bidding — under-bidding can turn a win into a loss-making win elsewhere,
+// over-bidding risks losing a profitable auction, and the critical-value
+// payment makes the truthful report a dominant strategy.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgeauction"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "truthfulness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := edgeauction.GenerateInstance(2024, edgeauction.InstanceConfig{Bidders: 15})
+
+	truthful, err := edgeauction.RunAuction(base, edgeauction.Options{})
+	if err != nil {
+		return fmt.Errorf("truthful run: %w", err)
+	}
+	if len(truthful.Winners) == 0 {
+		return fmt.Errorf("no winners in the truthful run")
+	}
+
+	// Study the first winner: what does it gain by misreporting?
+	target := truthful.Winners[0]
+	trueCost := base.Bids[target].TrueCost
+	fmt.Printf("studying ms-%d alt-%d: true cost %.2f, truthful payment %.2f, truthful utility %.2f\n\n",
+		base.Bids[target].Bidder, base.Bids[target].Alt, trueCost,
+		truthful.Payments[target], truthful.Utility(base, target))
+
+	fmt.Printf("%-12s %-8s %12s %12s\n", "reported", "wins?", "payment", "utility")
+	truthfulUtility := truthful.Utility(base, target)
+	for _, factor := range []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0} {
+		ins := base.Clone()
+		ins.Bids[target].Price = trueCost * factor
+		out, err := edgeauction.RunAuction(ins, edgeauction.Options{})
+		if err != nil {
+			return fmt.Errorf("deviation x%.2f: %w", factor, err)
+		}
+		utility := 0.0
+		pay := 0.0
+		won := out.Won(target)
+		if won {
+			pay = out.Payments[target]
+			utility = pay - trueCost // utility always uses the TRUE cost
+		}
+		marker := ""
+		if factor == 1.0 {
+			marker = "  <- truthful"
+		}
+		if utility > truthfulUtility+1e-9 {
+			marker = "  !! PROFITABLE DEVIATION (mechanism bug)"
+		}
+		fmt.Printf("x%-11.2f %-8v %12.2f %12.2f%s\n", factor, won, pay, utility, marker)
+	}
+
+	fmt.Println("\nno deviation row should beat the truthful utility; the payment")
+	fmt.Println("is set by the runner-up (critical value), so winning reports do")
+	fmt.Println("not change what the winner is paid.")
+	return nil
+}

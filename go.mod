@@ -1,0 +1,3 @@
+module edgeauction
+
+go 1.22

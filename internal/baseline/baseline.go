@@ -1,0 +1,225 @@
+// Package baseline implements the comparison mechanisms the paper argues
+// against or that bound the design space: fixed-price repurchase (the
+// "pricing" alternative of §I), random winner selection, and VCG (exact
+// optimal allocation with Clarke payments). The benchmark harness uses them
+// to quantify the value of the auction design.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/optimal"
+	"edgeauction/internal/workload"
+)
+
+// ErrUncovered reports that a baseline failed to procure the full demand
+// (e.g. the fixed price was set too low).
+var ErrUncovered = errors.New("baseline: demand not fully covered")
+
+// FixedPriceResult reports a fixed-price run.
+type FixedPriceResult struct {
+	Outcome *core.Outcome
+	// Accepted counts bidders that accepted the posted price.
+	Accepted int
+	// CoveredFraction is the share of total demand procured (1 when the
+	// run succeeded).
+	CoveredFraction float64
+}
+
+// FixedPrice simulates the flat-pricing alternative: the platform posts a
+// per-coverage-unit price; every bidder whose TRUE unit cost is at or below
+// the posted price accepts (rational sellers), and the platform buys
+// acceptances cheapest-first until the demand is covered, paying the POSTED
+// price per unit supplied. It returns ErrUncovered (with the partial
+// outcome) when the posted price attracts too little supply — the
+// under-pricing failure mode of §I; over-pricing instead shows up as
+// inflated payments.
+func FixedPrice(ins *core.Instance, unitPrice float64) (*FixedPriceResult, error) {
+	if unitPrice < 0 || math.IsNaN(unitPrice) {
+		return nil, fmt.Errorf("baseline: invalid posted price %v", unitPrice)
+	}
+	type acceptance struct {
+		idx      int
+		unitCost float64
+	}
+	var accepts []acceptance
+	seen := map[int]bool{}
+	for i := range ins.Bids {
+		b := &ins.Bids[i]
+		supply := capacity(ins, b)
+		if supply == 0 {
+			continue
+		}
+		unitCost := b.TrueCost / float64(supply)
+		if unitCost <= unitPrice {
+			accepts = append(accepts, acceptance{idx: i, unitCost: unitCost})
+		}
+	}
+	sort.Slice(accepts, func(a, b int) bool {
+		if accepts[a].unitCost != accepts[b].unitCost {
+			return accepts[a].unitCost < accepts[b].unitCost
+		}
+		return accepts[a].idx < accepts[b].idx
+	})
+
+	res := &FixedPriceResult{Outcome: &core.Outcome{Payments: map[int]float64{}}}
+	theta := make([]int, len(ins.Demand))
+	covered, total := 0, ins.TotalDemand()
+	for _, a := range accepts {
+		b := &ins.Bids[a.idx]
+		if seen[b.Bidder] {
+			continue // one winning bid per bidder, as in the auction
+		}
+		gain := 0
+		for _, k := range b.Covers {
+			add := b.Units
+			if theta[k]+add > ins.Demand[k] {
+				add = ins.Demand[k] - theta[k]
+			}
+			if add > 0 {
+				gain += add
+			}
+		}
+		if gain == 0 {
+			continue
+		}
+		seen[b.Bidder] = true
+		res.Accepted++
+		for _, k := range b.Covers {
+			theta[k] += b.Units
+		}
+		covered += gain
+		res.Outcome.Winners = append(res.Outcome.Winners, a.idx)
+		res.Outcome.Payments[a.idx] = unitPrice * float64(gain)
+		res.Outcome.SocialCost += b.TrueCost
+		res.Outcome.ScaledCost += b.TrueCost
+		if covered >= total {
+			break
+		}
+	}
+	if total > 0 {
+		res.CoveredFraction = float64(covered) / float64(total)
+	} else {
+		res.CoveredFraction = 1
+	}
+	if covered < total {
+		return res, fmt.Errorf("%w: posted price %v covered %d/%d units", ErrUncovered, unitPrice, covered, total)
+	}
+	return res, nil
+}
+
+// capacity returns the total effective coverage a bid can supply.
+func capacity(ins *core.Instance, b *core.Bid) int {
+	c := 0
+	for _, k := range b.Covers {
+		u := b.Units
+		if u > ins.Demand[k] {
+			u = ins.Demand[k]
+		}
+		c += u
+	}
+	return c
+}
+
+// Random selects uniformly random useful bids (one per bidder) until the
+// demand is covered, paying first-price. It is the no-intelligence floor
+// for the ablation benches.
+func Random(ins *core.Instance, rng *workload.Rand) (*core.Outcome, error) {
+	out := &core.Outcome{Payments: map[int]float64{}}
+	theta := make([]int, len(ins.Demand))
+	covered, total := 0, ins.TotalDemand()
+	order := rng.Perm(len(ins.Bids))
+	seen := map[int]bool{}
+	for _, i := range order {
+		if covered >= total {
+			break
+		}
+		b := &ins.Bids[i]
+		if seen[b.Bidder] {
+			continue
+		}
+		gain := 0
+		for _, k := range b.Covers {
+			add := b.Units
+			if theta[k]+add > ins.Demand[k] {
+				add = ins.Demand[k] - theta[k]
+			}
+			if add > 0 {
+				gain += add
+			}
+		}
+		if gain == 0 {
+			continue
+		}
+		seen[b.Bidder] = true
+		for _, k := range b.Covers {
+			theta[k] += b.Units
+		}
+		covered += gain
+		out.Winners = append(out.Winners, i)
+		out.Payments[i] = b.Price
+		out.SocialCost += b.Price
+		out.ScaledCost += b.Price
+	}
+	if covered < total {
+		return out, fmt.Errorf("%w: random selection covered %d/%d units", ErrUncovered, covered, total)
+	}
+	return out, nil
+}
+
+// VCG computes the Vickrey-Clarke-Groves mechanism: the exact optimal
+// winner set with Clarke pivot payments
+//
+//	p_i = OPT(without i) − (OPT − price_i),
+//
+// which is truthful AND allocatively optimal but needs |winners|+1 exact
+// NP-hard solves — the computational price SSAM's polynomial-time design
+// avoids. opts bounds each underlying solve.
+func VCG(ins *core.Instance, opts optimal.Options) (*core.Outcome, error) {
+	base, err := optimal.Solve(ins, opts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: VCG base solve: %w", err)
+	}
+	out := &core.Outcome{
+		Winners:  base.Winners,
+		Payments: make(map[int]float64, len(base.Winners)),
+	}
+	for _, w := range base.Winners {
+		out.SocialCost += ins.Bids[w].Price
+		out.ScaledCost += ins.Bids[w].Price
+	}
+	for _, w := range base.Winners {
+		reduced := removeBidder(ins, ins.Bids[w].Bidder)
+		alt, err := optimal.Solve(reduced, opts)
+		if err != nil {
+			if errors.Is(err, optimal.ErrInfeasible) {
+				// The bidder is pivotal for feasibility: pay its price
+				// plus the posted reserve of the rest of the market.
+				out.Payments[w] = ins.Bids[w].Price + ins.MaxPrice()
+				continue
+			}
+			return nil, fmt.Errorf("baseline: VCG marginal solve for bid %d: %w", w, err)
+		}
+		pay := alt.Cost - (base.Cost - ins.Bids[w].Price)
+		if pay < ins.Bids[w].Price {
+			pay = ins.Bids[w].Price // numeric guard; theory guarantees >=
+		}
+		out.Payments[w] = pay
+	}
+	return out, nil
+}
+
+// removeBidder clones the instance without any bid from the given bidder.
+func removeBidder(ins *core.Instance, bidder int) *core.Instance {
+	out := &core.Instance{Demand: append([]int(nil), ins.Demand...)}
+	for _, b := range ins.Bids {
+		if b.Bidder != bidder {
+			out.Bids = append(out.Bids, b.Clone())
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/optimal"
+	"edgeauction/internal/workload"
+)
+
+func smallInstance() *core.Instance {
+	return &core.Instance{
+		Demand: []int{2, 1},
+		Bids: []core.Bid{
+			{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1},
+			{Bidder: 2, Price: 8, TrueCost: 8, Covers: []int{0, 1}, Units: 1},
+			{Bidder: 3, Price: 30, TrueCost: 30, Covers: []int{0, 1}, Units: 2},
+			{Bidder: 4, Price: 12, TrueCost: 12, Covers: []int{1}, Units: 1},
+		},
+	}
+}
+
+func TestFixedPriceHighPostedCovers(t *testing.T) {
+	ins := smallInstance()
+	res, err := FixedPrice(ins, 100)
+	if err != nil {
+		t.Fatalf("high posted price should cover: %v", err)
+	}
+	if res.CoveredFraction != 1 {
+		t.Fatalf("coverage = %v, want 1", res.CoveredFraction)
+	}
+	if err := core.VerifyFeasible(ins, res.Outcome); err != nil {
+		t.Fatal(err)
+	}
+	// Sellers are paid the posted price per unit: total = units * 100 >=
+	// their cost (IR holds for accepting sellers).
+	for _, w := range res.Outcome.Winners {
+		if res.Outcome.Payments[w] < ins.Bids[w].TrueCost {
+			t.Fatalf("accepting seller %d paid below cost", w)
+		}
+	}
+}
+
+func TestFixedPriceLowPostedUndercovers(t *testing.T) {
+	ins := smallInstance()
+	res, err := FixedPrice(ins, 1) // below everyone's unit cost
+	if !errors.Is(err, ErrUncovered) {
+		t.Fatalf("want ErrUncovered, got %v", err)
+	}
+	if res.CoveredFraction != 0 || res.Accepted != 0 {
+		t.Fatalf("nobody should accept a price of 1: %+v", res)
+	}
+}
+
+func TestFixedPriceCheapestFirst(t *testing.T) {
+	// Posted 6/unit: bid 2 has unit cost 8/2=4, bid 3 unit cost 30/3=10,
+	// bid 1 unit cost 10, bid 4 unit cost 12. Only bid 2 accepts, covering
+	// 2 of 3 units => uncovered.
+	ins := smallInstance()
+	res, err := FixedPrice(ins, 6)
+	if !errors.Is(err, ErrUncovered) {
+		t.Fatalf("want ErrUncovered, got %v", err)
+	}
+	if res.Accepted != 1 || len(res.Outcome.Winners) != 1 || res.Outcome.Winners[0] != 1 {
+		t.Fatalf("want only bid 1 (bidder 2) accepted, got %+v", res)
+	}
+	if math.Abs(res.CoveredFraction-2.0/3.0) > 1e-9 {
+		t.Fatalf("coverage = %v, want 2/3", res.CoveredFraction)
+	}
+}
+
+func TestFixedPriceInvalidPrice(t *testing.T) {
+	if _, err := FixedPrice(smallInstance(), -1); err == nil {
+		t.Fatal("negative posted price must be rejected")
+	}
+	if _, err := FixedPrice(smallInstance(), math.NaN()); err == nil {
+		t.Fatal("NaN posted price must be rejected")
+	}
+}
+
+func TestRandomCoversWhenPossible(t *testing.T) {
+	rng := workload.NewRand(1)
+	ins := workload.Instance(rng, workload.InstanceConfig{Bidders: 15})
+	out, err := Random(ins, rng)
+	if err != nil {
+		t.Fatalf("random selection failed on reserve-backed instance: %v", err)
+	}
+	if err := core.VerifyFeasible(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	// First-price payments.
+	for _, w := range out.Winners {
+		if out.Payments[w] != ins.Bids[w].Price {
+			t.Fatalf("random baseline must pay first price")
+		}
+	}
+}
+
+func TestRandomAtLeastGreedyCostOnAverage(t *testing.T) {
+	rng := workload.NewRand(2)
+	var greedyTotal, randomTotal float64
+	for trial := 0; trial < 20; trial++ {
+		ins := workload.Instance(rng, workload.InstanceConfig{Bidders: 15})
+		g, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Random(ins, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyTotal += g.SocialCost
+		randomTotal += r.SocialCost
+	}
+	if randomTotal < greedyTotal {
+		t.Fatalf("random (%v) beat greedy (%v) on aggregate — implausible", randomTotal, greedyTotal)
+	}
+}
+
+func TestVCGMatchesOptimalAllocation(t *testing.T) {
+	ins := smallInstance()
+	out, err := VCG(ins, optimal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := optimal.Solve(ins, optimal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.SocialCost-opt.Cost) > 1e-9 {
+		t.Fatalf("VCG allocation cost %v != optimum %v", out.SocialCost, opt.Cost)
+	}
+	if err := core.VerifyFeasible(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyIndividualRationality(ins, out, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCGPaymentsAreClarkePivots(t *testing.T) {
+	// Two suppliers for one unit: winner is the cheaper, paid the
+	// runner-up's price (second-price auction special case).
+	ins := &core.Instance{
+		Demand: []int{1},
+		Bids: []core.Bid{
+			{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1},
+			{Bidder: 2, Price: 25, TrueCost: 25, Covers: []int{0}, Units: 1},
+		},
+	}
+	out, err := VCG(ins, optimal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) != 1 || out.Winners[0] != 0 {
+		t.Fatalf("winner = %v, want bid 0", out.Winners)
+	}
+	if math.Abs(out.Payments[0]-25) > 1e-9 {
+		t.Fatalf("VCG payment = %v, want second price 25", out.Payments[0])
+	}
+}
+
+func TestVCGPivotalBidder(t *testing.T) {
+	// Single supplier: pivotal; payment must still be at least its price.
+	ins := &core.Instance{
+		Demand: []int{1},
+		Bids: []core.Bid{
+			{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1},
+		},
+	}
+	out, err := VCG(ins, optimal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Payments[0] < 10 {
+		t.Fatalf("pivotal VCG payment %v below price", out.Payments[0])
+	}
+}
+
+func TestVCGTruthfulOnSmallInstances(t *testing.T) {
+	rng := workload.NewRand(3)
+	for trial := 0; trial < 10; trial++ {
+		ins := workload.Instance(rng, workload.InstanceConfig{
+			Bidders: 5, Needy: 2, DemandLo: 1, DemandHi: 3, BidsPerBidder: 1,
+			UnitsLo: 1, UnitsHi: 2,
+		})
+		truthful, err := VCG(ins, optimal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for target := 0; target < len(ins.Bids)-1; target++ { // skip reserve
+			base := truthful.Utility(ins, target)
+			for _, factor := range []float64{0.5, 1.5} {
+				dev := ins.Clone()
+				dev.Bids[target].Price = ins.Bids[target].TrueCost * factor
+				out, err := VCG(dev, optimal.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				utility := 0.0
+				if out.Won(target) {
+					utility = out.Payments[target] - ins.Bids[target].TrueCost
+				}
+				if utility > base+1e-6 {
+					t.Fatalf("trial %d: VCG profitable deviation for bid %d x%v: %v > %v",
+						trial, target, factor, utility, base)
+				}
+			}
+		}
+	}
+}

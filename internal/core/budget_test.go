@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBudgetedSSAMUnlimitedBudgetMatchesSSAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2))
+		plain, err := SSAM(ins, Options{SkipCertificate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgeted, err := BudgetedSSAM(ins, math.MaxFloat64/2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budgeted.UncoveredDemand != 0 {
+			t.Fatalf("trial %d: unlimited budget left %d uncovered", trial, budgeted.UncoveredDemand)
+		}
+		if math.Abs(budgeted.SocialCost-plain.SocialCost) > 1e-9 {
+			t.Fatalf("trial %d: budgeted cost %v != plain %v", trial, budgeted.SocialCost, plain.SocialCost)
+		}
+		if len(budgeted.Winners) != len(plain.Winners) {
+			t.Fatalf("trial %d: winner sets differ", trial)
+		}
+	}
+}
+
+func TestBudgetedSSAMNeverOverspends(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		ins := randomInstance(rng, 4+rng.Intn(8), 1+rng.Intn(3), 1)
+		budget := 20 + 200*rng.Float64()
+		out, err := BudgetedSSAM(ins, budget, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.BudgetSpent > budget+1e-9 {
+			t.Fatalf("trial %d: spent %v over budget %v", trial, out.BudgetSpent, budget)
+		}
+		var sum float64
+		for _, p := range out.Payments {
+			sum += p
+		}
+		if math.Abs(sum-out.BudgetSpent) > 1e-9 {
+			t.Fatalf("trial %d: payment accounting off: %v vs %v", trial, sum, out.BudgetSpent)
+		}
+		if err := VerifyIndividualRationality(ins, &out.Outcome, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Partial coverage is allowed, but accounting must be consistent.
+		if frac := out.CoverageFraction(ins); frac < 0 || frac > 1 {
+			t.Fatalf("trial %d: coverage fraction %v", trial, frac)
+		}
+	}
+}
+
+func TestBudgetedSSAMZeroBudgetBuysNothing(t *testing.T) {
+	ins := twoBidderInstance()
+	out, err := BudgetedSSAM(ins, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) != 0 || out.BudgetSpent != 0 {
+		t.Fatalf("zero budget bought %d winners", len(out.Winners))
+	}
+	if out.UncoveredDemand != ins.TotalDemand() {
+		t.Fatalf("uncovered = %d, want all %d", out.UncoveredDemand, ins.TotalDemand())
+	}
+	if out.CoverageFraction(ins) != 0 {
+		t.Fatalf("coverage = %v, want 0", out.CoverageFraction(ins))
+	}
+}
+
+func TestBudgetedSSAMInvalidBudget(t *testing.T) {
+	ins := twoBidderInstance()
+	if _, err := BudgetedSSAM(ins, math.NaN(), Options{}); err == nil {
+		t.Fatal("NaN budget must be rejected")
+	}
+	if _, err := BudgetedSSAM(ins, math.Inf(1), Options{}); err == nil {
+		t.Fatal("infinite budget must be rejected")
+	}
+}
+
+func TestBudgetedSSAMCoverageMonotoneInBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		ins := randomInstance(rng, 6, 2, 1)
+		prev := -1.0
+		for _, budget := range []float64{0, 50, 150, 400, 2000, 1e7} {
+			out, err := BudgetedSSAM(ins, budget, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			frac := out.CoverageFraction(ins)
+			if frac < prev-1e-9 {
+				t.Fatalf("trial %d: coverage dropped from %v to %v as budget rose to %v",
+					trial, prev, frac, budget)
+			}
+			prev = frac
+		}
+		if prev < 1 {
+			t.Fatalf("trial %d: huge budget still left demand uncovered", trial)
+		}
+	}
+}
+
+func TestBudgetedSSAMTruthfulWhenBudgetSlack(t *testing.T) {
+	// When the budget never binds the mechanism coincides with SSAM and
+	// inherits its truthfulness: no deviation profits. (When the budget
+	// binds, truthfulness can fail — see the documented limitation in
+	// budget.go; that regime is quantified, not asserted.)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		ins := randomInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), 1)
+		const budget = 1e9 // slack for every deviation scenario
+		truthful, err := BudgetedSSAM(ins, budget, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(truthful.RejectedByBudget) != 0 {
+			t.Fatalf("trial %d: slack budget still rejected bids", trial)
+		}
+		for target := 0; target < len(ins.Bids)-1; target++ { // skip reserve
+			base := 0.0
+			if truthful.Won(target) {
+				base = truthful.Payments[target] - ins.Bids[target].TrueCost
+			}
+			for _, f := range []float64{0.5, 0.9, 1.3, 2} {
+				dev := ins.Clone()
+				dev.Bids[target].Price = ins.Bids[target].TrueCost * f
+				out, err := BudgetedSSAM(dev, budget, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				utility := 0.0
+				if out.Won(target) {
+					utility = out.Payments[target] - ins.Bids[target].TrueCost
+				}
+				if utility > base+1e-6 {
+					t.Fatalf("trial %d: budgeted deviation x%v profits: %v > %v",
+						trial, f, utility, base)
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetedSSAMRejectionRecorded(t *testing.T) {
+	// Budget fits the cheap bidder's payment but not the expensive one's.
+	ins := &Instance{
+		Demand: []int{2},
+		Bids: []Bid{
+			{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1},
+			{Bidder: 2, Price: 12, TrueCost: 12, Covers: []int{0}, Units: 1},
+			{Bidder: 3, Price: 100, TrueCost: 100, Covers: []int{0}, Units: 1},
+		},
+	}
+	// This is a 2-of-3 reverse auction: each winner's Myerson threshold is
+	// the third (losing) bid's price, so both winners are paid 100.
+	out, err := BudgetedSSAM(ins, 250, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UncoveredDemand != 0 {
+		t.Fatalf("uncovered %d, want 0", out.UncoveredDemand)
+	}
+	if math.Abs(out.BudgetSpent-200) > 1e-9 {
+		t.Fatalf("spent %v, want 200 (two winners at the 3rd price)", out.BudgetSpent)
+	}
+	// Budget fits one threshold payment but not two.
+	out, err = BudgetedSSAM(ins, 150, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UncoveredDemand != 1 {
+		t.Fatalf("uncovered %d, want 1", out.UncoveredDemand)
+	}
+	if len(out.RejectedByBudget) == 0 {
+		t.Fatal("rejections must be recorded")
+	}
+	// Budget below any threshold buys nothing.
+	out, err = BudgetedSSAM(ins, 30, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) != 0 || out.UncoveredDemand != 2 {
+		t.Fatalf("budget 30 should buy nothing: %+v", out)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Round is the input to one stage of the online auction: the needy demands
+// and bids that materialize at round t. Bids carry RAW prices J_ij; MSOA
+// derives the scaled prices ∇_ij internally.
+type Round struct {
+	// T is the 1-based round index.
+	T int
+	// Instance holds this round's demands and bids.
+	Instance *Instance
+}
+
+// BidderWindow bounds a bidder's participation to rounds [Arrive, Depart]
+// (the paper's t_i⁻ and t_i⁺). Bids submitted outside the window are
+// excluded from the candidate set.
+type BidderWindow struct {
+	Arrive int
+	Depart int
+}
+
+// Contains reports whether round t falls in the window. A zero-value window
+// (Arrive=Depart=0) means "always present".
+func (w BidderWindow) Contains(t int) bool {
+	if w.Arrive == 0 && w.Depart == 0 {
+		return true
+	}
+	return t >= w.Arrive && t <= w.Depart
+}
+
+// MSOAConfig configures the multi-stage online auction (Algorithm 2).
+type MSOAConfig struct {
+	// Capacity maps bidder id -> Θ_i, the lifetime number of coverage
+	// slots (Σ over winning bids of |S_ij|) the bidder is willing to
+	// share. Bidders absent from the map are treated as having
+	// DefaultCapacity.
+	Capacity map[int]int
+	// DefaultCapacity applies to bidders without an explicit entry. Zero
+	// means unlimited.
+	DefaultCapacity int
+	// CapacityExemptFrom, when positive, exempts every bidder with id >=
+	// this value from capacity constraints. Platforms reserve a high id
+	// space for their own fallback supply (e.g. the reserve ladder of
+	// internal/sim and internal/workload), which is never
+	// capacity-limited.
+	CapacityExemptFrom int
+	// Windows maps bidder id -> participation window. Absent bidders are
+	// always present.
+	Windows map[int]BidderWindow
+	// Alpha is the single-stage approximation ratio α used in the ψ update
+	// (Lemma 4 uses the SSAM ratio). When zero, each round's certified
+	// ratio W·Ξ is used; if certificates are skipped, 1 is used.
+	Alpha float64
+	// DisableScaledPrice turns off the ψ augmentation (∇ = J always).
+	// Exists for the ablation benchmarks; the competitive-ratio guarantee
+	// does not hold with it set.
+	DisableScaledPrice bool
+	// Options configures each embedded single-stage auction.
+	Options Options
+}
+
+func (c MSOAConfig) capacityOf(bidder int) int {
+	if c.CapacityExemptFrom > 0 && bidder >= c.CapacityExemptFrom {
+		return 0 // unlimited
+	}
+	if c.Capacity != nil {
+		if theta, ok := c.Capacity[bidder]; ok {
+			return theta
+		}
+	}
+	return c.DefaultCapacity
+}
+
+// RoundResult couples a round's outcome with the scaled prices it was
+// computed under and per-winner accounting.
+type RoundResult struct {
+	T       int
+	Outcome *Outcome
+	// Scaled holds the scaled prices ∇_ij used this round, aligned with
+	// the round's Instance.Bids. Excluded bids keep their raw price.
+	Scaled []float64
+	// Excluded lists bid indices dropped from the candidate set by the
+	// capacity constraint or the participation window (Algorithm 2,
+	// lines 5-6).
+	Excluded []int
+	// Err is non-nil when the round was infeasible; the auction continues
+	// with subsequent rounds (demand goes unmet this round, as it would on
+	// a real platform).
+	Err error
+}
+
+// MSOA runs the multi-stage online auction over a sequence of rounds and
+// retains the per-bidder dual state ψ_i and used capacity χ_i between
+// rounds. Construct with NewMSOA, feed rounds in order with RunRound, or
+// process a whole trace with Run.
+type MSOA struct {
+	cfg MSOAConfig
+	psi map[int]float64 // ψ_i
+	chi map[int]int     // χ_i: coverage slots consumed so far
+	// results accumulates every processed round for reporting.
+	results []*RoundResult
+}
+
+// NewMSOA returns an online auction with zeroed dual state.
+func NewMSOA(cfg MSOAConfig) *MSOA {
+	return &MSOA{
+		cfg: cfg,
+		psi: make(map[int]float64),
+		chi: make(map[int]int),
+	}
+}
+
+// Psi returns the current dual variable ψ_i for a bidder (0 if never won).
+func (m *MSOA) Psi(bidder int) float64 { return m.psi[bidder] }
+
+// UsedCapacity returns χ_i, the coverage slots bidder has supplied so far.
+func (m *MSOA) UsedCapacity(bidder int) int { return m.chi[bidder] }
+
+// Results returns the per-round results processed so far.
+func (m *MSOA) Results() []*RoundResult { return m.results }
+
+// RunRound executes one stage: derive scaled prices, filter the candidate
+// set by windows and remaining capacity, run SSAM on the scaled prices, pay
+// winners, and update ψ and χ for the winning bidders.
+func (m *MSOA) RunRound(r Round) *RoundResult {
+	ins := r.Instance
+	res := &RoundResult{T: r.T, Scaled: make([]float64, len(ins.Bids))}
+
+	// Build the candidate set and scaled prices (Algorithm 2, lines 4-8).
+	filtered := &Instance{Demand: ins.Demand}
+	mapping := make([]int, 0, len(ins.Bids)) // filtered idx -> original idx
+	for i := range ins.Bids {
+		b := &ins.Bids[i]
+		res.Scaled[i] = b.Price
+		if w, ok := m.cfg.Windows[b.Bidder]; ok && !w.Contains(r.T) {
+			res.Excluded = append(res.Excluded, i)
+			continue
+		}
+		theta := m.cfg.capacityOf(b.Bidder)
+		if theta > 0 && m.chi[b.Bidder]+len(b.Covers) > theta {
+			res.Excluded = append(res.Excluded, i)
+			continue
+		}
+		if !m.cfg.DisableScaledPrice {
+			res.Scaled[i] = b.Price + float64(len(b.Covers))*m.psi[b.Bidder]
+		}
+		filtered.Bids = append(filtered.Bids, *b)
+		mapping = append(mapping, i)
+	}
+
+	scaledFiltered := make([]float64, len(filtered.Bids))
+	for fi, oi := range mapping {
+		scaledFiltered[fi] = res.Scaled[oi]
+	}
+
+	out, err := ssamScaled(filtered, scaledFiltered, m.cfg.Options)
+	if err != nil {
+		res.Err = fmt.Errorf("core: round %d: %w", r.T, err)
+		m.results = append(m.results, res)
+		return res
+	}
+
+	// Re-index the outcome to the original bid indices.
+	remapped := &Outcome{
+		Payments:   make(map[int]float64, len(out.Payments)),
+		SocialCost: out.SocialCost,
+		ScaledCost: out.ScaledCost,
+		Dual:       out.Dual,
+	}
+	for _, w := range out.Winners {
+		orig := mapping[w]
+		remapped.Winners = append(remapped.Winners, orig)
+		remapped.Payments[orig] = out.Payments[w]
+	}
+	res.Outcome = remapped
+
+	alpha := m.cfg.Alpha
+	if alpha == 0 {
+		if out.Dual != nil {
+			alpha = out.Dual.Ratio()
+		} else {
+			alpha = 1
+		}
+	}
+
+	// Update ψ and χ for winners (Algorithm 2, lines 10-12):
+	//   ψ_i^t = ψ_i^{t-1}(1 + |S_ij|/(α·Θ_i)) + J_ij·|S_ij|/(α·Θ_i²)
+	for _, orig := range remapped.Winners {
+		b := &ins.Bids[orig]
+		theta := m.cfg.capacityOf(b.Bidder)
+		if theta > 0 {
+			s := float64(len(b.Covers))
+			th := float64(theta)
+			m.psi[b.Bidder] = m.psi[b.Bidder]*(1+s/(alpha*th)) + b.Price*s/(alpha*th*th)
+		}
+		m.chi[b.Bidder] += len(b.Covers)
+	}
+
+	m.results = append(m.results, res)
+	return res
+}
+
+// Run processes all rounds in order and returns the aggregate summary.
+func (m *MSOA) Run(rounds []Round) *OnlineSummary {
+	for _, r := range rounds {
+		m.RunRound(r)
+	}
+	return m.Summary()
+}
+
+// OnlineSummary aggregates an online run.
+type OnlineSummary struct {
+	// Rounds is the number of processed rounds.
+	Rounds int
+	// SocialCost is Σ_t Σ winning J_ij: the paper's long-run objective.
+	SocialCost float64
+	// ScaledCost is the same sum under scaled prices.
+	ScaledCost float64
+	// TotalPayment is the platform's total remuneration outlay.
+	TotalPayment float64
+	// InfeasibleRounds counts rounds whose demand could not be covered.
+	InfeasibleRounds int
+	// WinningBids counts selected bids across all rounds.
+	WinningBids int
+	// MaxCertRatio is the largest per-round certified ratio W·Ξ (α).
+	MaxCertRatio float64
+}
+
+// Summary aggregates the rounds processed so far.
+func (m *MSOA) Summary() *OnlineSummary {
+	s := &OnlineSummary{Rounds: len(m.results)}
+	for _, r := range m.results {
+		if r.Err != nil {
+			s.InfeasibleRounds++
+			continue
+		}
+		s.SocialCost += r.Outcome.SocialCost
+		s.ScaledCost += r.Outcome.ScaledCost
+		s.TotalPayment += r.Outcome.TotalPayment()
+		s.WinningBids += len(r.Outcome.Winners)
+		if r.Outcome.Dual != nil && r.Outcome.Dual.Ratio() > s.MaxCertRatio {
+			s.MaxCertRatio = r.Outcome.Dual.Ratio()
+		}
+	}
+	return s
+}
+
+// CompetitiveBound returns the certified competitive ratio αβ/(β−1) of
+// Theorem 7 for the given configuration and rounds, where
+// β = min_{i,j,t} Θ_i/|S_ij^t| over capacity-constrained bidders. It
+// returns +Inf when β ≤ 1 (a bid as large as its bidder's whole capacity
+// defeats the online protection argument) and α alone when no bidder is
+// capacity constrained (β = ∞).
+func CompetitiveBound(alpha float64, cfg MSOAConfig, rounds []Round) float64 {
+	beta := math.Inf(1)
+	for _, r := range rounds {
+		for i := range r.Instance.Bids {
+			b := &r.Instance.Bids[i]
+			theta := cfg.capacityOf(b.Bidder)
+			if theta <= 0 || len(b.Covers) == 0 {
+				continue
+			}
+			ratio := float64(theta) / float64(len(b.Covers))
+			if ratio < beta {
+				beta = ratio
+			}
+		}
+	}
+	if math.IsInf(beta, 1) {
+		return alpha
+	}
+	if beta <= 1 {
+		return math.Inf(1)
+	}
+	return alpha * beta / (beta - 1)
+}

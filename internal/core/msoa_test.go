@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// simpleRound builds a round where every bidder offers to cover needy 0.
+func simpleRound(t int, demand int, prices ...float64) Round {
+	ins := &Instance{Demand: []int{demand}}
+	for i, p := range prices {
+		ins.Bids = append(ins.Bids, Bid{
+			Bidder: i + 1, Price: p, TrueCost: p, Covers: []int{0}, Units: demand,
+		})
+	}
+	return Round{T: t, Instance: ins}
+}
+
+func TestMSOASingleRoundMatchesSSAM(t *testing.T) {
+	r := simpleRound(1, 2, 10, 20, 30)
+	m := NewMSOA(MSOAConfig{})
+	res := m.RunRound(r)
+	if res.Err != nil {
+		t.Fatalf("round failed: %v", res.Err)
+	}
+	direct, err := SSAM(r.Instance, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.SocialCost != direct.SocialCost {
+		t.Fatalf("MSOA first round cost %v != SSAM %v", res.Outcome.SocialCost, direct.SocialCost)
+	}
+}
+
+func TestMSOAScaledPriceGrowsAfterWins(t *testing.T) {
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 10, Alpha: 1})
+	r1 := simpleRound(1, 1, 10, 20)
+	res1 := m.RunRound(r1)
+	if res1.Err != nil {
+		t.Fatal(res1.Err)
+	}
+	winner := r1.Instance.Bids[res1.Outcome.Winners[0]].Bidder
+	if psi := m.Psi(winner); psi <= 0 {
+		t.Fatalf("winner's ψ should be positive after winning, got %v", psi)
+	}
+	loser := 3 - winner
+	if psi := m.Psi(loser); psi != 0 {
+		t.Fatalf("loser's ψ should stay 0, got %v", psi)
+	}
+	// In the next round the previous winner's scaled price exceeds its raw
+	// price.
+	r2 := simpleRound(2, 1, 10, 20)
+	res2 := m.RunRound(r2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	idx := winner - 1 // bids are ordered by bidder in simpleRound
+	if res2.Scaled[idx] <= r2.Instance.Bids[idx].Price {
+		t.Fatalf("scaled price %v should exceed raw price %v for prior winner",
+			res2.Scaled[idx], r2.Instance.Bids[idx].Price)
+	}
+}
+
+func TestMSOACapacityExcludesBids(t *testing.T) {
+	// Bidder 1 has capacity 1 (one coverage slot). After one win its bids
+	// must be excluded.
+	cfg := MSOAConfig{Capacity: map[int]int{1: 1}, DefaultCapacity: 0}
+	m := NewMSOA(cfg)
+	r1 := simpleRound(1, 1, 5, 50)
+	res1 := m.RunRound(r1)
+	if res1.Err != nil {
+		t.Fatal(res1.Err)
+	}
+	if got := r1.Instance.Bids[res1.Outcome.Winners[0]].Bidder; got != 1 {
+		t.Fatalf("round 1 winner = bidder %d, want 1", got)
+	}
+	if m.UsedCapacity(1) != 1 {
+		t.Fatalf("χ_1 = %d, want 1", m.UsedCapacity(1))
+	}
+	r2 := simpleRound(2, 1, 5, 50)
+	res2 := m.RunRound(r2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if len(res2.Excluded) != 1 || res2.Excluded[0] != 0 {
+		t.Fatalf("round 2 should exclude bidder 1's bid, got excluded=%v", res2.Excluded)
+	}
+	if got := r2.Instance.Bids[res2.Outcome.Winners[0]].Bidder; got != 2 {
+		t.Fatalf("round 2 winner = bidder %d, want 2", got)
+	}
+	if err := VerifyCapacity(cfg, []Round{r1, r2}, m.Results()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSOAWindowsExcludeBids(t *testing.T) {
+	cfg := MSOAConfig{Windows: map[int]BidderWindow{1: {Arrive: 2, Depart: 2}}}
+	m := NewMSOA(cfg)
+	r1 := simpleRound(1, 1, 5, 50)
+	res1 := m.RunRound(r1)
+	if res1.Err != nil {
+		t.Fatal(res1.Err)
+	}
+	if got := r1.Instance.Bids[res1.Outcome.Winners[0]].Bidder; got != 2 {
+		t.Fatalf("round 1 winner = bidder %d, want 2 (bidder 1 absent)", got)
+	}
+	r2 := simpleRound(2, 1, 5, 50)
+	res2 := m.RunRound(r2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if got := r2.Instance.Bids[res2.Outcome.Winners[0]].Bidder; got != 1 {
+		t.Fatalf("round 2 winner = bidder %d, want 1 (now arrived)", got)
+	}
+	if err := VerifyWindows(cfg, []Round{r1, r2}, m.Results()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSOAInfeasibleRoundContinues(t *testing.T) {
+	m := NewMSOA(MSOAConfig{})
+	bad := Round{T: 1, Instance: &Instance{Demand: []int{5}}} // no bids
+	good := simpleRound(2, 1, 5)
+	sum := m.Run([]Round{bad, good})
+	if sum.InfeasibleRounds != 1 {
+		t.Fatalf("infeasible rounds = %d, want 1", sum.InfeasibleRounds)
+	}
+	if sum.Rounds != 2 || sum.WinningBids != 1 {
+		t.Fatalf("unexpected summary %+v", sum)
+	}
+}
+
+func TestMSOASummaryAggregation(t *testing.T) {
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 100})
+	rounds := []Round{
+		simpleRound(1, 1, 10, 20),
+		simpleRound(2, 1, 15, 25),
+	}
+	sum := m.Run(rounds)
+	if sum.SocialCost != 25 { // 10 + 15: cheapest wins each round
+		t.Fatalf("social cost %v, want 25", sum.SocialCost)
+	}
+	if sum.TotalPayment < sum.SocialCost {
+		t.Fatalf("payment %v below social cost %v", sum.TotalPayment, sum.SocialCost)
+	}
+	if sum.MaxCertRatio < 1 {
+		t.Fatalf("certified ratio %v < 1", sum.MaxCertRatio)
+	}
+}
+
+func TestMSOAScaledCostAccountsRawSocialCost(t *testing.T) {
+	// After bidder 1 wins round 1, round 2's SocialCost must use raw
+	// prices even though selection used scaled ones.
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 2, Alpha: 1})
+	r1 := simpleRound(1, 1, 10, 12)
+	if res := m.RunRound(r1); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	r2 := simpleRound(2, 1, 10, 12)
+	res2 := m.RunRound(r2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	w := res2.Outcome.Winners[0]
+	if res2.Outcome.SocialCost != r2.Instance.Bids[w].Price {
+		t.Fatalf("round social cost %v != winner raw price %v",
+			res2.Outcome.SocialCost, r2.Instance.Bids[w].Price)
+	}
+	if res2.Outcome.ScaledCost < res2.Outcome.SocialCost {
+		t.Fatalf("scaled cost %v below raw cost %v", res2.Outcome.ScaledCost, res2.Outcome.SocialCost)
+	}
+}
+
+func TestMSOADisableScaledPriceAblation(t *testing.T) {
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 5, DisableScaledPrice: true})
+	r1 := simpleRound(1, 1, 10, 20)
+	if res := m.RunRound(r1); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	r2 := simpleRound(2, 1, 10, 20)
+	res2 := m.RunRound(r2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	for i, s := range res2.Scaled {
+		if s != r2.Instance.Bids[i].Price {
+			t.Fatalf("scaled price %v != raw %v with scaling disabled", s, r2.Instance.Bids[i].Price)
+		}
+	}
+}
+
+func TestCompetitiveBound(t *testing.T) {
+	rounds := []Round{simpleRound(1, 1, 10, 20)}
+	// Unconstrained: bound = alpha.
+	if got := CompetitiveBound(2, MSOAConfig{}, rounds); got != 2 {
+		t.Fatalf("unconstrained bound %v, want 2", got)
+	}
+	// β = Θ/|S| = 3/1 = 3: bound = α·β/(β−1) = 2·1.5 = 3.
+	cfg := MSOAConfig{DefaultCapacity: 3}
+	if got := CompetitiveBound(2, cfg, rounds); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("bound %v, want 3", got)
+	}
+	// β ≤ 1: bound is infinite.
+	cfg = MSOAConfig{DefaultCapacity: 1}
+	if got := CompetitiveBound(2, cfg, rounds); !math.IsInf(got, 1) {
+		t.Fatalf("bound %v, want +Inf", got)
+	}
+}
+
+func TestBidderWindowContains(t *testing.T) {
+	var zero BidderWindow
+	if !zero.Contains(1) || !zero.Contains(99) {
+		t.Fatal("zero window must always contain")
+	}
+	w := BidderWindow{Arrive: 2, Depart: 4}
+	for _, tc := range []struct {
+		t    int
+		want bool
+	}{{1, false}, {2, true}, {3, true}, {4, true}, {5, false}} {
+		if got := w.Contains(tc.t); got != tc.want {
+			t.Fatalf("Contains(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestVariantsBuild(t *testing.T) {
+	trueRounds := []Round{simpleRound(1, 2, 10, 20)}
+	estRounds := []Round{simpleRound(1, 1, 10, 20)} // under-estimate
+	cfg := MSOAConfig{DefaultCapacity: 4, Capacity: map[int]int{1: 2}}
+
+	rounds, vcfg := BuildVariant(VariantBase, VariantParams{}, trueRounds, estRounds, cfg)
+	if &rounds[0] != &estRounds[0] || vcfg.DefaultCapacity != 4 {
+		t.Fatal("base variant must keep estimated rounds and config")
+	}
+	rounds, vcfg = BuildVariant(VariantDA, VariantParams{}, trueRounds, estRounds, cfg)
+	if rounds[0].Instance.Demand[0] != 2 {
+		t.Fatal("DA variant must use true demand")
+	}
+	if vcfg.DefaultCapacity != 4 {
+		t.Fatal("DA variant must keep capacities")
+	}
+	rounds, vcfg = BuildVariant(VariantRC, VariantParams{}, trueRounds, estRounds, cfg)
+	if rounds[0].Instance.Demand[0] != 1 {
+		t.Fatal("RC variant must keep estimated demand")
+	}
+	if vcfg.DefaultCapacity != 8 || vcfg.Capacity[1] != 4 {
+		t.Fatalf("RC variant must double capacities, got default=%d cap[1]=%d",
+			vcfg.DefaultCapacity, vcfg.Capacity[1])
+	}
+	rounds, vcfg = BuildVariant(VariantOA, VariantParams{CapacityFactor: 3}, trueRounds, estRounds, cfg)
+	if rounds[0].Instance.Demand[0] != 2 || vcfg.DefaultCapacity != 12 {
+		t.Fatal("OA variant must use true demand AND relaxed capacities")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	for v, want := range map[Variant]string{
+		VariantBase: "MSOA", VariantDA: "MSOA-DA", VariantRC: "MSOA-RC",
+		VariantOA: "MSOA-OA", Variant(99): "MSOA-?",
+	} {
+		if got := v.String(); got != want {
+			t.Fatalf("Variant(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomRounds draws an online scenario for property tests: `rounds`
+// rounds over a fixed bidder population with reserve-backed feasibility.
+func randomRounds(rng *rand.Rand, rounds, bidders int) []Round {
+	out := make([]Round, 0, rounds)
+	for t := 1; t <= rounds; t++ {
+		out = append(out, Round{T: t, Instance: randomInstance(rng, bidders, 1+rng.Intn(3), 1)})
+	}
+	return out
+}
+
+func TestPropertyMSOAPsiMonotone(t *testing.T) {
+	// ψ_i never decreases over an online run, and only winners' ψ moves.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		m := NewMSOA(MSOAConfig{DefaultCapacity: 50, Alpha: 2})
+		rounds := randomRounds(rng, 6, 6)
+		prev := map[int]float64{}
+		for _, r := range rounds {
+			res := m.RunRound(r)
+			if res.Err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, r.T, res.Err)
+			}
+			winners := map[int]bool{}
+			for _, w := range res.Outcome.Winners {
+				winners[r.Instance.Bids[w].Bidder] = true
+			}
+			for _, b := range r.Instance.Bids {
+				psi := m.Psi(b.Bidder)
+				if psi < prev[b.Bidder]-1e-12 {
+					t.Fatalf("trial %d: ψ_%d decreased %v -> %v", trial, b.Bidder, prev[b.Bidder], psi)
+				}
+				if !winners[b.Bidder] && psi != prev[b.Bidder] {
+					t.Fatalf("trial %d: non-winner %d ψ moved", trial, b.Bidder)
+				}
+				prev[b.Bidder] = psi
+			}
+		}
+	}
+}
+
+func TestPropertyMSOAUsedCapacityAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 100})
+	expected := map[int]int{}
+	for t2 := 1; t2 <= 8; t2++ {
+		r := Round{T: t2, Instance: randomInstance(rng, 5, 2, 2)}
+		res := m.RunRound(r)
+		if res.Err != nil {
+			continue
+		}
+		for _, w := range res.Outcome.Winners {
+			b := r.Instance.Bids[w]
+			expected[b.Bidder] += len(b.Covers)
+		}
+	}
+	for bidder, want := range expected {
+		if got := m.UsedCapacity(bidder); got != want {
+			t.Fatalf("bidder %d used capacity %d, want %d", bidder, got, want)
+		}
+	}
+}
+
+func TestPropertyMSOAScaledAtLeastRaw(t *testing.T) {
+	// ∇_ij = J_ij + |S|ψ ≥ J_ij always (ψ ≥ 0).
+	rng := rand.New(rand.NewSource(23))
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 10})
+	for t2 := 1; t2 <= 8; t2++ {
+		r := Round{T: t2, Instance: randomInstance(rng, 6, 2, 1)}
+		res := m.RunRound(r)
+		for i, s := range res.Scaled {
+			if s < r.Instance.Bids[i].Price-1e-12 {
+				t.Fatalf("round %d bid %d: scaled %v below raw %v", t2, i, s, r.Instance.Bids[i].Price)
+			}
+		}
+	}
+}
+
+func TestQuickBuyerChargesCoverPayments(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	f := func(marginRaw uint8) bool {
+		margin := float64(marginRaw%50) / 100
+		ins := randomInstance(rng, 4+rng.Intn(5), 1+rng.Intn(3), 1)
+		out, err := SSAM(ins, Options{SkipCertificate: true})
+		if err != nil {
+			return false
+		}
+		charges := BuyerCharges(ins, out, margin)
+		var charged float64
+		for _, c := range charges {
+			charged += c
+		}
+		want := out.TotalPayment() * (1 + margin)
+		return math.Abs(charged-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCertificateDualNeverExceedsOptimalCost(t *testing.T) {
+	// The fitted dual is a lower bound on ANY feasible solution's cost; in
+	// particular the greedy's own cost dominates it.
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 100; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2))
+		out, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Dual.DualObjective > out.ScaledCost+1e-6 {
+			t.Fatalf("trial %d: dual %v exceeds greedy cost %v", trial, out.Dual.DualObjective, out.ScaledCost)
+		}
+		if err := VerifyCertificate(ins, out, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyOutcomeWinnersSortedSelectionOrder(t *testing.T) {
+	// Winners are recorded in greedy selection order: their per-coverage
+	// scores at selection time are non-decreasing. We verify a weaker
+	// invariant robustly: no duplicate winners and payments present for
+	// every winner.
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 100; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2))
+		out, err := SSAM(ins, Options{SkipCertificate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, w := range out.Winners {
+			if seen[w] {
+				t.Fatalf("trial %d: duplicate winner %d", trial, w)
+			}
+			seen[w] = true
+			if _, ok := out.Payments[w]; !ok {
+				t.Fatalf("trial %d: winner %d missing payment", trial, w)
+			}
+		}
+		if len(out.Payments) != len(out.Winners) {
+			t.Fatalf("trial %d: %d payments for %d winners", trial, len(out.Payments), len(out.Winners))
+		}
+	}
+}

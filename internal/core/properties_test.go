@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstance draws a structurally valid random instance directly (the
+// workload package depends on core, so tests here roll their own
+// generator). All prices are truthful (Price == TrueCost). The last bid is
+// always the platform's reserve supplier: it guarantees feasibility, and —
+// being the platform's own non-strategic fallback — it is EXCLUDED from
+// strategic-deviation properties (a pivotal monopolist has no finite
+// critical value, so no payment rule is truthful for it; see DESIGN.md).
+func randomInstance(rng *rand.Rand, bidders, needy, bidsPer int) *Instance {
+	ins := &Instance{Demand: make([]int, needy)}
+	for k := range ins.Demand {
+		ins.Demand[k] = 1 + rng.Intn(5)
+	}
+	for b := 1; b <= bidders; b++ {
+		for j := 0; j < bidsPer; j++ {
+			k := 1 + rng.Intn(needy)
+			covers := rng.Perm(needy)[:k]
+			sortInts(covers)
+			price := 10 + 25*rng.Float64()
+			ins.Bids = append(ins.Bids, Bid{
+				Bidder: b, Alt: j, Price: price, TrueCost: price,
+				Covers: covers, Units: 1 + rng.Intn(3),
+			})
+		}
+	}
+	// Reserve supplier guaranteeing feasibility (mirrors the workload
+	// generator's design).
+	total := ins.TotalDemand()
+	maxD := 0
+	all := make([]int, needy)
+	for k, d := range ins.Demand {
+		all[k] = k
+		if d > maxD {
+			maxD = d
+		}
+	}
+	ins.Bids = append(ins.Bids, Bid{
+		Bidder: bidders + 1, Price: 35 * float64(total), TrueCost: 35 * float64(total),
+		Covers: all, Units: maxD,
+	})
+	return ins
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestPropertyFeasibilityAndIR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		ins := randomInstance(rng, 2+rng.Intn(10), 1+rng.Intn(4), 1+rng.Intn(3))
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid instance: %v", trial, err)
+		}
+		out, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: SSAM failed on reserve-backed instance: %v", trial, err)
+		}
+		if err := VerifyFeasible(ins, out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyIndividualRationality(ins, out, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyCertificate(ins, out, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyTruthfulnessSingleBid(t *testing.T) {
+	// With one bid per bidder the mechanism is strictly truthful: no price
+	// deviation of any bidder increases its utility.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1)
+		truthful, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Deviate each strategic bid in turn (the final bid is the
+		// platform's own reserve supplier).
+		for target := 0; target < len(ins.Bids)-1; target++ {
+			base := truthful.Utility(ins, target)
+			for _, factor := range []float64{0.3, 0.7, 0.95, 1.05, 1.4, 2.5} {
+				dev := ins.Clone()
+				dev.Bids[target].Price = ins.Bids[target].TrueCost * factor
+				out, err := SSAM(dev, Options{})
+				if err != nil {
+					t.Fatalf("trial %d target %d x%v: %v", trial, target, factor, err)
+				}
+				// Utility must be computed against the TRUE cost.
+				utility := 0.0
+				if out.Won(target) {
+					utility = out.Payments[target] - ins.Bids[target].TrueCost
+				}
+				if utility > base+1e-6 {
+					t.Fatalf("trial %d: bid %d profits from deviation x%v: %v > truthful %v",
+						trial, target, factor, utility, base)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyPaymentIndependentOfWinningReport(t *testing.T) {
+	// Myerson: while a bid keeps winning, its payment must not depend on
+	// its own report — including multi-bid instances, as long as the same
+	// alternative stays the winner.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2))
+		truthful, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range truthful.Winners {
+			if w == len(ins.Bids)-1 {
+				continue // the reserve supplier is not a strategic player
+			}
+			for _, factor := range []float64{0.5, 0.8, 1.2} {
+				dev := ins.Clone()
+				dev.Bids[w].Price = ins.Bids[w].Price * factor
+				out, err := SSAM(dev, Options{})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !out.Won(w) {
+					continue // switched winner or lost: not this property
+				}
+				if math.Abs(out.Payments[w]-truthful.Payments[w]) > 1e-6 {
+					t.Fatalf("trial %d: winner %d payment moved with its own report: %v -> %v (x%v)",
+						trial, w, truthful.Payments[w], out.Payments[w], factor)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyMonotoneAllocation(t *testing.T) {
+	// Lemma 2: lowering a winning bid's price keeps it winning; raising a
+	// losing bid's price keeps it losing.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 80; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1)
+		truthful, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range ins.Bids {
+			won := truthful.Won(i)
+			factor := 0.5 // lower a winner's price
+			if !won {
+				factor = 2 // raise a loser's price
+			}
+			dev := ins.Clone()
+			dev.Bids[i].Price = ins.Bids[i].Price * factor
+			out, err := SSAM(dev, Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if won && !out.Won(i) {
+				t.Fatalf("trial %d: winner %d lost after LOWERING its price (monotonicity)", trial, i)
+			}
+			if !won && out.Won(i) {
+				t.Fatalf("trial %d: loser %d won after RAISING its price (monotonicity)", trial, i)
+			}
+		}
+	}
+}
+
+func TestPropertyCriticalValueIsThreshold(t *testing.T) {
+	// Lemma 3: reporting just under the payment wins; just over loses —
+	// checked for single-bid bidders where the threshold is exact.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		ins := randomInstance(rng, 3+rng.Intn(6), 1+rng.Intn(3), 1)
+		truthful, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range truthful.Winners {
+			if w == len(ins.Bids)-1 {
+				continue // the reserve supplier is pivotal: no finite threshold
+			}
+			pay := truthful.Payments[w]
+			under := ins.Clone()
+			under.Bids[w].Price = pay * 0.999
+			outUnder, err := SSAM(under, Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !outUnder.Won(w) {
+				t.Fatalf("trial %d: bid %d reporting 0.999x its critical value %v should win", trial, w, pay)
+			}
+			over := ins.Clone()
+			over.Bids[w].Price = pay * 1.01
+			outOver, err := SSAM(over, Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if outOver.Won(w) {
+				t.Fatalf("trial %d: bid %d reporting 1.01x its critical value %v should lose", trial, w, pay)
+			}
+		}
+	}
+}
+
+func TestPropertyNoEconomicLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		ins := randomInstance(rng, 2+rng.Intn(8), 1+rng.Intn(4), 1+rng.Intn(2))
+		out, err := SSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		charges := BuyerCharges(ins, out, 0.05)
+		if err := VerifyNoEconomicLoss(out, charges); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ins := randomInstance(rng, 10, 3, 2)
+	a, err := SSAM(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SSAM(ins.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Winners) != len(b.Winners) || a.SocialCost != b.SocialCost {
+		t.Fatalf("non-deterministic outcomes: %+v vs %+v", a, b)
+	}
+	for i := range a.Winners {
+		if a.Winners[i] != b.Winners[i] || a.Payments[a.Winners[i]] != b.Payments[b.Winners[i]] {
+			t.Fatalf("winner %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestQuickCoverageStateMarginalNeverNegative(t *testing.T) {
+	// testing/quick: marginal utility is always in [0, Σ min(Units, X_k)].
+	f := func(demandSeed, unitSeed uint8) bool {
+		demand := []int{int(demandSeed%7) + 1, int(demandSeed%3) + 1}
+		units := int(unitSeed%4) + 1
+		cs := newCoverageState(demand)
+		b := &Bid{Covers: []int{0, 1}, Units: units}
+		for !cs.satisfied() {
+			m := cs.marginal(b)
+			maxGain := 0
+			for _, k := range b.Covers {
+				u := units
+				if u > demand[k] {
+					u = demand[k]
+				}
+				maxGain += u
+			}
+			if m <= 0 || m > maxGain {
+				return false // must make progress until saturated
+			}
+			cs.apply(b)
+		}
+		return cs.marginal(b) == 0 // saturated state yields no marginal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHarmonicMonotone(t *testing.T) {
+	f := func(n uint8) bool {
+		a, b := harmonic(int(n)), harmonic(int(n)+1)
+		return b >= a && a >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScaledPricesRespectIR(t *testing.T) {
+	// In online rounds, IR must hold against the SCALED price too (the
+	// payment covers the inflated cost, hence also the raw cost).
+	rng := rand.New(rand.NewSource(8))
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 20, Alpha: 2})
+	for t2 := 1; t2 <= 6; t2++ {
+		ins := randomInstance(rng, 6, 2, 2)
+		res := m.RunRound(Round{T: t2, Instance: ins})
+		if res.Err != nil {
+			continue
+		}
+		if err := VerifyIndividualRationality(ins, res.Outcome, res.Scaled); err != nil {
+			t.Fatalf("round %d: %v", t2, err)
+		}
+		if err := VerifyFeasible(ins, res.Outcome); err != nil {
+			t.Fatalf("round %d: %v", t2, err)
+		}
+	}
+}
+
+func TestPropertyCompetitiveRatioSmallInstances(t *testing.T) {
+	// Theorem 7 on verifiable scales: MSOA's long-run cost stays within
+	// αβ/(β−1) of the per-round optimal sum (which lower-bounds the true
+	// offline optimum). α is the max certified per-round ratio.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		cfg := MSOAConfig{DefaultCapacity: 8}
+		m := NewMSOA(cfg)
+		var rounds []Round
+		var totalCost float64
+		alpha := 1.0
+		for t2 := 1; t2 <= 5; t2++ {
+			ins := randomInstance(rng, 5, 2, 1)
+			r := Round{T: t2, Instance: ins}
+			rounds = append(rounds, r)
+			res := m.RunRound(r)
+			if res.Err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, t2, res.Err)
+			}
+			totalCost += res.Outcome.SocialCost
+			if res.Outcome.Dual != nil && res.Outcome.Dual.Ratio() > alpha {
+				alpha = res.Outcome.Dual.Ratio()
+			}
+		}
+		// Offline reference: per-round greedy WITHOUT capacity coupling
+		// run on raw prices, lower-bounded by its own certificate.
+		var offline float64
+		for _, r := range rounds {
+			out, err := SSAM(r.Instance, Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			offline += out.Dual.DualObjective // ≤ per-round OPT
+		}
+		bound := CompetitiveBound(alpha, cfg, rounds)
+		if math.IsInf(bound, 1) {
+			continue
+		}
+		if totalCost > offline*bound+1e-6 {
+			t.Fatalf("trial %d: MSOA cost %v exceeds bound %v x offline %v",
+				trial, totalCost, bound, offline)
+		}
+	}
+}

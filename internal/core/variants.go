@@ -1,0 +1,87 @@
+package core
+
+// Variant identifies the MSOA flavours compared in §V-B / Figure 5.
+type Variant int
+
+const (
+	// VariantBase is plain MSOA driven by the (noisy) online demand
+	// estimate of §III.
+	VariantBase Variant = iota + 1
+	// VariantDA is MSOA-DA: MSOA with the optimal demand estimation
+	// scheme, i.e. the mechanism procures exactly the true residual
+	// demand instead of a noisy estimate.
+	VariantDA
+	// VariantRC is MSOA-RC: MSOA with higher resource capacity values —
+	// every bidder's Θ_i is relaxed by CapacityFactor, loosening the
+	// online protection constraint.
+	VariantRC
+	// VariantOA is MSOA-OA: both the demand estimate and the capacity
+	// constraints are optimized (oracle demand + relaxed capacity).
+	VariantOA
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantBase:
+		return "MSOA"
+	case VariantDA:
+		return "MSOA-DA"
+	case VariantRC:
+		return "MSOA-RC"
+	case VariantOA:
+		return "MSOA-OA"
+	default:
+		return "MSOA-?"
+	}
+}
+
+// VariantParams controls how variants transform a base scenario.
+type VariantParams struct {
+	// CapacityFactor multiplies every Θ_i for the RC and OA variants.
+	// Zero means 2.
+	CapacityFactor float64
+}
+
+func (p VariantParams) capacityFactor() float64 {
+	if p.CapacityFactor == 0 {
+		return 2
+	}
+	return p.CapacityFactor
+}
+
+// BuildVariant derives the round sequence and configuration a variant runs
+// with, from the true-demand rounds, the estimated-demand rounds (same
+// shape, demands replaced by the §III estimator's output), and the base
+// configuration. The returned rounds share bid slices with the inputs; do
+// not mutate them.
+func BuildVariant(v Variant, params VariantParams, trueRounds, estimatedRounds []Round, cfg MSOAConfig) ([]Round, MSOAConfig) {
+	rounds := estimatedRounds
+	if v == VariantDA || v == VariantOA {
+		rounds = trueRounds
+	}
+	if v == VariantRC || v == VariantOA {
+		factor := params.capacityFactor()
+		scaled := MSOAConfig{
+			DefaultCapacity:    int(float64(cfg.DefaultCapacity) * factor),
+			Windows:            cfg.Windows,
+			Alpha:              cfg.Alpha,
+			DisableScaledPrice: cfg.DisableScaledPrice,
+			Options:            cfg.Options,
+		}
+		if cfg.Capacity != nil {
+			scaled.Capacity = make(map[int]int, len(cfg.Capacity))
+			for bidder, theta := range cfg.Capacity {
+				scaled.Capacity[bidder] = int(float64(theta) * factor)
+			}
+		}
+		cfg = scaled
+	}
+	return rounds, cfg
+}
+
+// RunVariant executes the variant end to end and returns its summary.
+func RunVariant(v Variant, params VariantParams, trueRounds, estimatedRounds []Round, cfg MSOAConfig) *OnlineSummary {
+	rounds, vcfg := BuildVariant(v, params, trueRounds, estimatedRounds, cfg)
+	return NewMSOA(vcfg).Run(rounds)
+}

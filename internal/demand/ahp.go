@@ -1,0 +1,156 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the Analytic Hierarchy Process (AHP, Saaty 1987,
+// reference [18] of the paper) used to derive the scaling factors of the
+// demand indicator function from pairwise importance judgements: build the
+// reciprocal comparison matrix, extract its principal eigenvector by power
+// iteration, and validate the judgements via the consistency ratio.
+
+// Criterion indexes the three demand indicators in comparison matrices.
+type Criterion int
+
+const (
+	// CriterionWaiting is the request waiting time indicator γ.
+	CriterionWaiting Criterion = iota
+	// CriterionProcessing is the request processing time indicator ℝ.
+	CriterionProcessing
+	// CriterionRate is the request rate indicator 𝕋.
+	CriterionRate
+	numCriteria
+)
+
+// Comparisons is a pairwise importance matrix on Saaty's 1-9 scale:
+// entry [i][j] states how much more important criterion i is than j
+// (1 = equal, 3 = moderate, 5 = strong, 7 = very strong, 9 = extreme;
+// reciprocals for the inverse judgement). The matrix must be positive and
+// reciprocal: m[j][i] = 1/m[i][j], m[i][i] = 1.
+type Comparisons [numCriteria][numCriteria]float64
+
+// DefaultComparisons returns the judgement matrix used throughout the
+// reproduction: request rate moderately dominates waiting time (3) and
+// waiting time moderately dominates processing time (2), reflecting the
+// paper's intuition that the request rate is the primary load signal.
+func DefaultComparisons() Comparisons {
+	return Comparisons{
+		//               waiting  processing  rate
+		{1, 2, 1.0 / 3},       // waiting
+		{1.0 / 2, 1, 1.0 / 5}, // processing
+		{3, 5, 1},             // rate
+	}
+}
+
+// Validate checks positivity and reciprocity.
+func (c Comparisons) Validate() error {
+	const tol = 1e-9
+	for i := 0; i < int(numCriteria); i++ {
+		if math.Abs(c[i][i]-1) > tol {
+			return fmt.Errorf("demand: comparison diagonal [%d][%d] must be 1, got %v", i, i, c[i][i])
+		}
+		for j := 0; j < int(numCriteria); j++ {
+			if !(c[i][j] > 0) {
+				return fmt.Errorf("demand: comparison [%d][%d] must be positive, got %v", i, j, c[i][j])
+			}
+			if math.Abs(c[i][j]*c[j][i]-1) > 1e-6 {
+				return fmt.Errorf("demand: comparisons not reciprocal at [%d][%d]: %v * %v != 1",
+					i, j, c[i][j], c[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// randomIndex is Saaty's average random consistency index RI for matrices
+// of order 1..10 (order-indexed; RI[n] for an n×n matrix).
+var randomIndex = [...]float64{0, 0, 0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49}
+
+// ConsistencyThreshold is the maximum acceptable consistency ratio; Saaty
+// recommends 0.1.
+const ConsistencyThreshold = 0.1
+
+// AHPResult carries the derived priorities and consistency diagnostics.
+type AHPResult struct {
+	// Priorities is the normalized principal eigenvector (sums to 1).
+	Priorities [numCriteria]float64
+	// LambdaMax is the principal eigenvalue.
+	LambdaMax float64
+	// ConsistencyIndex is (λmax − n)/(n − 1).
+	ConsistencyIndex float64
+	// ConsistencyRatio is CI/RI; judgements with CR > 0.1 are considered
+	// too inconsistent to use.
+	ConsistencyRatio float64
+}
+
+// Analyze extracts the principal eigenvector of the comparison matrix by
+// power iteration and computes the consistency diagnostics.
+func Analyze(c Comparisons) (*AHPResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(numCriteria)
+	v := [numCriteria]float64{}
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	var lambda float64
+	for iter := 0; iter < 1000; iter++ {
+		var next [numCriteria]float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[i] += c[i][j] * v[j]
+			}
+		}
+		var sum float64
+		for _, x := range next {
+			sum += x
+		}
+		for i := range next {
+			next[i] /= sum
+		}
+		// λmax estimate: mean of component-wise Rayleigh quotients.
+		var l float64
+		for i := 0; i < n; i++ {
+			var av float64
+			for j := 0; j < n; j++ {
+				av += c[i][j] * next[j]
+			}
+			l += av / next[i]
+		}
+		l /= float64(n)
+		converged := math.Abs(l-lambda) < 1e-12
+		lambda = l
+		v = next
+		if converged {
+			break
+		}
+	}
+	res := &AHPResult{Priorities: v, LambdaMax: lambda}
+	res.ConsistencyIndex = (lambda - float64(n)) / float64(n-1)
+	if ri := randomIndex[n]; ri > 0 {
+		res.ConsistencyRatio = res.ConsistencyIndex / ri
+	}
+	return res, nil
+}
+
+// Derive runs AHP on the comparison matrix and returns the indicator
+// weights, rejecting judgement matrices whose consistency ratio exceeds
+// Saaty's 0.1 threshold.
+func Derive(c Comparisons) (Weights, error) {
+	res, err := Analyze(c)
+	if err != nil {
+		return Weights{}, err
+	}
+	if res.ConsistencyRatio > ConsistencyThreshold {
+		return Weights{}, fmt.Errorf("demand: comparison matrix too inconsistent: CR %.3f > %.1f",
+			res.ConsistencyRatio, ConsistencyThreshold)
+	}
+	return Weights{
+		Waiting:    res.Priorities[CriterionWaiting],
+		Processing: res.Priorities[CriterionProcessing],
+		Rate:       res.Priorities[CriterionRate],
+	}, nil
+}

@@ -1,0 +1,190 @@
+// Package demand implements the microservice demand estimation scheme of
+// §III: the residual resource demand X_i^t of a microservice is a weighted
+// combination of three observable indicators — request waiting time,
+// request processing (execution) time, and request rate — with the weights
+// derived by the Analytic Hierarchy Process (AHP, Saaty 1987) as the paper
+// prescribes.
+package demand
+
+import (
+	"fmt"
+	"math"
+)
+
+// Indicators is one round's observation of a microservice, as collected by
+// the simulator (internal/sim) or a real platform.
+type Indicators struct {
+	// ServedResponses is θ_i, the number of served responses this round.
+	ServedResponses int
+	// ReceivedResponses is π_i, the number of responses received (requests
+	// admitted) this round.
+	ReceivedResponses int
+	// NeededRate is ς_i, the processing rate the microservice needs to
+	// finish requests within their expected time (requests per unit time).
+	NeededRate float64
+	// AchievedRate is ϖ_i, the processing rate actually achieved.
+	AchievedRate float64
+	// Allocated is a_i^t, the resources the fair-share policy granted this
+	// round.
+	Allocated float64
+	// MaxAllocated is a_max, the largest allocation among colocated
+	// microservices this round.
+	MaxAllocated float64
+	// ExecutionRate is 𝕃_i^t ∈ [0, 1), the fraction of the round the
+	// microservice spent executing (its utilization).
+	ExecutionRate float64
+	// NeighborDensity is 𝒱(n̄), the density of neighbouring microservices
+	// served by the same edge cloud.
+	NeighborDensity float64
+	// Round is t, the 1-based round index.
+	Round int
+}
+
+// Weights holds the scaling factors 1/w_γ, 1/w_ℝ, 1/w_𝕋 of Eq. (1),
+// expressed directly as the multiplicative weights applied to each
+// indicator. Derive them with AHP (see Derive) or supply them manually.
+type Weights struct {
+	Waiting    float64 // applied to γ_i^t
+	Processing float64 // applied to ℝ_i^t
+	Rate       float64 // applied to 𝕋_i^t
+}
+
+// Uniform returns equal weights (the no-AHP baseline used in the
+// estimator-ablation benchmark).
+func Uniform() Weights { return Weights{Waiting: 1.0 / 3, Processing: 1.0 / 3, Rate: 1.0 / 3} }
+
+// Validate rejects non-positive or non-finite weights.
+func (w Weights) Validate() error {
+	for _, v := range []float64{w.Waiting, w.Processing, w.Rate} {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("demand: weights must be positive and finite, got %+v", w)
+		}
+	}
+	return nil
+}
+
+// Estimator computes Eq. (1)-(2) demand estimates. The zero value is not
+// usable; construct with NewEstimator.
+type Estimator struct {
+	weights Weights
+	// zeta is ζ, the waiting-time coefficient.
+	zeta float64
+	// delta is Δ, the request-rate coefficient.
+	delta float64
+}
+
+// Config parameterizes an Estimator.
+type Config struct {
+	// Weights are the indicator weights; zero value means AHP-derived
+	// defaults (see DefaultComparisons).
+	Weights Weights
+	// Zeta is ζ; zero means 1.
+	Zeta float64
+	// Delta is Δ; zero means 1.
+	Delta float64
+}
+
+// NewEstimator builds an estimator, deriving AHP default weights when none
+// are supplied.
+func NewEstimator(cfg Config) (*Estimator, error) {
+	w := cfg.Weights
+	if w == (Weights{}) {
+		derived, err := Derive(DefaultComparisons())
+		if err != nil {
+			return nil, fmt.Errorf("demand: derive default weights: %w", err)
+		}
+		w = derived
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Estimator{weights: w, zeta: cfg.Zeta, delta: cfg.Delta}
+	if e.zeta == 0 {
+		e.zeta = 1
+	}
+	if e.delta == 0 {
+		e.delta = 1
+	}
+	return e, nil
+}
+
+// Weights returns the estimator's indicator weights.
+func (e *Estimator) Weights() Weights { return e.weights }
+
+// WaitingFactor computes γ_i^t = ζ·θ_i/π_i: the completion-progress proxy
+// for waiting time. With no received responses it returns 0 (nothing
+// observed, no pressure).
+func (e *Estimator) WaitingFactor(in Indicators) float64 {
+	if in.ReceivedResponses <= 0 {
+		return 0
+	}
+	return e.zeta * float64(in.ServedResponses) / float64(in.ReceivedResponses)
+}
+
+// ProcessingFactor computes ℝ_i^t = (ς_i − ϖ_i)/t: the long-term
+// time-averaged processing-rate deficit. Negative deficits (the service is
+// faster than needed) clamp to 0 — an over-provisioned microservice adds no
+// demand.
+func (e *Estimator) ProcessingFactor(in Indicators) float64 {
+	t := in.Round
+	if t < 1 {
+		t = 1
+	}
+	deficit := in.NeededRate - in.AchievedRate
+	if deficit < 0 {
+		deficit = 0
+	}
+	return deficit / float64(t)
+}
+
+// RateFactor computes Eq. (2):
+//
+//	𝕋_i^t = Δ · (a_i^t/a_max) · (𝕃_i^t · t / 𝒱(n̄)) · 1/(1 − 𝕃_i^t)
+//
+// ExecutionRate is clamped into [0, 1−1e-6] so the utilization pole stays
+// finite, and missing normalizers default to 1.
+func (e *Estimator) RateFactor(in Indicators) float64 {
+	amax := in.MaxAllocated
+	if amax <= 0 {
+		amax = 1
+	}
+	dens := in.NeighborDensity
+	if dens <= 0 {
+		dens = 1
+	}
+	t := in.Round
+	if t < 1 {
+		t = 1
+	}
+	l := in.ExecutionRate
+	if l < 0 {
+		l = 0
+	}
+	if l > 1-1e-6 {
+		l = 1 - 1e-6
+	}
+	return e.delta * (in.Allocated / amax) * (l * float64(t) / dens) / (1 - l)
+}
+
+// Estimate computes X_i^t per Eq. (1): the weighted combination of the
+// three factors. The result is non-negative.
+func (e *Estimator) Estimate(in Indicators) float64 {
+	x := e.weights.Waiting*e.WaitingFactor(in) +
+		e.weights.Processing*e.ProcessingFactor(in) +
+		e.weights.Rate*e.RateFactor(in)
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// EstimateUnits converts the continuous estimate into the integer coverage
+// demand used by the winner selection ILP, scaling by unitsPerDemand and
+// rounding half-up.
+func (e *Estimator) EstimateUnits(in Indicators, unitsPerDemand float64) int {
+	u := int(e.Estimate(in)*unitsPerDemand + 0.5)
+	if u < 0 {
+		return 0
+	}
+	return u
+}

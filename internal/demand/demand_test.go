@@ -1,0 +1,234 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(Config{})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	return e
+}
+
+func baseIndicators() Indicators {
+	return Indicators{
+		ServedResponses:   40,
+		ReceivedResponses: 50,
+		NeededRate:        0.02,
+		AchievedRate:      0.01,
+		Allocated:         30,
+		MaxAllocated:      50,
+		ExecutionRate:     0.6,
+		NeighborDensity:   3,
+		Round:             5,
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	e := newTestEstimator(t)
+	f := func(served, received uint8, needed, achieved, alloc, util float64) bool {
+		in := Indicators{
+			ServedResponses:   int(served),
+			ReceivedResponses: int(received),
+			NeededRate:        math.Mod(math.Abs(needed), 100),
+			AchievedRate:      math.Mod(math.Abs(achieved), 100),
+			Allocated:         math.Mod(math.Abs(alloc), 1000),
+			MaxAllocated:      50,
+			ExecutionRate:     math.Mod(math.Abs(util), 1.5), // may exceed 1: clamped
+			NeighborDensity:   2,
+			Round:             3,
+		}
+		x := e.Estimate(in)
+		return x >= 0 && !math.IsNaN(x) && !math.IsInf(x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateFactorMonotoneInUtilization(t *testing.T) {
+	e := newTestEstimator(t)
+	in := baseIndicators()
+	prev := -1.0
+	for _, util := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		in.ExecutionRate = util
+		x := e.RateFactor(in)
+		if x <= prev {
+			t.Fatalf("rate factor not increasing at util %v: %v <= %v", util, x, prev)
+		}
+		prev = x
+	}
+}
+
+func TestRateFactorPoleIsClamped(t *testing.T) {
+	e := newTestEstimator(t)
+	in := baseIndicators()
+	in.ExecutionRate = 1.0 // would divide by zero without clamping
+	if x := e.RateFactor(in); math.IsInf(x, 0) || math.IsNaN(x) {
+		t.Fatalf("utilization pole not clamped: %v", x)
+	}
+	in.ExecutionRate = -0.5
+	if x := e.RateFactor(in); x != 0 {
+		t.Fatalf("negative utilization should clamp to 0 factor, got %v", x)
+	}
+}
+
+func TestProcessingFactorClampsNegativeDeficit(t *testing.T) {
+	e := newTestEstimator(t)
+	in := baseIndicators()
+	in.NeededRate, in.AchievedRate = 0.01, 0.05 // over-provisioned
+	if x := e.ProcessingFactor(in); x != 0 {
+		t.Fatalf("over-provisioned service must add no demand, got %v", x)
+	}
+	in.NeededRate, in.AchievedRate = 0.05, 0.01
+	want := (0.05 - 0.01) / 5
+	if x := e.ProcessingFactor(in); math.Abs(x-want) > 1e-12 {
+		t.Fatalf("processing factor = %v, want %v", x, want)
+	}
+}
+
+func TestWaitingFactorHandlesZeroReceived(t *testing.T) {
+	e := newTestEstimator(t)
+	in := baseIndicators()
+	in.ReceivedResponses = 0
+	if x := e.WaitingFactor(in); x != 0 {
+		t.Fatalf("no responses should yield 0 waiting factor, got %v", x)
+	}
+}
+
+func TestEstimateUnitsRounding(t *testing.T) {
+	e := newTestEstimator(t)
+	in := baseIndicators()
+	x := e.Estimate(in)
+	if x <= 0 {
+		t.Fatalf("expected positive estimate, got %v", x)
+	}
+	units := e.EstimateUnits(in, 1)
+	if units != int(x+0.5) {
+		t.Fatalf("units = %d, want round(%v)", units, x)
+	}
+	if e.EstimateUnits(in, 0) != 0 {
+		t.Fatal("zero scale must give zero units")
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(Config{Weights: Weights{Waiting: -1, Processing: 1, Rate: 1}}); err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+	if _, err := NewEstimator(Config{Weights: Weights{Waiting: math.Inf(1), Processing: 1, Rate: 1}}); err == nil {
+		t.Fatal("infinite weight must be rejected")
+	}
+	e, err := NewEstimator(Config{Weights: Uniform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := e.Weights(); math.Abs(w.Waiting+w.Processing+w.Rate-1) > 1e-12 {
+		t.Fatalf("uniform weights must sum to 1: %+v", w)
+	}
+}
+
+func TestDefaultWeightsComeFromAHP(t *testing.T) {
+	e := newTestEstimator(t)
+	w := e.Weights()
+	if math.Abs(w.Waiting+w.Processing+w.Rate-1) > 1e-9 {
+		t.Fatalf("AHP priorities must sum to 1: %+v", w)
+	}
+	// The default judgements rank rate > waiting > processing.
+	if !(w.Rate > w.Waiting && w.Waiting > w.Processing) {
+		t.Fatalf("priority ordering violated: %+v", w)
+	}
+}
+
+func TestAHPConsistencyOfDefaults(t *testing.T) {
+	res, err := Analyze(DefaultComparisons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConsistencyRatio > ConsistencyThreshold {
+		t.Fatalf("default judgements inconsistent: CR = %v", res.ConsistencyRatio)
+	}
+	if res.LambdaMax < 3 {
+		t.Fatalf("λmax = %v below matrix order", res.LambdaMax)
+	}
+}
+
+func TestAHPPerfectlyConsistentMatrix(t *testing.T) {
+	// Weights (6, 3, 1) normalized -> a perfectly consistent matrix with
+	// CR = 0 and λmax = n.
+	c := Comparisons{
+		{1, 2, 6},
+		{0.5, 1, 3},
+		{1.0 / 6, 1.0 / 3, 1},
+	}
+	res, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LambdaMax-3) > 1e-9 {
+		t.Fatalf("λmax = %v, want 3", res.LambdaMax)
+	}
+	if math.Abs(res.ConsistencyRatio) > 1e-9 {
+		t.Fatalf("CR = %v, want 0", res.ConsistencyRatio)
+	}
+	want := [3]float64{0.6, 0.3, 0.1}
+	for i, p := range res.Priorities {
+		if math.Abs(p-want[i]) > 1e-9 {
+			t.Fatalf("priorities = %v, want %v", res.Priorities, want)
+		}
+	}
+}
+
+func TestAHPRejectsMalformedMatrices(t *testing.T) {
+	bad := DefaultComparisons()
+	bad[0][1] = 5 // breaks reciprocity with bad[1][0] = 1/2
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("non-reciprocal matrix must be rejected")
+	}
+	bad = DefaultComparisons()
+	bad[1][1] = 2
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("non-unit diagonal must be rejected")
+	}
+	bad = DefaultComparisons()
+	bad[0][2] = -1
+	bad[2][0] = -1
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("non-positive entries must be rejected")
+	}
+}
+
+func TestDeriveRejectsInconsistentJudgements(t *testing.T) {
+	// A strongly cyclic preference: a>b (9), b>c (9), c>a (9).
+	c := Comparisons{
+		{1, 9, 1.0 / 9},
+		{1.0 / 9, 1, 9},
+		{9, 1.0 / 9, 1},
+	}
+	if _, err := Derive(c); err == nil {
+		t.Fatal("cyclic judgements must fail the consistency check")
+	}
+}
+
+func TestEstimatorCoefficients(t *testing.T) {
+	base, err := NewEstimator(Config{Weights: Uniform(), Zeta: 1, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := NewEstimator(Config{Weights: Uniform(), Zeta: 2, Delta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := baseIndicators()
+	if got, want := scaled.WaitingFactor(in), 2*base.WaitingFactor(in); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ζ scaling broken: %v vs %v", got, want)
+	}
+	if got, want := scaled.RateFactor(in), 3*base.RateFactor(in); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Δ scaling broken: %v vs %v", got, want)
+	}
+}

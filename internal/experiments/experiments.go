@@ -1,0 +1,160 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§V, Figures 3-6): parameter sweeps over the number of microservices,
+// requests, rounds, and bids per bidder, with the mechanisms' social cost
+// and payments measured against offline optima. Each driver returns
+// metrics series that cmd/repro renders as tables/CSV and bench_test.go
+// wraps as benchmarks.
+//
+// Performance-ratio denominators use the exact branch-and-bound optimum
+// when it closes within the configured time budget and the LP-relaxation
+// lower bound otherwise; the latter can only OVER-state ratios, keeping
+// reported results conservative.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/metrics"
+	"edgeauction/internal/optimal"
+	"edgeauction/internal/workload"
+)
+
+// Config is shared by all experiment drivers.
+type Config struct {
+	// Seed makes the sweep deterministic.
+	Seed int64
+	// Trials is how many instances are averaged per sweep point; zero
+	// means 5.
+	Trials int
+	// OptTimeLimit bounds each exact solve; zero means 2s.
+	OptTimeLimit time.Duration
+	// OptMaxNodes bounds each exact solve's node count; zero means the
+	// solver default.
+	OptMaxNodes int
+	// Quick trims sweeps for use inside testing.B loops: fewer sweep
+	// points and trials, smaller instances.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	if c.OptTimeLimit == 0 {
+		c.OptTimeLimit = 2 * time.Second
+	}
+	if c.Quick {
+		c.Trials = 2
+		if c.OptTimeLimit > 500*time.Millisecond {
+			c.OptTimeLimit = 500 * time.Millisecond
+		}
+	}
+	return c
+}
+
+func (c Config) optOptions() optimal.Options {
+	return optimal.Options{TimeLimit: c.OptTimeLimit, MaxNodes: c.OptMaxNodes}
+}
+
+// sizes returns the microservice-count sweep (paper: 25-75).
+func (c Config) sizes() []int {
+	if c.Quick {
+		return []int{10, 20}
+	}
+	return []int{25, 35, 45, 55, 65, 75}
+}
+
+// demandScale maps the paper's "number of requests" knob (100 vs 200) onto
+// the per-needy demand range: twice the requests, twice the residual
+// demand to procure.
+func demandScale(requests int) (lo, hi int) {
+	factor := float64(requests) / 100
+	lo = int(10 * factor)
+	hi = int(40 * factor)
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// stageConfig builds the §V-A instance generator configuration for a sweep
+// point. Per-bid supply (units) scales with sqrt of the request factor:
+// heavier request load both raises the residual demand AND makes yielding
+// microservices offer somewhat more per bid, so the market tightens
+// gradually instead of slamming into the supply frontier — where costs
+// would be dominated by the platform's reserve pool rather than by the
+// mechanism under study.
+func stageConfig(bidders, requests, bidsPerBidder int) workload.InstanceConfig {
+	lo, hi := demandScale(requests)
+	supply := math.Sqrt(float64(requests) / 100)
+	unitsHi := int(10*supply + 0.5)
+	if unitsHi < 1 {
+		unitsHi = 1
+	}
+	needy := bidders / 5
+	if needy < 1 {
+		needy = 1
+	}
+	coverHi := 4
+	if coverHi > needy {
+		coverHi = needy
+	}
+	return workload.InstanceConfig{
+		Bidders:       bidders,
+		Needy:         needy,
+		BidsPerBidder: bidsPerBidder,
+		DemandLo:      lo,
+		DemandHi:      hi,
+		UnitsLo:       1,
+		UnitsHi:       unitsHi,
+		CoverLo:       1,
+		CoverHi:       coverHi,
+	}
+}
+
+// onlineConfig assembles the multi-round scenario configuration for the
+// online sweeps. Lifetime capacities Θ scale with the request factor: the
+// paper's constraint (11) limits participation COUNT independent of load,
+// so keeping the supply/demand balance comparable across request levels
+// requires Θ to grow with the residual demand — otherwise the R=200
+// sweeps measure capacity starvation (reserve-pool purchases) rather than
+// the online mechanism.
+func onlineConfig(bidders, requests, bidsPerBidder, rounds int, windowed bool) workload.OnlineConfig {
+	stage := stageConfig(bidders, requests, bidsPerBidder)
+	factor := float64(requests) / 100
+	base := stage.CoverHi + 1
+	return workload.OnlineConfig{
+		Rounds:          rounds,
+		Stage:           stage,
+		CapacityLo:      int(float64(base) * factor),
+		CapacityHi:      int(float64(4*base) * factor),
+		WindowedArrival: windowed,
+	}
+}
+
+// denominator computes the offline-optimal denominator for an instance:
+// the exact optimum when the solver closes, else its proven lower bound.
+func denominator(ins *core.Instance, opts optimal.Options) (float64, bool, error) {
+	res, err := optimal.Solve(ins, opts)
+	if err != nil {
+		return 0, false, fmt.Errorf("experiments: offline optimum: %w", err)
+	}
+	if res.Exact {
+		return res.Cost, true, nil
+	}
+	return res.LowerBound, false, nil
+}
+
+// meanRatio averages numerator/denominator guarding zero denominators.
+func meanRatio(num, den *metrics.Running) float64 {
+	if den.Sum() <= 0 {
+		return 0
+	}
+	return num.Sum() / den.Sum()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/metrics"
+	"edgeauction/internal/workload"
+)
+
+// Fig3aResult reproduces Figure 3(a): SSAM's performance ratio (greedy cost
+// over offline optimum) as the number of microservices grows, for one and
+// for two alternative bids per bidder.
+type Fig3aResult struct {
+	// RatioByJ maps bids-per-bidder J to a series of mean ratio vs |S|.
+	RatioByJ map[int]*metrics.Series
+	// CertifiedByJ carries the mean certified bound W·Ξ per sweep point.
+	CertifiedByJ map[int]*metrics.Series
+	// ExactFraction is the share of denominators solved to optimality.
+	ExactFraction float64
+}
+
+// Fig3a runs the Figure 3(a) sweep.
+func Fig3a(cfg Config) (*Fig3aResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &Fig3aResult{
+		RatioByJ:     make(map[int]*metrics.Series),
+		CertifiedByJ: make(map[int]*metrics.Series),
+	}
+	exact, total := 0, 0
+	for _, j := range []int{1, 2} {
+		ratio := metrics.NewSeries(fmt.Sprintf("ratio J=%d", j))
+		cert := metrics.NewSeries(fmt.Sprintf("bound J=%d", j))
+		for _, n := range c.sizes() {
+			var num, den, certAcc metrics.Running
+			for trial := 0; trial < c.Trials; trial++ {
+				ins := workload.Instance(rng, stageConfig(n, 100, j))
+				out, err := core.SSAM(ins, core.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig3a SSAM n=%d: %w", n, err)
+				}
+				d, isExact, err := denominator(ins, c.optOptions())
+				if err != nil {
+					return nil, err
+				}
+				total++
+				if isExact {
+					exact++
+				}
+				num.Add(out.SocialCost)
+				den.Add(d)
+				certAcc.Add(out.Dual.TheoreticalRatio())
+			}
+			ratio.Add(float64(n), meanRatio(&num, &den))
+			cert.Add(float64(n), certAcc.Mean())
+		}
+		res.RatioByJ[j] = ratio
+		res.CertifiedByJ[j] = cert
+	}
+	if total > 0 {
+		res.ExactFraction = float64(exact) / float64(total)
+	}
+	return res, nil
+}
+
+// Render formats the result as an aligned table.
+func (r *Fig3aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3(a): SSAM performance ratio vs number of microservices\n")
+	b.WriteString(metrics.Table("microservices",
+		r.RatioByJ[1], r.RatioByJ[2], r.CertifiedByJ[1], r.CertifiedByJ[2]))
+	fmt.Fprintf(&b, "exact offline optima: %.0f%%\n", r.ExactFraction*100)
+	return b.String()
+}
+
+// Fig3bResult reproduces Figure 3(b): SSAM's social cost, total payment,
+// and the offline-optimal cost as the number of microservices grows, for
+// 100 and 200 user requests.
+type Fig3bResult struct {
+	// ByRequests maps the request count (100, 200) to the three series.
+	ByRequests map[int]*Fig3bSeries
+}
+
+// Fig3bSeries groups Figure 3(b)'s three curves for one request level.
+type Fig3bSeries struct {
+	SocialCost *metrics.Series
+	Payment    *metrics.Series
+	Optimal    *metrics.Series
+}
+
+// Fig3b runs the Figure 3(b) sweep.
+func Fig3b(cfg Config) (*Fig3bResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &Fig3bResult{ByRequests: make(map[int]*Fig3bSeries)}
+	for _, reqs := range []int{100, 200} {
+		set := &Fig3bSeries{
+			SocialCost: metrics.NewSeries(fmt.Sprintf("social cost R=%d", reqs)),
+			Payment:    metrics.NewSeries(fmt.Sprintf("payment R=%d", reqs)),
+			Optimal:    metrics.NewSeries(fmt.Sprintf("optimal R=%d", reqs)),
+		}
+		for _, n := range c.sizes() {
+			var cost, pay, opt metrics.Running
+			for trial := 0; trial < c.Trials; trial++ {
+				ins := workload.Instance(rng, stageConfig(n, reqs, 2))
+				out, err := core.SSAM(ins, core.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig3b SSAM n=%d R=%d: %w", n, reqs, err)
+				}
+				d, _, err := denominator(ins, c.optOptions())
+				if err != nil {
+					return nil, err
+				}
+				cost.Add(out.SocialCost)
+				pay.Add(out.TotalPayment())
+				opt.Add(d)
+			}
+			set.SocialCost.Add(float64(n), cost.Mean())
+			set.Payment.Add(float64(n), pay.Mean())
+			set.Optimal.Add(float64(n), opt.Mean())
+		}
+		res.ByRequests[reqs] = set
+	}
+	return res, nil
+}
+
+// Render formats the result as an aligned table.
+func (r *Fig3bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3(b): SSAM social cost, payment, optimal vs number of microservices\n")
+	s100, s200 := r.ByRequests[100], r.ByRequests[200]
+	b.WriteString(metrics.Table("microservices",
+		s100.SocialCost, s100.Payment, s100.Optimal,
+		s200.SocialCost, s200.Payment, s200.Optimal))
+	return b.String()
+}

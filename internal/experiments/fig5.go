@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/metrics"
+	"edgeauction/internal/workload"
+)
+
+// Fig5aResult reproduces Figure 5(a): MSOA's performance ratio vs the
+// number of microservices, for 100 and 200 requests.
+type Fig5aResult struct {
+	RatioByRequests map[int]*metrics.Series
+	// InfeasibleRounds counts skipped rounds across the sweep.
+	InfeasibleRounds int
+}
+
+// Fig5a runs the Figure 5(a) sweep: T=10 rounds per scenario, plain MSOA
+// on true demand.
+func Fig5a(cfg Config) (*Fig5aResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &Fig5aResult{RatioByRequests: make(map[int]*metrics.Series)}
+	rounds := 10
+	if c.Quick {
+		rounds = 3
+	}
+	for _, reqs := range []int{100, 200} {
+		series := metrics.NewSeries(fmt.Sprintf("ratio R=%d", reqs))
+		for _, n := range c.sizes() {
+			var cost, opt metrics.Running
+			for trial := 0; trial < c.Trials; trial++ {
+				scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
+				run, err := runOnline(scn.TrueRounds, scn.Config(core.Options{}), c.optOptions())
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig5a n=%d R=%d: %w", n, reqs, err)
+				}
+				res.InfeasibleRounds += run.Infeasible
+				cost.Add(run.SocialCost)
+				opt.Add(run.OptimalSum)
+			}
+			series.Add(float64(n), meanRatio(&cost, &opt))
+		}
+		res.RatioByRequests[reqs] = series
+	}
+	return res, nil
+}
+
+// Render formats the result as an aligned table.
+func (r *Fig5aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5(a): MSOA performance ratio vs number of microservices\n")
+	b.WriteString(metrics.Table("microservices",
+		r.RatioByRequests[100], r.RatioByRequests[200]))
+	fmt.Fprintf(&b, "infeasible rounds skipped: %d\n", r.InfeasibleRounds)
+	return b.String()
+}
+
+// Fig5bResult reproduces Figure 5(b) (the paper's variant comparison in
+// §V-B): the performance ratio of MSOA, MSOA-DA, MSOA-RC, and MSOA-OA vs
+// the number of microservices. Variant costs are measured against a common
+// denominator — the per-round offline optima of the TRUE-demand rounds —
+// so demand-estimation error shows up as extra cost, exactly the effect
+// the paper attributes to the variants.
+type Fig5bResult struct {
+	RatioByVariant map[core.Variant]*metrics.Series
+}
+
+// Fig5b runs the variant comparison sweep.
+func Fig5b(cfg Config) (*Fig5bResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &Fig5bResult{RatioByVariant: make(map[core.Variant]*metrics.Series)}
+	variants := []core.Variant{core.VariantBase, core.VariantDA, core.VariantRC, core.VariantOA}
+	for _, v := range variants {
+		res.RatioByVariant[v] = metrics.NewSeries(v.String())
+	}
+	rounds := 10
+	if c.Quick {
+		rounds = 3
+	}
+	for _, n := range c.sizes() {
+		acc := make(map[core.Variant]*metrics.Running, len(variants))
+		var opt metrics.Running
+		for _, v := range variants {
+			acc[v] = &metrics.Running{}
+		}
+		for trial := 0; trial < c.Trials; trial++ {
+			ocfg := onlineConfig(n, 100, 2, rounds, false)
+			ocfg.DemandNoise = 0.35
+			scn := workload.Online(rng, ocfg)
+			baseCfg := scn.Config(core.Options{})
+			// Common denominator from the true rounds, unconstrained.
+			ref, err := runOnline(scn.TrueRounds, baseCfg, c.optOptions())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5b reference n=%d: %w", n, err)
+			}
+			opt.Add(ref.OptimalSum)
+			for _, v := range variants {
+				vr, vcfg := core.BuildVariant(v, core.VariantParams{}, scn.TrueRounds, scn.EstimatedRounds, baseCfg)
+				run, err := runOnlineCostOnly(vr, vcfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig5b %s n=%d: %w", v, n, err)
+				}
+				acc[v].Add(run.SocialCost)
+			}
+		}
+		for _, v := range variants {
+			res.RatioByVariant[v].Add(float64(n), meanRatio(acc[v], &opt))
+		}
+	}
+	return res, nil
+}
+
+// Render formats the result as an aligned table.
+func (r *Fig5bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5(b): MSOA variant performance ratio vs number of microservices\n")
+	b.WriteString(metrics.Table("microservices",
+		r.RatioByVariant[core.VariantBase],
+		r.RatioByVariant[core.VariantDA],
+		r.RatioByVariant[core.VariantRC],
+		r.RatioByVariant[core.VariantOA]))
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/metrics"
+	"edgeauction/internal/workload"
+)
+
+// Fig6aResult reproduces Figure 6(a): MSOA's performance ratio vs the
+// number of rounds T, for different numbers of alternative bids per bidder
+// J. The paper observes that larger J and larger T both degrade the ratio.
+type Fig6aResult struct {
+	RatioByJ map[int]*metrics.Series
+}
+
+// Fig6a runs the rounds/bids sweep with windowed bidder arrivals as in
+// §V-A (t⁻, t⁺ drawn within [1, T]).
+func Fig6a(cfg Config) (*Fig6aResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &Fig6aResult{RatioByJ: make(map[int]*metrics.Series)}
+	ts := []int{1, 3, 5, 7, 9, 11, 13, 15}
+	n := 25
+	if c.Quick {
+		ts = []int{1, 3}
+		n = 10
+	}
+	for _, j := range []int{1, 2, 4} {
+		series := metrics.NewSeries(fmt.Sprintf("ratio J=%d", j))
+		for _, t := range ts {
+			var cost, opt metrics.Running
+			for trial := 0; trial < c.Trials; trial++ {
+				scn := workload.Online(rng, onlineConfig(n, 100, j, t, true))
+				run, err := runOnline(scn.TrueRounds, scn.Config(core.Options{}), c.optOptions())
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig6a T=%d J=%d: %w", t, j, err)
+				}
+				cost.Add(run.SocialCost)
+				opt.Add(run.OptimalSum)
+			}
+			series.Add(float64(t), meanRatio(&cost, &opt))
+		}
+		res.RatioByJ[j] = series
+	}
+	return res, nil
+}
+
+// Render formats the result as an aligned table.
+func (r *Fig6aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6(a): MSOA performance ratio vs rounds T, per bids-per-bidder J\n")
+	b.WriteString(metrics.Table("rounds", r.RatioByJ[1], r.RatioByJ[2], r.RatioByJ[4]))
+	return b.String()
+}
+
+// Fig6bResult reproduces Figure 6(b): MSOA's long-run social cost, total
+// payment, and the offline optimal cost vs the number of microservices,
+// for 100 and 200 requests.
+type Fig6bResult struct {
+	ByRequests map[int]*Fig6bSeries
+}
+
+// Fig6bSeries groups Figure 6(b)'s three curves for one request level.
+type Fig6bSeries struct {
+	SocialCost *metrics.Series
+	Payment    *metrics.Series
+	Optimal    *metrics.Series
+}
+
+// Fig6b runs the online cost sweep (T=10 rounds).
+func Fig6b(cfg Config) (*Fig6bResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &Fig6bResult{ByRequests: make(map[int]*Fig6bSeries)}
+	rounds := 10
+	if c.Quick {
+		rounds = 3
+	}
+	for _, reqs := range []int{100, 200} {
+		set := &Fig6bSeries{
+			SocialCost: metrics.NewSeries(fmt.Sprintf("social cost R=%d", reqs)),
+			Payment:    metrics.NewSeries(fmt.Sprintf("payment R=%d", reqs)),
+			Optimal:    metrics.NewSeries(fmt.Sprintf("optimal R=%d", reqs)),
+		}
+		for _, n := range c.sizes() {
+			var cost, pay, opt metrics.Running
+			for trial := 0; trial < c.Trials; trial++ {
+				scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
+				run, err := runOnline(scn.TrueRounds, scn.Config(core.Options{}), c.optOptions())
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig6b n=%d R=%d: %w", n, reqs, err)
+				}
+				cost.Add(run.SocialCost)
+				pay.Add(run.Payment)
+				opt.Add(run.OptimalSum)
+			}
+			set.SocialCost.Add(float64(n), cost.Mean())
+			set.Payment.Add(float64(n), pay.Mean())
+			set.Optimal.Add(float64(n), opt.Mean())
+		}
+		res.ByRequests[reqs] = set
+	}
+	return res, nil
+}
+
+// Render formats the result as an aligned table.
+func (r *Fig6bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6(b): MSOA social cost, payment, optimal vs number of microservices\n")
+	s100, s200 := r.ByRequests[100], r.ByRequests[200]
+	b.WriteString(metrics.Table("microservices",
+		s100.SocialCost, s100.Payment, s100.Optimal,
+		s200.SocialCost, s200.Payment, s200.Optimal))
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/metrics"
+	"edgeauction/internal/workload"
+)
+
+// WinningStatsResult covers the remaining §V metrics the paper lists but
+// does not plot as standalone figures: the distribution of winning-bid
+// prices and the percentage of submitted bids that win, as the market
+// grows.
+type WinningStatsResult struct {
+	// WinPercent is the share of submitted bids that win vs |S|.
+	WinPercent *metrics.Series
+	// BidderWinPercent is the share of bidders with a winning bid vs |S|.
+	BidderWinPercent *metrics.Series
+	// PriceHistogram is the winning-price distribution pooled over the
+	// sweep (bucketed over the §V-A price range [10, 35]).
+	PriceHistogram *metrics.Histogram
+	// WinningPrices retains the pooled winning prices for quantiles.
+	WinningPrices *metrics.Sample
+}
+
+// WinningStats runs the §V supplementary sweep.
+func WinningStats(cfg Config) (*WinningStatsResult, error) {
+	c := cfg.withDefaults()
+	rng := workload.NewRand(c.Seed)
+	res := &WinningStatsResult{
+		WinPercent:       metrics.NewSeries("winning bids %"),
+		BidderWinPercent: metrics.NewSeries("winning bidders %"),
+		PriceHistogram:   metrics.NewHistogram(10, 35, 10),
+		WinningPrices:    metrics.NewSample(256),
+	}
+	for _, n := range c.sizes() {
+		var winPct, bidderPct metrics.Running
+		for trial := 0; trial < c.Trials; trial++ {
+			ins := workload.Instance(rng, stageConfig(n, 100, 2))
+			out, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: winning stats n=%d: %w", n, err)
+			}
+			// Exclude the platform reserve from market statistics.
+			marketBids := 0
+			bidders := map[int]struct{}{}
+			for _, b := range ins.Bids {
+				if workload.IsReserveBid(b, n) {
+					continue
+				}
+				marketBids++
+				bidders[b.Bidder] = struct{}{}
+			}
+			winners := 0
+			winningBidders := map[int]struct{}{}
+			for _, w := range out.Winners {
+				b := ins.Bids[w]
+				if workload.IsReserveBid(b, n) {
+					continue
+				}
+				winners++
+				winningBidders[b.Bidder] = struct{}{}
+				res.PriceHistogram.Add(b.Price)
+				res.WinningPrices.Add(b.Price)
+			}
+			if marketBids > 0 {
+				winPct.Add(100 * float64(winners) / float64(marketBids))
+			}
+			if len(bidders) > 0 {
+				bidderPct.Add(100 * float64(len(winningBidders)) / float64(len(bidders)))
+			}
+		}
+		res.WinPercent.Add(float64(n), winPct.Mean())
+		res.BidderWinPercent.Add(float64(n), bidderPct.Mean())
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *WinningStatsResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Supplementary (§V): winning-bid percentage and price distribution\n")
+	b.WriteString(metrics.Table("microservices", r.WinPercent, r.BidderWinPercent))
+	fmt.Fprintf(&b, "winning price quantiles: p25=%.2f median=%.2f p75=%.2f\n",
+		r.WinningPrices.Quantile(0.25), r.WinningPrices.Median(), r.WinningPrices.Quantile(0.75))
+	b.WriteString("winning price distribution:\n")
+	b.WriteString(r.PriceHistogram.Render(32))
+	return b.String()
+}

@@ -1,0 +1,275 @@
+// Package federation coordinates resource-sharing auctions across multiple
+// edge clouds. The paper's system model (§II) has a set L of edge clouds
+// connected by a backhaul network; resource sharing normally happens among
+// microservices colocated in the same cloud, but when a cloud's local
+// market cannot cover its residual demand the platform can borrow from
+// peer clouds — at a premium that grows with backhaul latency, reflecting
+// the degraded service of remotely-hosted resources.
+//
+// The federation keeps a single online auction state (one ψ/χ per bidder,
+// one lifetime capacity), so a microservice's sharing budget is honoured
+// globally no matter which cloud consumes it.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/topology"
+)
+
+// Config parameterizes the federation.
+type Config struct {
+	// Topology provides the backhaul latency matrix.
+	Topology *topology.Topology
+	// LatencyPremium is the extra price per coverage slot per millisecond
+	// of backhaul latency charged on borrowed (remote) bids; zero means 1.
+	LatencyPremium float64
+	// Auction configures the shared online mechanism.
+	Auction core.MSOAConfig
+}
+
+// Federation runs the multi-cloud online auction.
+type Federation struct {
+	cfg     Config
+	topo    *topology.Topology
+	msoa    *core.MSOA
+	premium float64
+}
+
+// New builds a federation. The topology is required.
+func New(cfg Config) (*Federation, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("federation: topology is required")
+	}
+	premium := cfg.LatencyPremium
+	if premium == 0 {
+		premium = 1
+	}
+	return &Federation{
+		cfg:     cfg,
+		topo:    cfg.Topology,
+		msoa:    core.NewMSOA(cfg.Auction),
+		premium: premium,
+	}, nil
+}
+
+// CloudMarket is one cloud's demand and local bids for a round.
+type CloudMarket struct {
+	// Cloud is the edge cloud id hosting this market.
+	Cloud int
+	// Instance holds the cloud's residual demands and local bids.
+	Instance *core.Instance
+}
+
+// Transfer records a cross-cloud borrow.
+type Transfer struct {
+	// From is the cloud whose bidder supplied the resources.
+	From int
+	// To is the cloud whose demand was covered.
+	To int
+	// Bidder is the supplying microservice.
+	Bidder int
+	// Premium is the latency surcharge included in the winning price.
+	Premium float64
+}
+
+// CloudResult is the outcome of one cloud's market in a federated round.
+type CloudResult struct {
+	Cloud int
+	// Outcome is the cleared market (nil when even federation failed).
+	Outcome *core.Outcome
+	// Federated reports whether remote bids were needed.
+	Federated bool
+	// Transfers lists cross-cloud borrows (non-empty only when Federated).
+	Transfers []Transfer
+	// Err is non-nil when the demand could not be covered even with the
+	// federated market.
+	Err error
+}
+
+// RoundResult aggregates a federated round.
+type RoundResult struct {
+	T      int
+	Clouds []*CloudResult
+	// SocialCost is the total raw-price cost across clouds, including
+	// latency premiums on borrowed coverage.
+	SocialCost float64
+	// TotalPayment is the platform's total outlay.
+	TotalPayment float64
+	// BorrowedSlots counts coverage slots supplied across cloud borders.
+	BorrowedSlots int
+}
+
+// RunRound clears one federated round. markets maps cloud id to its local
+// market; clouds without demand may be omitted. Local markets are cleared
+// first (cheapest option); clouds whose local market is infeasible retry
+// with the federated market of all still-unused remote bids, premium
+// priced by backhaul latency.
+func (f *Federation) RunRound(t int, markets []CloudMarket) (*RoundResult, error) {
+	res := &RoundResult{T: t}
+	ordered := append([]CloudMarket(nil), markets...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Cloud < ordered[j].Cloud })
+
+	// Bidders that already won somewhere this round cannot win twice (the
+	// per-round one-bid constraint applied federation-wide).
+	wonThisRound := map[int]bool{}
+
+	for _, m := range ordered {
+		if m.Instance == nil {
+			return nil, fmt.Errorf("federation: cloud %d market has no instance", m.Cloud)
+		}
+		if _, err := f.topo.Cloud(m.Cloud); err != nil {
+			return nil, fmt.Errorf("federation: %w", err)
+		}
+		cr := &CloudResult{Cloud: m.Cloud}
+		res.Clouds = append(res.Clouds, cr)
+
+		if m.Instance.TotalDemand() == 0 {
+			// Pure bid pool: nothing to clear locally; its bids remain
+			// available to clouds that need to borrow.
+			cr.Outcome = &core.Outcome{Payments: map[int]float64{}}
+			continue
+		}
+
+		local := filterBidders(m.Instance, wonThisRound)
+		out := f.msoa.RunRound(core.Round{T: t, Instance: local})
+		if out.Err == nil {
+			cr.Outcome = out.Outcome
+			f.account(res, cr, local, nil)
+			markWinners(local, out.Outcome, wonThisRound)
+			continue
+		}
+
+		// Local market failed: retry with remote bids at a latency premium.
+		fed, origins, premiums, err := f.federatedInstance(m, ordered, wonThisRound)
+		if err != nil {
+			cr.Err = err
+			continue
+		}
+		out = f.msoa.RunRound(core.Round{T: t, Instance: fed})
+		if out.Err != nil {
+			cr.Err = fmt.Errorf("federation: cloud %d uncoverable even federated: %w", m.Cloud, out.Err)
+			continue
+		}
+		cr.Outcome = out.Outcome
+		cr.Federated = true
+		for _, w := range out.Outcome.Winners {
+			b := &fed.Bids[w]
+			if origin := origins[w]; origin != m.Cloud {
+				cr.Transfers = append(cr.Transfers, Transfer{
+					From: origin, To: m.Cloud, Bidder: b.Bidder, Premium: premiums[w],
+				})
+				res.BorrowedSlots += len(b.Covers)
+			}
+		}
+		f.account(res, cr, fed, out.Outcome)
+		markWinners(fed, out.Outcome, wonThisRound)
+	}
+	return res, nil
+}
+
+// account folds a cleared market into the round totals.
+func (f *Federation) account(res *RoundResult, cr *CloudResult, ins *core.Instance, out *core.Outcome) {
+	o := cr.Outcome
+	if out != nil {
+		o = out
+	}
+	if o == nil {
+		return
+	}
+	res.SocialCost += o.SocialCost
+	res.TotalPayment += o.TotalPayment()
+	_ = ins
+}
+
+// federatedInstance widens a cloud's market with every other cloud's bids,
+// premium priced by latency. origins maps each bid index of the widened
+// instance to the cloud the bidder lives in; premiums holds the surcharge.
+func (f *Federation) federatedInstance(local CloudMarket, all []CloudMarket, wonThisRound map[int]bool) (*core.Instance, map[int]int, map[int]float64, error) {
+	fed := &core.Instance{Demand: local.Instance.Demand}
+	origins := map[int]int{}
+	premiums := map[int]float64{}
+	appendBids := func(src CloudMarket) error {
+		lat, err := f.topo.Latency(src.Cloud, local.Cloud)
+		if err != nil {
+			return err
+		}
+		for _, b := range src.Instance.Bids {
+			if wonThisRound[b.Bidder] {
+				continue
+			}
+			nb := b.Clone()
+			if src.Cloud != local.Cloud {
+				// Remote covers index the REMOTE cloud's needy set; a
+				// borrowed bid instead offers generic capacity to the
+				// borrowing cloud, covering a cyclic window of the local
+				// needy set as wide as its original cover. The window is
+				// rotated per bid so the borrowed pool collectively spans
+				// every local needy microservice instead of piling onto a
+				// prefix.
+				width := len(nb.Covers)
+				if width > len(fed.Demand) {
+					width = len(fed.Demand)
+				}
+				offset := len(fed.Bids) % len(fed.Demand)
+				covers := make([]int, width)
+				for i := range covers {
+					covers[i] = (offset + i) % len(fed.Demand)
+				}
+				sort.Ints(covers)
+				nb.Covers = covers
+				premium := f.premium * lat * float64(len(covers))
+				nb.Price += premium
+				nb.TrueCost += premium
+				premiums[len(fed.Bids)] = premium
+			}
+			origins[len(fed.Bids)] = src.Cloud
+			fed.Bids = append(fed.Bids, nb)
+		}
+		return nil
+	}
+	if err := appendBids(local); err != nil {
+		return nil, nil, nil, err
+	}
+	for _, m := range all {
+		if m.Cloud == local.Cloud {
+			continue
+		}
+		if err := appendBids(m); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if len(fed.Bids) == 0 {
+		return nil, nil, nil, fmt.Errorf("federation: no eligible bids for cloud %d", local.Cloud)
+	}
+	return fed, origins, premiums, nil
+}
+
+// filterBidders drops bids from bidders that already won this round.
+func filterBidders(ins *core.Instance, won map[int]bool) *core.Instance {
+	if len(won) == 0 {
+		return ins
+	}
+	out := &core.Instance{Demand: ins.Demand}
+	for _, b := range ins.Bids {
+		if !won[b.Bidder] {
+			out.Bids = append(out.Bids, b)
+		}
+	}
+	return out
+}
+
+func markWinners(ins *core.Instance, out *core.Outcome, won map[int]bool) {
+	for _, w := range out.Winners {
+		won[ins.Bids[w].Bidder] = true
+	}
+}
+
+// Summary exposes the underlying online mechanism's aggregate state.
+func (f *Federation) Summary() *core.OnlineSummary { return f.msoa.Summary() }
+
+// UsedCapacity returns a bidder's federation-wide consumed capacity.
+func (f *Federation) UsedCapacity(bidder int) int { return f.msoa.UsedCapacity(bidder) }

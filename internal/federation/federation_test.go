@@ -1,0 +1,232 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/topology"
+	"edgeauction/internal/workload"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.Generate(workload.NewRand(1), topology.Config{Clouds: 3, Users: 10})
+}
+
+func market(cloud int, demand []int, bids ...core.Bid) CloudMarket {
+	return CloudMarket{Cloud: cloud, Instance: &core.Instance{Demand: demand, Bids: bids}}
+}
+
+func TestNewRequiresTopology(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error without topology")
+	}
+}
+
+func TestLocalMarketsClearLocally(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, []CloudMarket{
+		market(1, []int{1},
+			core.Bid{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 2, Price: 20, TrueCost: 20, Covers: []int{0}, Units: 1}),
+		market(2, []int{1},
+			core.Bid{Bidder: 3, Price: 15, TrueCost: 15, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 4, Price: 25, TrueCost: 25, Covers: []int{0}, Units: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clouds) != 2 {
+		t.Fatalf("cloud results = %d", len(res.Clouds))
+	}
+	for _, cr := range res.Clouds {
+		if cr.Err != nil {
+			t.Fatalf("cloud %d failed: %v", cr.Cloud, cr.Err)
+		}
+		if cr.Federated {
+			t.Fatalf("cloud %d should have cleared locally", cr.Cloud)
+		}
+		if len(cr.Transfers) != 0 {
+			t.Fatalf("unexpected transfers: %+v", cr.Transfers)
+		}
+	}
+	if res.SocialCost != 25 { // 10 + 15: cheapest local bid each
+		t.Fatalf("social cost = %v, want 25", res.SocialCost)
+	}
+	if res.BorrowedSlots != 0 {
+		t.Fatalf("borrowed slots = %d, want 0", res.BorrowedSlots)
+	}
+}
+
+func TestBorrowingWhenLocalMarketFails(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t), LatencyPremium: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, []CloudMarket{
+		// Cloud 1 needs 2 units but has only one local 1-unit bidder.
+		market(1, []int{2},
+			core.Bid{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1}),
+		// Cloud 2 has surplus bidders and no demand.
+		market(2, nil,
+			core.Bid{Bidder: 3, Price: 12, TrueCost: 12, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 4, Price: 14, TrueCost: 14, Covers: []int{0}, Units: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var borrow *CloudResult
+	for _, cr := range res.Clouds {
+		if cr.Cloud == 1 {
+			borrow = cr
+		}
+	}
+	if borrow == nil || borrow.Err != nil {
+		t.Fatalf("cloud 1 should clear via federation: %+v", borrow)
+	}
+	if !borrow.Federated || len(borrow.Transfers) == 0 {
+		t.Fatalf("cloud 1 must record a federated borrow: %+v", borrow)
+	}
+	tr := borrow.Transfers[0]
+	if tr.From != 2 || tr.To != 1 {
+		t.Fatalf("transfer direction %d->%d, want 2->1", tr.From, tr.To)
+	}
+	if tr.Premium <= 0 {
+		t.Fatalf("borrow premium %v must be positive", tr.Premium)
+	}
+	if res.BorrowedSlots == 0 {
+		t.Fatal("borrowed slots not counted")
+	}
+	// The winning remote price includes the premium; social cost reflects
+	// it (remote supply is dearer than local).
+	if res.SocialCost <= 22 { // 10 + 12 without premium
+		t.Fatalf("social cost %v should include the latency premium", res.SocialCost)
+	}
+}
+
+func TestBidderCannotWinTwiceInOneRound(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bidder 1 is the only bidder anywhere; it wins cloud 1's market, so
+	// cloud 2 (also depending on it) must fail even federated.
+	res, err := fed.RunRound(1, []CloudMarket{
+		market(1, []int{1}, core.Bid{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1}),
+		market(2, []int{1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second *CloudResult
+	for _, cr := range res.Clouds {
+		if cr.Cloud == 2 {
+			second = cr
+		}
+	}
+	if second.Err == nil {
+		t.Fatal("cloud 2 should fail: its only potential supplier already won in cloud 1")
+	}
+}
+
+func TestFederationHonoursGlobalCapacity(t *testing.T) {
+	fed, err := New(Config{
+		Topology: testTopo(t),
+		Auction:  core.MSOAConfig{Capacity: map[int]int{1: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: bidder 1 wins in cloud 1 (capacity now exhausted).
+	res, err := fed.RunRound(1, []CloudMarket{
+		market(1, []int{1},
+			core.Bid{Bidder: 1, Price: 5, TrueCost: 5, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 2, Price: 50, TrueCost: 50, Covers: []int{0}, Units: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clouds[0].Err != nil {
+		t.Fatal(res.Clouds[0].Err)
+	}
+	if got := fed.UsedCapacity(1); got != 1 {
+		t.Fatalf("bidder 1 used capacity = %d, want 1", got)
+	}
+	// Round 2 in ANOTHER cloud: bidder 1's capacity is spent globally, so
+	// bidder 2 must win.
+	res, err = fed.RunRound(2, []CloudMarket{
+		market(2, []int{1},
+			core.Bid{Bidder: 1, Price: 5, TrueCost: 5, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 2, Price: 50, TrueCost: 50, Covers: []int{0}, Units: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Clouds[0].Outcome
+	if out == nil || len(out.Winners) != 1 {
+		t.Fatalf("round 2 malformed: %+v", res.Clouds[0])
+	}
+	if res.Clouds[0].Err != nil {
+		t.Fatal(res.Clouds[0].Err)
+	}
+	if got := fed.Summary(); got.Rounds != 2 {
+		t.Fatalf("summary rounds = %d, want 2", got.Rounds)
+	}
+}
+
+func TestFederationRejectsUnknownCloud(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fed.RunRound(1, []CloudMarket{market(99, []int{1})})
+	if err == nil || !strings.Contains(err.Error(), "unknown cloud") {
+		t.Fatalf("want unknown-cloud error, got %v", err)
+	}
+}
+
+func TestFederationRejectsNilInstance(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.RunRound(1, []CloudMarket{{Cloud: 1}}); err == nil {
+		t.Fatal("want error for nil instance")
+	}
+}
+
+func TestFederationPremiumScalesWithLatency(t *testing.T) {
+	topo := testTopo(t)
+	cheap, err := New(Config{Topology: topo, LatencyPremium: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := New(Config{Topology: topo, LatencyPremium: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkts := func() []CloudMarket {
+		return []CloudMarket{
+			market(1, []int{1}), // no local bids at all
+			market(2, nil, core.Bid{Bidder: 3, Price: 12, TrueCost: 12, Covers: []int{0}, Units: 1}),
+		}
+	}
+	resCheap, err := cheap.RunRound(1, mkts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDear, err := dear.RunRound(1, mkts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCheap.Clouds[0].Err != nil || resDear.Clouds[0].Err != nil {
+		t.Fatalf("borrows failed: %v / %v", resCheap.Clouds[0].Err, resDear.Clouds[0].Err)
+	}
+	if resDear.SocialCost <= resCheap.SocialCost {
+		t.Fatalf("higher premium must cost more: %v vs %v", resDear.SocialCost, resCheap.SocialCost)
+	}
+}

@@ -1,0 +1,159 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCoveringLP builds a random feasible covering LP:
+// min c·x s.t. A x ≥ b, x ≤ 1 (as rows), x ≥ 0 with A ≥ 0 and b chosen so
+// that x = 1 is feasible — guaranteeing a bounded optimum exists.
+func randomCoveringLP(rng *rand.Rand, vars, rows int) *Problem {
+	p := &Problem{Objective: make([]float64, vars)}
+	for j := range p.Objective {
+		p.Objective[j] = 1 + 9*rng.Float64()
+	}
+	for i := 0; i < rows; i++ {
+		row := make([]float64, vars)
+		var rowSum float64
+		for j := range row {
+			if rng.Float64() < 0.6 {
+				row[j] = 1 + 2*rng.Float64()
+				rowSum += row[j]
+			}
+		}
+		// b within what x=1 can supply keeps the LP feasible.
+		b := rowSum * rng.Float64()
+		if err := p.AddConstraint(row, GE, b); err != nil {
+			panic(err)
+		}
+	}
+	for j := 0; j < vars; j++ {
+		row := make([]float64, vars)
+		row[j] = 1
+		if err := p.AddConstraint(row, LE, 1); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func TestPropertyOptimumDominatesRandomFeasiblePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		vars := 2 + rng.Intn(6)
+		rows := 1 + rng.Intn(4)
+		p := randomCoveringLP(rng, vars, rows)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The optimal point itself must be feasible.
+		assertFeasible(t, trial, p, sol.X)
+		// Sample random feasible points (rounding up toward x=1 preserves
+		// covering feasibility); none may beat the optimum.
+		for probe := 0; probe < 30; probe++ {
+			x := make([]float64, vars)
+			var obj float64
+			for j := range x {
+				x[j] = sol.X[j] + (1-sol.X[j])*rng.Float64() // between opt and 1
+				obj += p.Objective[j] * x[j]
+			}
+			if !isFeasible(p, x) {
+				continue
+			}
+			if obj < sol.Objective-1e-7 {
+				t.Fatalf("trial %d: feasible point %v beats optimum %v", trial, obj, sol.Objective)
+			}
+		}
+	}
+}
+
+func assertFeasible(t *testing.T, trial int, p *Problem, x []float64) {
+	t.Helper()
+	if !isFeasible(p, x) {
+		t.Fatalf("trial %d: reported optimum is infeasible: %v", trial, x)
+	}
+}
+
+func isFeasible(p *Problem, x []float64) bool {
+	const tol = 1e-7
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		var lhs float64
+		for j, a := range c.Coeffs {
+			lhs += a * x[j]
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if lhs > c.RHS+tol || lhs < c.RHS-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPropertyScalingInvariance(t *testing.T) {
+	// Scaling the objective by k > 0 scales the optimum by k and keeps the
+	// argmin (for a unique optimum; we check the value only).
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 40; trial++ {
+		p := randomCoveringLP(rng, 2+rng.Intn(5), 1+rng.Intn(3))
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		k := 0.5 + 4*rng.Float64()
+		scaled := &Problem{Objective: make([]float64, len(p.Objective)), Constraints: p.Constraints}
+		for j := range p.Objective {
+			scaled.Objective[j] = k * p.Objective[j]
+		}
+		sol2, err := Solve(scaled)
+		if err != nil {
+			t.Fatalf("trial %d scaled: %v", trial, err)
+		}
+		want := k * sol.Objective
+		if diff := sol2.Objective - want; diff > 1e-6*(1+want) || diff < -1e-6*(1+want) {
+			t.Fatalf("trial %d: scaled optimum %v, want %v", trial, sol2.Objective, want)
+		}
+	}
+}
+
+func TestPropertyAddingRedundantConstraintKeepsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		p := randomCoveringLP(rng, 2+rng.Intn(5), 1+rng.Intn(3))
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Σ x_j ≤ vars is implied by the per-variable bounds.
+		row := make([]float64, len(p.Objective))
+		for j := range row {
+			row[j] = 1
+		}
+		if err := p.AddConstraint(row, LE, float64(len(row))); err != nil {
+			t.Fatal(err)
+		}
+		sol2, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if diff := sol2.Objective - sol.Objective; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: redundant constraint moved optimum %v -> %v", trial, sol.Objective, sol2.Objective)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve failed: %v", err)
+	}
+	return sol
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveSimpleLE(t *testing.T) {
+	// min -x - y  s.t. x + y <= 4, x <= 2  => x=2, y=2, obj=-4.
+	p := &Problem{Objective: []float64{-1, -1}}
+	if err := p.AddConstraint([]float64{1, 1}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, -4) {
+		t.Fatalf("objective = %v, want -4", sol.Objective)
+	}
+}
+
+func TestSolveGERequiresPhase1(t *testing.T) {
+	// min 3x + 2y s.t. x + y >= 4, x >= 1 => x=1, y=3, obj=9.
+	p := &Problem{Objective: []float64{3, 2}}
+	if err := p.AddConstraint([]float64{1, 1}, GE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 9) {
+		t.Fatalf("objective = %v, want 9", sol.Objective)
+	}
+	if !approx(sol.X[0], 1) || !approx(sol.X[1], 3) {
+		t.Fatalf("x = %v, want [1 3]", sol.X)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, y >= 1 => x=2, y=1, obj=4.
+	p := &Problem{Objective: []float64{1, 2}}
+	if err := p.AddConstraint([]float64{1, 1}, EQ, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{0, 1}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 4) {
+		t.Fatalf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3) => obj=3.
+	p := &Problem{Objective: []float64{1}}
+	if err := p.AddConstraint([]float64{-1}, LE, -3); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 3) {
+		t.Fatalf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := &Problem{Objective: []float64{1}}
+	if err := p.AddConstraint([]float64{1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasibleLP) {
+		t.Fatalf("want ErrInfeasibleLP, got %v", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x s.t. x >= 0 (no upper bound).
+	p := &Problem{Objective: []float64{-1}}
+	if err := p.AddConstraint([]float64{1}, GE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Classic degenerate vertex: redundant constraints at the optimum.
+	// min -x - y s.t. x <= 1, y <= 1, x + y <= 2 => obj=-2.
+	p := &Problem{Objective: []float64{-1, -1}}
+	for _, c := range []struct {
+		row []float64
+		rhs float64
+	}{
+		{[]float64{1, 0}, 1},
+		{[]float64{0, 1}, 1},
+		{[]float64{1, 1}, 2},
+	} {
+		if err := p.AddConstraint(c.row, LE, c.rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, -2) {
+		t.Fatalf("objective = %v, want -2", sol.Objective)
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Duplicated equality rows leave an artificial basic at zero; the
+	// solver must still reach the optimum.
+	p := &Problem{Objective: []float64{1, 1}}
+	if err := p.AddConstraint([]float64{1, 1}, EQ, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{2, 2}, EQ, 4); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 2) {
+		t.Fatalf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestAddConstraintLengthMismatch(t *testing.T) {
+	p := &Problem{Objective: []float64{1, 2}}
+	if err := p.AddConstraint([]float64{1}, LE, 1); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestSolveCoveringLP(t *testing.T) {
+	// Fractional set-cover relaxation: three elements each needing
+	// coverage 1; sets {0,1}, {1,2}, {0,2} at cost 1 each. LP optimum is
+	// x=(0.5,0.5,0.5), obj=1.5 (ILP would need 2).
+	p := &Problem{Objective: []float64{1, 1, 1}}
+	rows := [][]float64{
+		{1, 0, 1},
+		{1, 1, 0},
+		{0, 1, 1},
+	}
+	for _, row := range rows {
+		if err := p.AddConstraint(row, GE, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		row := make([]float64, 3)
+		row[i] = 1
+		if err := p.AddConstraint(row, LE, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 1.5) {
+		t.Fatalf("objective = %v, want 1.5", sol.Objective)
+	}
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples, or 0 when either sample has no variance. It returns an error on
+// length mismatch or fewer than two points.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("metrics: correlation inputs have lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("metrics: correlation needs at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// samples (Pearson over mid-ranks, which handles ties correctly).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("metrics: correlation inputs have lengths %d and %d", len(xs), len(ys))
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns mid-ranks (average rank for ties) to a sample.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Mid-rank of the tie group spanning positions [i, j].
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearsonPerfectAndInverse(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r, err := Pearson(x, yPos); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive: r=%v err=%v", r, err)
+	}
+	if r, err := Pearson(x, yNeg); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative: r=%v err=%v", r, err)
+	}
+}
+
+func TestPearsonNoVariance(t *testing.T) {
+	if r, err := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}); err != nil || r != 0 {
+		t.Fatalf("constant input should give 0: r=%v err=%v", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point must error")
+	}
+}
+
+func TestSpearmanMonotoneTransformInvariance(t *testing.T) {
+	// Spearman depends only on ranks: y and exp(y) give identical rho.
+	x := []float64{3, 1, 4, 1.5, 9, 2.6}
+	y := []float64{0.2, -1, 5, 0.4, 12, 1}
+	yExp := make([]float64, len(y))
+	for i, v := range y {
+		yExp[i] = math.Exp(v)
+	}
+	r1, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Spearman(x, yExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1-r2) > 1e-12 {
+		t.Fatalf("monotone transform changed Spearman: %v vs %v", r1, r2)
+	}
+}
+
+func TestRanksMidRankTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	// All equal: everyone gets the middle rank.
+	got = ranks([]float64{7, 7, 7})
+	for _, r := range got {
+		if r != 2 {
+			t.Fatalf("all-ties ranks = %v, want all 2", got)
+		}
+	}
+}
+
+func TestSampleValuesCopy(t *testing.T) {
+	s := NewSample(2)
+	s.Add(1)
+	s.Add(2)
+	vals := s.Values()
+	vals[0] = 99
+	if s.Values()[0] == 99 {
+		t.Fatal("Values must return a copy")
+	}
+}

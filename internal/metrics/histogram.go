@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width buckets over [Lo, Hi).
+// Observations outside the range are clamped into the first or last bucket
+// and tracked separately as underflow/overflow.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram builds a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo, which indicates a programming
+// error rather than a data condition.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic(fmt.Sprintf("metrics: histogram bucket count must be positive, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("metrics: histogram range must be increasing, got [%g, %g)", lo, hi))
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(n),
+		counts: make([]int64, n),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+		h.counts[0]++
+	case x >= h.hi:
+		h.overflow++
+		h.counts[len(h.counts)-1]++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.counts) { // guard against float rounding at hi
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Underflow returns the count of observations below the range.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+
+// Overflow returns the count of observations at or above the range.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketBounds returns [lo, hi) of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	return h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// CDF returns the empirical cumulative fraction of observations falling at
+// or below the upper bound of bucket i.
+func (h *Histogram) CDF(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum int64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		cum += h.counts[j]
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Render draws an ASCII bar chart, one row per bucket, scaled so the fullest
+// bucket uses width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak int64 = 1
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo, hi := h.BucketBounds(i)
+		bar := int(math.Round(float64(c) / float64(peak) * float64(width)))
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

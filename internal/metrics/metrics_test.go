@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Count() != 0 || r.Mean() != 0 || r.Stddev() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.Count() != 8 {
+		t.Fatalf("count = %d, want 8", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", r.Mean())
+	}
+	// Population sd is 2; sample sd is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(r.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", r.Stddev(), want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+	if math.Abs(r.Sum()-40) > 1e-12 {
+		t.Fatalf("sum = %v, want 40", r.Sum())
+	}
+	if !strings.Contains(r.String(), "n=8") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(3.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3.5)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Fatalf("AddN mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		cut := int(split) % len(xs)
+		var left, right, all Running
+		for _, x := range xs[:cut] {
+			left.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			right.Add(x)
+		}
+		for _, x := range xs {
+			all.Add(x)
+		}
+		left.Merge(right)
+		return left.Count() == all.Count() &&
+			math.Abs(left.Mean()-all.Mean()) < 1e-9*(1+math.Abs(all.Mean())) &&
+			math.Abs(left.Variance()-all.Variance()) < 1e-6*(1+all.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMergeEmptySides(t *testing.T) {
+	var a, b Running
+	b.Add(7)
+	a.Merge(b) // empty <- nonempty
+	if a.Count() != 1 || a.Mean() != 7 {
+		t.Fatalf("merge into empty failed: %+v", a)
+	}
+	var c Running
+	a.Merge(c) // nonempty <- empty
+	if a.Count() != 1 {
+		t.Fatalf("merge of empty changed state: %+v", a)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(5)
+	for _, x := range []float64{9, 1, 7, 3, 5} {
+		s.Add(x)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Median() != 5 {
+		t.Fatalf("median = %v, want 5", s.Median())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0.25); got != 3 {
+		t.Fatalf("q25 = %v, want 3", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Fatalf("q1 = %v, want 9", got)
+	}
+	if got := s.Quantile(0.5 + 0.125); got != 6 { // interpolated between 5 and 7
+		t.Fatalf("q0.625 = %v, want 6", got)
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 || math.Abs(s.Sum()-25) > 1e-12 {
+		t.Fatalf("mean/sum = %v/%v", s.Mean(), s.Sum())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Underflow(), h.Overflow())
+	}
+	// Bucket 0 ([0,2)): -1 (clamped), 0, 1.9 => 3.
+	if got := h.Bucket(0); got != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", got)
+	}
+	if lo, hi := h.BucketBounds(1); lo != 2 || hi != 4 {
+		t.Fatalf("bounds(1) = [%v,%v)", lo, hi)
+	}
+	if cdf := h.CDF(h.Buckets() - 1); math.Abs(cdf-1) > 1e-12 {
+		t.Fatalf("full CDF = %v, want 1", cdf)
+	}
+	if out := h.Render(20); !strings.Contains(out, "#") {
+		t.Fatalf("render produced no bars:\n%s", out)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero buckets":   func() { NewHistogram(0, 1, 0) },
+		"inverted range": func() { NewHistogram(5, 1, 4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSeriesSortAndAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Sort()
+	if s.X[0] != 1 || s.X[2] != 3 || s.Y[0] != 10 {
+		t.Fatalf("sort failed: %+v", s)
+	}
+	if y, ok := s.At(2); !ok || y != 20 {
+		t.Fatalf("At(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.At(99); ok {
+		t.Fatal("At(99) should miss")
+	}
+}
+
+func TestTableAlignsAndFillsMissing(t *testing.T) {
+	a := NewSeries("alpha")
+	a.Add(1, 1.5)
+	a.Add(2, 2.5)
+	b := NewSeries("beta")
+	b.Add(2, 4.5)
+	out := Table("k", a, b)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cell placeholder:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := NewSeries("alpha")
+	a.Add(1, 1.5)
+	a.Add(2, 2.5)
+	b := NewSeries("beta")
+	b.Add(1, 9)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "k", a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "k,alpha,beta\n") {
+		t.Fatalf("bad header: %q", got)
+	}
+	if !strings.Contains(got, "1,1.5,9\n") {
+		t.Fatalf("bad row: %q", got)
+	}
+	if !strings.Contains(got, "2,2.5,\n") {
+		t.Fatalf("missing value should be empty: %q", got)
+	}
+}

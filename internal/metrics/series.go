@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is an ordered sequence of (x, y) points, e.g. social cost per
+// number of microservices. Points keep insertion order until Sort is called.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Sort orders points by ascending x.
+func (s *Series) Sort() {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(s.X))
+	y := make([]float64, len(s.Y))
+	for i, j := range idx {
+		x[i], y[i] = s.X[j], s.Y[j]
+	}
+	s.X, s.Y = x, y
+}
+
+// At returns the y value for the first point with the given x, and whether
+// such a point exists.
+func (s *Series) At(x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table renders one or more series sharing an x axis as an aligned text
+// table. Series are matched by x value; missing cells render as "-".
+func Table(xLabel string, series ...*Series) string {
+	xsSet := map[float64]struct{}{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xsSet[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xLabel)
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return renderAligned(header, rows)
+}
+
+// WriteCSV emits the series sharing an x axis as CSV with a header row.
+func WriteCSV(w io.Writer, xLabel string, series ...*Series) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{xLabel}, names(series)...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	xsSet := map[float64]struct{}{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xsSet[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, s := range series {
+			if y, ok := s.At(x); ok {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush csv: %w", err)
+	}
+	return nil
+}
+
+func names(series []*Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+func renderAligned(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

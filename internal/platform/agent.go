@@ -1,0 +1,227 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// BidPolicy decides an agent's bids for an announced round. Returning an
+// empty slice abstains. Implementations must be deterministic per call;
+// they run on the agent's receive goroutine.
+type BidPolicy func(announce *AnnounceMsg) []WireBid
+
+// AgentConfig parameterizes a microservice agent.
+type AgentConfig struct {
+	// ID is the agent's bidder identifier (positive, unique).
+	ID int
+	// Capacity is Θ_i; 0 means unlimited.
+	Capacity int
+	// Arrive/Depart bound the participation window; both 0 means always.
+	Arrive, Depart int
+	// Policy produces bids per round; nil abstains from every round.
+	Policy BidPolicy
+	// DialTimeout bounds the connection attempt; zero means 3s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds sends; zero means 2s.
+	WriteTimeout time.Duration
+}
+
+func (c AgentConfig) dialTimeout() time.Duration {
+	if c.DialTimeout == 0 {
+		return 3 * time.Second
+	}
+	return c.DialTimeout
+}
+
+func (c AgentConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout == 0 {
+		return 2 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+// Award records a payment received by the agent.
+type Award struct {
+	T       int
+	Alt     int
+	Payment float64
+}
+
+// Agent is a microservice-side client of the auction platform.
+type Agent struct {
+	cfg  AgentConfig
+	c    *conn
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	awards   []Award
+	rounds   int
+	lastErr  error
+	shutdown bool
+}
+
+// Dial connects and registers an agent with the platform at addr, then
+// starts its receive loop.
+func Dial(addr string, cfg AgentConfig) (*Agent, error) {
+	if cfg.ID <= 0 {
+		return nil, fmt.Errorf("platform: agent id must be positive, got %d", cfg.ID)
+	}
+	raw, err := net.DialTimeout("tcp", addr, cfg.dialTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("platform: dial %s: %w", addr, err)
+	}
+	a := &Agent{cfg: cfg, c: newConn(raw), done: make(chan struct{})}
+	hello := &Envelope{Type: TypeHello, Hello: &HelloMsg{
+		AgentID: cfg.ID, Capacity: cfg.Capacity, Arrive: cfg.Arrive, Depart: cfg.Depart,
+	}}
+	if err := a.c.send(hello, cfg.writeTimeout()); err != nil {
+		_ = a.c.close()
+		return nil, err
+	}
+	env, err := a.c.recv(cfg.dialTimeout())
+	if err != nil {
+		_ = a.c.close()
+		return nil, fmt.Errorf("platform: agent %d registration: %w", cfg.ID, err)
+	}
+	switch env.Type {
+	case TypeWelcome:
+	case TypeError:
+		_ = a.c.close()
+		return nil, fmt.Errorf("%w: registration rejected: %s", ErrProtocol, env.Error)
+	default:
+		_ = a.c.close()
+		return nil, fmt.Errorf("%w: expected welcome, got %q", ErrProtocol, env.Type)
+	}
+
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.recvLoop()
+	}()
+	return a, nil
+}
+
+func (a *Agent) recvLoop() {
+	defer close(a.done)
+	for {
+		env, err := a.c.recv(0)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				a.setErr(err)
+			}
+			return
+		}
+		switch env.Type {
+		case TypeAnnounce:
+			a.onAnnounce(env.Announce)
+		case TypeResult:
+			a.onResult(env.Result)
+		case TypeShutdown:
+			a.mu.Lock()
+			a.shutdown = true
+			a.mu.Unlock()
+			return
+		case TypeError:
+			a.setErr(fmt.Errorf("%w: server error: %s", ErrProtocol, env.Error))
+			return
+		}
+	}
+}
+
+func (a *Agent) onAnnounce(msg *AnnounceMsg) {
+	if msg == nil {
+		return
+	}
+	a.mu.Lock()
+	a.rounds++
+	a.mu.Unlock()
+	if a.cfg.Policy == nil {
+		return
+	}
+	bids := a.cfg.Policy(msg)
+	if len(bids) == 0 {
+		return
+	}
+	env := &Envelope{Type: TypeBid, Bid: &BidSubmitMsg{T: msg.T, Bids: bids}}
+	if err := a.c.send(env, a.cfg.writeTimeout()); err != nil {
+		a.setErr(err)
+	}
+}
+
+func (a *Agent) onResult(msg *ResultMsg) {
+	if msg == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, aw := range msg.Awards {
+		if aw.Bidder == a.cfg.ID {
+			a.awards = append(a.awards, Award{T: msg.T, Alt: aw.Alt, Payment: aw.Payment})
+		}
+	}
+}
+
+func (a *Agent) setErr(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lastErr == nil {
+		a.lastErr = err
+	}
+}
+
+// Awards returns the payments received so far.
+func (a *Agent) Awards() []Award {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Award(nil), a.awards...)
+}
+
+// Earnings sums all payments received.
+func (a *Agent) Earnings() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total float64
+	for _, aw := range a.awards {
+		total += aw.Payment
+	}
+	return total
+}
+
+// RoundsSeen returns how many announcements the agent has received.
+func (a *Agent) RoundsSeen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rounds
+}
+
+// Err returns the first asynchronous error observed, if any.
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// ShutdownSeen reports whether the server announced shutdown.
+func (a *Agent) ShutdownSeen() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shutdown
+}
+
+// Done is closed when the receive loop exits (server gone or Close called).
+func (a *Agent) Done() <-chan struct{} { return a.done }
+
+// Close disconnects the agent and waits for its receive loop to stop.
+func (a *Agent) Close() error {
+	err := a.c.close()
+	a.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("platform: close agent %d: %w", a.cfg.ID, err)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Audit records every round the platform clears as one JSON line, so
+// operators can replay disputes offline (the records embed the full
+// assembled instance in the cmd/wspsolve format). Writers are serialized;
+// any io.Writer works (file, pipe, network).
+type Audit struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewAudit wraps a writer as an audit sink.
+func NewAudit(w io.Writer) *Audit {
+	return &Audit{w: w, enc: json.NewEncoder(w)}
+}
+
+// AuditRecord is one cleared (or failed) round.
+type AuditRecord struct {
+	// Kind is always "edgeauction-audit".
+	Kind string `json:"kind"`
+	// T is the round number.
+	T int `json:"t"`
+	// UnixMillis is the wall-clock time the round cleared.
+	UnixMillis int64 `json:"unix_ms"`
+	// Demand is the announced residual demand.
+	Demand []int `json:"demand"`
+	// NeedyIDs names the needy microservices, if provided.
+	NeedyIDs []int `json:"needy_ids,omitempty"`
+	// Bids holds every collected bid, by bidder.
+	Bids []AuditBid `json:"bids"`
+	// Awards holds winners and payments.
+	Awards []WireAward `json:"awards,omitempty"`
+	// SocialCost is the round's cleared cost.
+	SocialCost float64 `json:"social_cost"`
+	// Infeasible marks rounds whose demand could not be covered.
+	Infeasible bool `json:"infeasible,omitempty"`
+}
+
+// AuditBid is one collected bid in an audit record.
+type AuditBid struct {
+	Bidder int     `json:"bidder"`
+	Alt    int     `json:"alt"`
+	Price  float64 `json:"price"`
+	Covers []int   `json:"covers"`
+	Units  int     `json:"units"`
+}
+
+// record appends one line; errors are returned so the server can surface
+// them (an unwritable audit log is an operational fault, not a silent
+// degradation).
+func (a *Audit) record(rec *AuditRecord) error {
+	rec.Kind = "edgeauction-audit"
+	if rec.UnixMillis == 0 {
+		rec.UnixMillis = time.Now().UnixMilli()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.enc.Encode(rec); err != nil {
+		return fmt.Errorf("platform: write audit record: %w", err)
+	}
+	return nil
+}
+
+// ReadAudit parses an audit stream back into records.
+func ReadAudit(r io.Reader) ([]*AuditRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []*AuditRecord
+	for {
+		var rec AuditRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("platform: parse audit record %d: %w", len(out), err)
+		}
+		if rec.Kind != "edgeauction-audit" {
+			return nil, fmt.Errorf("%w: record %d has kind %q", ErrProtocol, len(out), rec.Kind)
+		}
+		out = append(out, &rec)
+	}
+}

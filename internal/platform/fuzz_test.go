@@ -1,0 +1,39 @@
+package platform
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAudit hardens the audit-log parser against corrupted or
+// adversarial files: arbitrary bytes must parse cleanly or fail cleanly.
+func FuzzReadAudit(f *testing.F) {
+	var buf bytes.Buffer
+	a := NewAudit(&buf)
+	if err := a.record(&AuditRecord{
+		T: 1, Demand: []int{2},
+		Bids:   []AuditBid{{Bidder: 1, Price: 5, Covers: []int{0}, Units: 1}},
+		Awards: []WireAward{{Bidder: 1, Payment: 7}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"kind":"edgeauction-audit","t":-1}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := ReadAudit(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, rec := range records {
+			if rec == nil {
+				t.Fatalf("record %d is nil without error", i)
+			}
+			if rec.Kind != "edgeauction-audit" {
+				t.Fatalf("record %d has wrong kind %q", i, rec.Kind)
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package platform turns the mechanism into a deployable distributed
+// system: an auctioneer daemon (the edge platform) speaking a JSON-line TCP
+// protocol with microservice agents. Each round the auctioneer announces
+// the residual demand, collects bids until a deadline, runs the online
+// auction (core.MSOA), pays winners, and broadcasts the result — the §II
+// message flow made concrete.
+package platform
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Message types on the wire. Every line is one JSON-encoded Envelope.
+const (
+	// TypeHello registers an agent (agent -> server).
+	TypeHello = "hello"
+	// TypeWelcome acknowledges registration (server -> agent).
+	TypeWelcome = "welcome"
+	// TypeAnnounce opens a bidding round (server -> agents).
+	TypeAnnounce = "announce"
+	// TypeBid submits an agent's alternative bids (agent -> server).
+	TypeBid = "bid"
+	// TypeResult closes a round with winners and payments
+	// (server -> agents).
+	TypeResult = "result"
+	// TypeError reports a protocol violation before disconnect.
+	TypeError = "error"
+	// TypeShutdown tells agents the platform is going away.
+	TypeShutdown = "shutdown"
+)
+
+// Envelope frames every protocol message.
+type Envelope struct {
+	Type     string        `json:"type"`
+	Hello    *HelloMsg     `json:"hello,omitempty"`
+	Welcome  *WelcomeMsg   `json:"welcome,omitempty"`
+	Announce *AnnounceMsg  `json:"announce,omitempty"`
+	Bid      *BidSubmitMsg `json:"bid,omitempty"`
+	Result   *ResultMsg    `json:"result,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// HelloMsg registers an agent with the platform.
+type HelloMsg struct {
+	// AgentID is the microservice's bidder identifier; must be positive
+	// and unique across live connections.
+	AgentID int `json:"agent_id"`
+	// Capacity is Θ_i, the lifetime coverage the agent is willing to
+	// share; 0 means unlimited.
+	Capacity int `json:"capacity"`
+	// Arrive and Depart bound the agent's participation window; both 0
+	// means always present.
+	Arrive int `json:"arrive,omitempty"`
+	Depart int `json:"depart,omitempty"`
+}
+
+// WelcomeMsg acknowledges a registration.
+type WelcomeMsg struct {
+	AgentID int `json:"agent_id"`
+	// Round is the next round number the agent will see.
+	Round int `json:"round"`
+}
+
+// AnnounceMsg opens round T for bidding.
+type AnnounceMsg struct {
+	T int `json:"t"`
+	// Demand is the residual coverage requirement per needy microservice.
+	Demand []int `json:"demand"`
+	// NeedyIDs names the needy microservices (aligned with Demand).
+	NeedyIDs []int `json:"needy_ids,omitempty"`
+	// DeadlineMillis is how long agents have to submit bids.
+	DeadlineMillis int64 `json:"deadline_ms"`
+}
+
+// WireBid is one alternative bid on the wire.
+type WireBid struct {
+	Alt    int     `json:"alt"`
+	Price  float64 `json:"price"`
+	Covers []int   `json:"covers"`
+	Units  int     `json:"units"`
+}
+
+// BidSubmitMsg carries an agent's bids for a round.
+type BidSubmitMsg struct {
+	T    int       `json:"t"`
+	Bids []WireBid `json:"bids"`
+}
+
+// WireAward is one winning bid in a result.
+type WireAward struct {
+	Bidder  int     `json:"bidder"`
+	Alt     int     `json:"alt"`
+	Payment float64 `json:"payment"`
+}
+
+// ResultMsg closes a round.
+type ResultMsg struct {
+	T          int         `json:"t"`
+	Awards     []WireAward `json:"awards"`
+	SocialCost float64     `json:"social_cost"`
+	// Infeasible reports a round whose demand could not be covered.
+	Infeasible bool `json:"infeasible,omitempty"`
+}
+
+// ErrProtocol reports a message that violates the protocol state machine.
+var ErrProtocol = errors.New("platform: protocol violation")
+
+// conn wraps a net.Conn with line-oriented JSON encode/decode and write
+// deadlines. It is not safe for concurrent writers; callers serialize.
+type conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, r: bufio.NewReader(raw)}
+}
+
+// send writes one envelope as a JSON line, bounded by timeout.
+func (c *conn) send(env *Envelope, timeout time.Duration) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("platform: marshal %s: %w", env.Type, err)
+	}
+	data = append(data, '\n')
+	if timeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("platform: set write deadline: %w", err)
+		}
+	}
+	if _, err := c.raw.Write(data); err != nil {
+		return fmt.Errorf("platform: write %s: %w", env.Type, err)
+	}
+	return nil
+}
+
+// recv reads one envelope, bounded by timeout (0 means no deadline).
+func (c *conn) recv(timeout time.Duration) (*Envelope, error) {
+	if timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("platform: set read deadline: %w", err)
+		}
+	} else {
+		if err := c.raw.SetReadDeadline(time.Time{}); err != nil {
+			return nil, fmt.Errorf("platform: clear read deadline: %w", err)
+		}
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(line) == 0 {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("platform: read line: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("%w: bad JSON: %v", ErrProtocol, err)
+	}
+	if env.Type == "" {
+		return nil, fmt.Errorf("%w: missing message type", ErrProtocol)
+	}
+	return &env, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

@@ -1,0 +1,402 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"edgeauction/internal/core"
+)
+
+// ServerConfig parameterizes the auctioneer daemon.
+type ServerConfig struct {
+	// BidDeadline is how long a round stays open for bids; zero means
+	// 500ms.
+	BidDeadline time.Duration
+	// WriteTimeout bounds individual sends; zero means 2s.
+	WriteTimeout time.Duration
+	// Auction configures the embedded online mechanism. Capacity and
+	// Windows are learned from agent registrations and merged in.
+	Auction core.MSOAConfig
+	// Logger receives operational messages; nil discards them.
+	Logger *log.Logger
+	// Audit, when non-nil, receives one JSON line per cleared round with
+	// the full collected instance and awards (see Audit/ReadAudit).
+	Audit *Audit
+}
+
+func (c ServerConfig) bidDeadline() time.Duration {
+	if c.BidDeadline == 0 {
+		return 500 * time.Millisecond
+	}
+	return c.BidDeadline
+}
+
+func (c ServerConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout == 0 {
+		return 2 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+// Server is the edge platform: it accepts agent connections and clears one
+// auction round per RunRound call.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+	logger   *log.Logger
+
+	mu       sync.Mutex
+	agents   map[int]*agentConn
+	round    int
+	closed   bool
+	msoa     *core.MSOA
+	capacity map[int]int
+	windows  map[int]core.BidderWindow
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// agentConn is one registered agent connection.
+type agentConn struct {
+	id   int
+	c    *conn
+	mu   sync.Mutex // serializes writes
+	bids chan *BidSubmitMsg
+}
+
+func (a *agentConn) send(env *Envelope, timeout time.Duration) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.c.send(env, timeout)
+}
+
+// NewServer starts listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("platform: listen %s: %w", addr, err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		logger:   logger,
+		agents:   make(map[int]*agentConn),
+		capacity: make(map[int]int),
+		windows:  make(map[int]core.BidderWindow),
+		cancel:   cancel,
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ctx)
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// AgentCount returns the number of registered agents.
+func (s *Server) AgentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.agents)
+}
+
+func (s *Server) acceptLoop(ctx context.Context) {
+	for {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			s.logger.Printf("accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(ctx, newConn(raw))
+		}()
+	}
+}
+
+// handle runs one agent connection: registration, then a read loop feeding
+// bid submissions into the per-agent channel.
+func (s *Server) handle(ctx context.Context, c *conn) {
+	defer func() {
+		if err := c.close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.logger.Printf("close agent conn: %v", err)
+		}
+	}()
+
+	env, err := c.recv(5 * time.Second)
+	if err != nil {
+		s.logger.Printf("registration read: %v", err)
+		return
+	}
+	if env.Type != TypeHello || env.Hello == nil || env.Hello.AgentID <= 0 {
+		_ = c.send(&Envelope{Type: TypeError, Error: "expected hello with positive agent_id"}, s.cfg.writeTimeout())
+		return
+	}
+	hello := env.Hello
+
+	agent := &agentConn{id: hello.AgentID, c: c, bids: make(chan *BidSubmitMsg, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = c.send(&Envelope{Type: TypeShutdown}, s.cfg.writeTimeout())
+		return
+	}
+	if _, dup := s.agents[hello.AgentID]; dup {
+		s.mu.Unlock()
+		_ = c.send(&Envelope{Type: TypeError, Error: fmt.Sprintf("agent %d already registered", hello.AgentID)}, s.cfg.writeTimeout())
+		return
+	}
+	s.agents[hello.AgentID] = agent
+	s.capacity[hello.AgentID] = hello.Capacity
+	if hello.Arrive != 0 || hello.Depart != 0 {
+		s.windows[hello.AgentID] = core.BidderWindow{Arrive: hello.Arrive, Depart: hello.Depart}
+	}
+	nextRound := s.round + 1
+	s.mu.Unlock()
+
+	if err := agent.send(&Envelope{Type: TypeWelcome, Welcome: &WelcomeMsg{AgentID: hello.AgentID, Round: nextRound}}, s.cfg.writeTimeout()); err != nil {
+		s.logger.Printf("welcome agent %d: %v", hello.AgentID, err)
+		s.dropAgent(hello.AgentID)
+		return
+	}
+	s.logger.Printf("agent %d registered (capacity %d)", hello.AgentID, hello.Capacity)
+
+	for {
+		env, err := c.recv(0)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.logger.Printf("agent %d read: %v", hello.AgentID, err)
+			}
+			s.dropAgent(hello.AgentID)
+			return
+		}
+		switch env.Type {
+		case TypeBid:
+			if env.Bid == nil {
+				continue
+			}
+			select {
+			case agent.bids <- env.Bid:
+			default:
+				// Agent sent multiple bid messages for one round; keep the
+				// first, as resubmission could game the critical payment.
+			}
+		default:
+			s.logger.Printf("agent %d sent unexpected %q", hello.AgentID, env.Type)
+		}
+	}
+}
+
+func (s *Server) dropAgent(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.agents, id)
+}
+
+// RoundOutcome is the platform-visible result of one cleared round.
+type RoundOutcome struct {
+	T          int
+	Awards     []WireAward
+	SocialCost float64
+	Infeasible bool
+	// Bids is the assembled instance the auction ran on (for audit).
+	Bids int
+}
+
+// RunRound clears one auction round for the given residual demand: it
+// announces the round, gathers bids until the deadline, runs the online
+// mechanism, and broadcasts the result. needyIDs (optional) names the
+// needy microservices for the agents' benefit.
+func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("platform: server closed")
+	}
+	s.round++
+	t := s.round
+	if s.msoa == nil {
+		cfg := s.cfg.Auction
+		if cfg.Capacity == nil {
+			cfg.Capacity = s.capacity
+		}
+		if cfg.Windows == nil {
+			cfg.Windows = s.windows
+		}
+		s.msoa = core.NewMSOA(cfg)
+	}
+	agents := make([]*agentConn, 0, len(s.agents))
+	for _, a := range s.agents {
+		agents = append(agents, a)
+	}
+	s.mu.Unlock()
+	sort.Slice(agents, func(i, j int) bool { return agents[i].id < agents[j].id })
+
+	deadline := s.cfg.bidDeadline()
+	announce := &Envelope{Type: TypeAnnounce, Announce: &AnnounceMsg{
+		T: t, Demand: demand, NeedyIDs: needyIDs, DeadlineMillis: deadline.Milliseconds(),
+	}}
+	for _, a := range agents {
+		// Drain any stale bid from a previous round.
+		select {
+		case <-a.bids:
+		default:
+		}
+		if err := a.send(announce, s.cfg.writeTimeout()); err != nil {
+			s.logger.Printf("announce to agent %d: %v", a.id, err)
+		}
+	}
+
+	// Gather bids until the deadline.
+	ins := &core.Instance{Demand: demand}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	pending := make(map[int]*agentConn, len(agents))
+	for _, a := range agents {
+		pending[a.id] = a
+	}
+gather:
+	for len(pending) > 0 {
+		collected := false
+		for id, a := range pending {
+			select {
+			case msg := <-a.bids:
+				if msg.T == t {
+					for _, wb := range msg.Bids {
+						ins.Bids = append(ins.Bids, core.Bid{
+							Bidder: id, Alt: wb.Alt, Price: wb.Price,
+							TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
+						})
+					}
+				}
+				delete(pending, id)
+				collected = true
+			default:
+			}
+		}
+		if collected {
+			continue
+		}
+		select {
+		case <-timer.C:
+			break gather
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Stable bid order: agents were iterated from a map above.
+	sort.Slice(ins.Bids, func(i, j int) bool {
+		if ins.Bids[i].Bidder != ins.Bids[j].Bidder {
+			return ins.Bids[i].Bidder < ins.Bids[j].Bidder
+		}
+		return ins.Bids[i].Alt < ins.Bids[j].Alt
+	})
+	if err := ins.Validate(); err != nil {
+		return nil, fmt.Errorf("platform: assembled invalid round instance: %w", err)
+	}
+
+	res := s.msoa.RunRound(core.Round{T: t, Instance: ins})
+	outcome := &RoundOutcome{T: t, Bids: len(ins.Bids)}
+	result := &ResultMsg{T: t}
+	if res.Err != nil {
+		outcome.Infeasible = true
+		result.Infeasible = true
+		s.logger.Printf("round %d infeasible: %v", t, res.Err)
+	} else {
+		outcome.SocialCost = res.Outcome.SocialCost
+		result.SocialCost = res.Outcome.SocialCost
+		for _, w := range res.Outcome.Winners {
+			b := ins.Bids[w]
+			award := WireAward{Bidder: b.Bidder, Alt: b.Alt, Payment: res.Outcome.Payments[w]}
+			outcome.Awards = append(outcome.Awards, award)
+			result.Awards = append(result.Awards, award)
+		}
+	}
+
+	env := &Envelope{Type: TypeResult, Result: result}
+	for _, a := range agents {
+		if err := a.send(env, s.cfg.writeTimeout()); err != nil {
+			s.logger.Printf("result to agent %d: %v", a.id, err)
+		}
+	}
+
+	if s.cfg.Audit != nil {
+		rec := &AuditRecord{
+			T:          t,
+			Demand:     demand,
+			NeedyIDs:   needyIDs,
+			Awards:     outcome.Awards,
+			SocialCost: outcome.SocialCost,
+			Infeasible: outcome.Infeasible,
+		}
+		for _, b := range ins.Bids {
+			rec.Bids = append(rec.Bids, AuditBid{
+				Bidder: b.Bidder, Alt: b.Alt, Price: b.Price, Covers: b.Covers, Units: b.Units,
+			})
+		}
+		if err := s.cfg.Audit.record(rec); err != nil {
+			return nil, err
+		}
+	}
+	return outcome, nil
+}
+
+// Summary returns the aggregate mechanism summary so far (nil before the
+// first round).
+func (s *Server) Summary() *core.OnlineSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.msoa == nil {
+		return nil
+	}
+	return s.msoa.Summary()
+}
+
+// Close shuts the platform down: notifies agents, stops accepting, and
+// waits for connection handlers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	agents := make([]*agentConn, 0, len(s.agents))
+	for _, a := range s.agents {
+		agents = append(agents, a)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	for _, a := range agents {
+		_ = a.send(&Envelope{Type: TypeShutdown}, s.cfg.writeTimeout())
+		_ = a.c.close()
+	}
+	err := s.listener.Close()
+	s.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("platform: close listener: %w", err)
+	}
+	return nil
+}

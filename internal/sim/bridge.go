@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/demand"
+	"edgeauction/internal/workload"
+)
+
+// Bridge converts simulator round reports into auction rounds: it runs the
+// demand estimator over each microservice's indicators, declares the
+// overloaded ones "needy", and has the underloaded ones submit bids
+// offering to yield resources to colocated needy microservices — the full
+// §II pipeline of (a) online demand estimation and (b) winner selection
+// input preparation.
+type Bridge struct {
+	cfg       BridgeConfig
+	estimator *demand.Estimator
+	sim       *Simulator
+	rng       *workload.Rand
+}
+
+// BridgeConfig parameterizes the conversion.
+type BridgeConfig struct {
+	// Estimator is the §III demand estimator; nil builds the AHP default.
+	Estimator *demand.Estimator
+	// NeedyUtilization is the utilization above which a microservice is
+	// considered needy; zero means 0.7.
+	NeedyUtilization float64
+	// BidderUtilization is the utilization below which a microservice is
+	// willing to yield resources; zero means 0.5.
+	BidderUtilization float64
+	// BidsPerBidder is J; zero means 2.
+	BidsPerBidder int
+	// UnitsPerDemand scales the continuous demand estimate into integer
+	// coverage units; zero means 1.
+	UnitsPerDemand float64
+	// BasePrice anchors bid prices; zero means 10 (the paper's price
+	// range starts at 10). The final price grows with the bidder's
+	// utilization — busier bidders value their resources more.
+	BasePrice float64
+	// PriceSpread is the utilization-driven price range on top of
+	// BasePrice; zero means 25 (prices span [10, 35] as in §V-A).
+	PriceSpread float64
+	// Seed seeds bid randomization.
+	Seed int64
+	// NoPlatformReserve disables the platform's fallback supply. By
+	// default each auctioned round includes one reserve bid (bidder id
+	// ReserveBidderID) covering every needy microservice at ReservePrice
+	// per coverage unit — the "more expensive alternative" the platform
+	// falls back to when colocated offers cannot cover the demand.
+	NoPlatformReserve bool
+	// ReservePrice is the platform fallback's per-unit price; zero means
+	// BasePrice+PriceSpread (the top of the market range).
+	ReservePrice float64
+}
+
+// ReserveBidderID identifies the platform's fallback supplier in auction
+// rounds produced by the bridge. It is far above any microservice id.
+const ReserveBidderID = 1 << 30
+
+func (c BridgeConfig) withDefaults() BridgeConfig {
+	if c.NeedyUtilization == 0 {
+		c.NeedyUtilization = 0.7
+	}
+	if c.BidderUtilization == 0 {
+		c.BidderUtilization = 0.5
+	}
+	if c.BidsPerBidder == 0 {
+		c.BidsPerBidder = 2
+	}
+	if c.UnitsPerDemand == 0 {
+		c.UnitsPerDemand = 1
+	}
+	if c.BasePrice == 0 {
+		c.BasePrice = 10
+	}
+	if c.PriceSpread == 0 {
+		c.PriceSpread = 25
+	}
+	if c.ReservePrice == 0 {
+		c.ReservePrice = c.BasePrice + c.PriceSpread
+	}
+	return c
+}
+
+// NewBridge builds a bridge for a simulator.
+func NewBridge(sim *Simulator, cfg BridgeConfig) (*Bridge, error) {
+	c := cfg.withDefaults()
+	est := c.Estimator
+	if est == nil {
+		var err error
+		est, err = demand.NewEstimator(demand.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("sim: build default estimator: %w", err)
+		}
+	}
+	return &Bridge{cfg: c, estimator: est, sim: sim, rng: workload.NewRand(c.Seed)}, nil
+}
+
+// AuctionRound is the bridge's output for one simulator round.
+type AuctionRound struct {
+	Round core.Round
+	// NeedyIDs maps needy index (Instance.Demand position) to
+	// microservice id.
+	NeedyIDs []int
+	// Estimates is the continuous demand estimate per microservice id.
+	Estimates map[int]float64
+}
+
+// Convert builds the auction round for a simulator report. Rounds with no
+// needy or no willing bidders yield an AuctionRound with an empty instance
+// (nothing to auction).
+func (b *Bridge) Convert(rep *RoundReport) *AuctionRound {
+	ar := &AuctionRound{
+		Round:     core.Round{T: rep.Round, Instance: &core.Instance{}},
+		Estimates: make(map[int]float64),
+	}
+
+	ids := make([]int, 0, len(rep.Indicators))
+	for id := range rep.Indicators {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	services := make(map[int]Microservice, len(b.sim.Services()))
+	for _, ms := range b.sim.Services() {
+		services[ms.ID] = ms
+	}
+
+	needyIdx := make(map[int]int) // ms id -> needy index
+	needyCloud := make(map[int][]int)
+	for _, id := range ids {
+		in := rep.Indicators[id]
+		est := b.estimator.Estimate(in)
+		ar.Estimates[id] = est
+		if in.ExecutionRate >= b.cfg.NeedyUtilization || rep.QueueLengths[id] > 0 {
+			units := b.estimator.EstimateUnits(in, b.cfg.UnitsPerDemand)
+			if units == 0 {
+				units = 1 // a backlogged service needs at least one unit
+			}
+			needyIdx[id] = len(ar.NeedyIDs)
+			ar.NeedyIDs = append(ar.NeedyIDs, id)
+			ar.Round.Instance.Demand = append(ar.Round.Instance.Demand, units)
+			needyCloud[services[id].Cloud] = append(needyCloud[services[id].Cloud], needyIdx[id])
+		}
+	}
+	if len(ar.NeedyIDs) == 0 {
+		return ar
+	}
+
+	for _, id := range ids {
+		in := rep.Indicators[id]
+		if _, isNeedy := needyIdx[id]; isNeedy || in.ExecutionRate > b.cfg.BidderUtilization {
+			continue
+		}
+		// Resource sharing happens within the same edge cloud (§II).
+		local := needyCloud[services[id].Cloud]
+		if len(local) == 0 {
+			continue
+		}
+		for alt := 0; alt < b.cfg.BidsPerBidder; alt++ {
+			k := 1 + b.rng.Intn(len(local))
+			cover := make([]int, 0, k)
+			for _, pos := range b.rng.Subset(len(local), k) {
+				cover = append(cover, local[pos])
+			}
+			// An idle bidder's spare capacity is what the fair share gave
+			// it minus what it uses; price reflects scarcity of the rest.
+			spare := (1 - in.ExecutionRate) * in.Allocated
+			units := int(spare/10) + 1
+			trueCost := b.cfg.BasePrice + b.cfg.PriceSpread*in.ExecutionRate +
+				b.rng.Uniform(0, b.cfg.PriceSpread/5)
+			ar.Round.Instance.Bids = append(ar.Round.Instance.Bids, core.Bid{
+				Bidder:   id,
+				Alt:      alt,
+				Price:    trueCost,
+				TrueCost: trueCost,
+				Covers:   cover,
+				Units:    units,
+			})
+		}
+	}
+	if !b.cfg.NoPlatformReserve {
+		b.addReserve(ar)
+	}
+	return ar
+}
+
+// addReserve appends the platform's fallback pool: a binary ladder of
+// single-needy reserve bids (1, 2, 4, ... units at ReservePrice per unit,
+// distinct bidder ids from ReserveBidderID upward), guaranteeing the round
+// is coverable while keeping fallback purchases granular.
+func (b *Bridge) addReserve(ar *AuctionRound) {
+	ins := ar.Round.Instance
+	if ins.TotalDemand() == 0 {
+		return
+	}
+	bidder := ReserveBidderID
+	for k, d := range ins.Demand {
+		if d == 0 {
+			continue
+		}
+		for units := 1; units/2 < d; units *= 2 {
+			price := b.cfg.ReservePrice * float64(units)
+			ins.Bids = append(ins.Bids, core.Bid{
+				Bidder:   bidder,
+				Price:    price,
+				TrueCost: price,
+				Covers:   []int{k},
+				Units:    units,
+			})
+			bidder++
+		}
+	}
+}
+
+// ConvertAll converts a full simulation's reports.
+func (b *Bridge) ConvertAll(reports []*RoundReport) []*AuctionRound {
+	out := make([]*AuctionRound, 0, len(reports))
+	for _, rep := range reports {
+		out = append(out, b.Convert(rep))
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package sim is a discrete-event simulator of a microservice-based edge
+// cloud: Poisson request arrivals per microservice class, FIFO service at a
+// rate set by the fair-share resource allocation of the hosting edge cloud,
+// and per-round indicator collection (waiting time, processing rate,
+// request rate, utilization) feeding the demand estimator of §III. It is
+// the substrate standing in for the paper's simulated testbed of 10 base
+// stations and 300 users.
+package sim
+
+import "container/heap"
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evArrival eventKind = iota + 1
+	evCompletion
+	evRoundEnd
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   float64
+	kind eventKind
+	ms   int // microservice id (arrival/completion)
+	seq  int // completion guard: matches microservice.seq or is stale
+	idx  int // heap index
+}
+
+// eventQueue is a min-heap on event time with FIFO tie-breaking by
+// insertion order (via a monotonically increasing tiebreak counter encoded
+// in insertion sequence — heap stability is not required for correctness
+// because ties are broken deterministically by comparing kinds: round ends
+// fire after completions and arrivals at the same instant, so a round's
+// statistics include everything that happened within it).
+type eventQueue struct {
+	items []*event
+}
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	// Same instant: completions and arrivals before round end.
+	return a.kind < b.kind
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].idx = i
+	q.items[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(q.items)
+	q.items = append(q.items, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return e
+}
+
+// schedule pushes a new event.
+func (q *eventQueue) schedule(e *event) { heap.Push(q, e) }
+
+// next pops the earliest event, or nil when empty.
+func (q *eventQueue) next() *event {
+	if q.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*event)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"edgeauction/internal/topology"
+	"edgeauction/internal/workload"
+)
+
+// TestSimulatorMatchesMM1Theory validates the discrete-event engine against
+// closed-form queueing theory: a single microservice with Poisson arrivals
+// and exponential work served at a fixed rate is an M/M/1 queue, whose mean
+// waiting time in queue is Wq = ρ/(μ(1−ρ)). A correct event engine must
+// land near the formula; errors in arrival generation, service accounting,
+// or completion scheduling all shift it.
+func TestSimulatorMatchesMM1Theory(t *testing.T) {
+	const (
+		roundLength = 600.0
+		capacity    = 100.0 // the single service gets the whole cloud
+		rounds      = 3000
+	)
+	// Delay-sensitive class: Poisson mean 5 per round => λ = 5/600 per s.
+	lambda := 5.0 / roundLength
+
+	for _, rho := range []float64{0.3, 0.6} {
+		// ρ = λ·E[S], E[S] = WorkMean/capacity => WorkMean = ρ·capacity/λ.
+		workMean := rho * capacity / lambda
+		topo := topology.Generate(workload.NewRand(1), topology.Config{Clouds: 1, Users: 5})
+		s, err := New(Config{
+			Topology:    topo,
+			Services:    1,
+			Rounds:      rounds,
+			RoundLength: roundLength,
+			WorkMean:    workMean,
+			Seed:        42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var waitingSum float64
+		var completions int
+		for _, rep := range s.Run() {
+			n := rep.Indicators[1].ServedResponses
+			waitingSum += rep.MeanWaiting[1] * float64(n)
+			completions += n
+		}
+		if completions < 10000 {
+			t.Fatalf("ρ=%v: only %d completions, too few for the comparison", rho, completions)
+		}
+		measured := waitingSum / float64(completions)
+
+		mu := capacity / workMean // service rate (1/E[S])
+		want := rho / (mu * (1 - rho))
+		if rel := math.Abs(measured-want) / want; rel > 0.15 {
+			t.Fatalf("ρ=%v: mean waiting %v, M/M/1 predicts %v (%.1f%% off)",
+				rho, measured, want, 100*rel)
+		}
+	}
+}
+
+// TestSimulatorUtilizationMatchesRho cross-checks the busy-fraction
+// accounting: measured utilization must equal ρ within sampling noise.
+func TestSimulatorUtilizationMatchesRho(t *testing.T) {
+	const (
+		roundLength = 600.0
+		capacity    = 100.0
+		rounds      = 1500
+		rho         = 0.5
+	)
+	lambda := 5.0 / roundLength
+	workMean := rho * capacity / lambda
+	topo := topology.Generate(workload.NewRand(2), topology.Config{Clouds: 1, Users: 5})
+	s, err := New(Config{
+		Topology:    topo,
+		Services:    1,
+		Rounds:      rounds,
+		RoundLength: roundLength,
+		WorkMean:    workMean,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var utilSum float64
+	for _, rep := range s.Run() {
+		utilSum += rep.Indicators[1].ExecutionRate
+	}
+	measured := utilSum / rounds
+	if math.Abs(measured-rho) > 0.05 {
+		t.Fatalf("measured utilization %v, want ρ=%v", measured, rho)
+	}
+}

@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"edgeauction/internal/demand"
+	"edgeauction/internal/topology"
+	"edgeauction/internal/workload"
+)
+
+// Microservice is one deployed microservice instance.
+type Microservice struct {
+	// ID is the 1-based microservice identifier.
+	ID int
+	// Class selects the arrival process and priority (§V-A).
+	Class workload.Class
+	// Cloud is the hosting edge cloud id.
+	Cloud int
+	// WorkMean is the mean work units per request (exponential).
+	WorkMean float64
+	// TargetRate is ς_i: the processing rate needed to meet the class's
+	// latency expectation, in requests per time unit.
+	TargetRate float64
+}
+
+// request is an in-flight user request.
+type request struct {
+	arrived  float64
+	started  float64
+	work     float64 // remaining work units
+	deadline float64 // SLA completion deadline (absolute time)
+}
+
+// msState is the runtime state of one microservice.
+type msState struct {
+	def   Microservice
+	queue []request
+	// inService is whether queue[0] is being processed.
+	inService bool
+	// rate is the current service rate in work units per time unit
+	// (allocated resources).
+	rate float64
+	// seq invalidates stale completion events after rate changes.
+	seq int
+	// lastUpdate is the last time remaining work was accounted.
+	lastUpdate float64
+	// round statistics
+	stats roundStats
+	// arrivalMean is Poisson arrivals per round.
+	arrivalMean float64
+}
+
+// roundStats accumulates one round of observations for a microservice.
+type roundStats struct {
+	arrivals      int
+	completions   int
+	busyTime      float64
+	waitingSum    float64 // sum over completions of (start - arrival)
+	serviceSum    float64 // sum over completions of (completion - start)
+	slaViolations int     // completions past their SLA deadline
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Topology is the physical layer; nil generates the default §V-A
+	// topology from the simulation's RNG.
+	Topology *topology.Topology
+	// Services is the number of microservices; zero means 25. They are
+	// assigned round-robin to edge clouds with alternating classes.
+	Services int
+	// RoundLength is the simulated duration of one round; zero means 600
+	// (the paper's 10-minute rounds, in seconds).
+	RoundLength float64
+	// Rounds is the number of rounds to simulate; zero means 10.
+	Rounds int
+	// WorkMean is mean work units per request; zero means 30.
+	WorkMean float64
+	// Work selects the per-request work distribution; zero means
+	// WorkExponential. See WorkDist for the paper's future-work variants.
+	Work WorkDist
+	// DeadlineFactor sets the SLA deadline of a request as a multiple of
+	// the round length: delay-sensitive requests must complete within
+	// DeadlineFactor x RoundLength of arrival, delay-tolerant ones within
+	// 5x that. Zero means 0.05 (30 simulated seconds of a 10-minute
+	// round).
+	DeadlineFactor float64
+	// SensitiveShare is the fair-share priority weight of delay-sensitive
+	// microservices relative to delay-tolerant ones; zero means 2.
+	SensitiveShare float64
+	// Seed seeds the simulation RNG.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Services == 0 {
+		c.Services = 25
+	}
+	if c.RoundLength == 0 {
+		c.RoundLength = 600
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.WorkMean == 0 {
+		c.WorkMean = 30
+	}
+	if c.SensitiveShare == 0 {
+		c.SensitiveShare = 2
+	}
+	if c.Work == 0 {
+		c.Work = WorkExponential
+	}
+	if c.DeadlineFactor == 0 {
+		c.DeadlineFactor = 0.05
+	}
+	return c
+}
+
+// RoundReport is the simulator's per-round output: the indicator snapshot
+// per microservice, ready for the demand estimator.
+type RoundReport struct {
+	Round      int
+	Indicators map[int]demand.Indicators // by microservice id
+	// QueueLengths is the backlog per microservice at round end.
+	QueueLengths map[int]int
+	// Allocated is the fair-share allocation per microservice this round.
+	Allocated map[int]float64
+	// SLAViolations counts completions past their class deadline this
+	// round, per microservice.
+	SLAViolations map[int]int
+	// MeanWaiting is the mean request waiting time per microservice this
+	// round (0 when nothing completed).
+	MeanWaiting map[int]float64
+}
+
+// Simulator drives the discrete-event simulation.
+type Simulator struct {
+	cfg      Config
+	topo     *topology.Topology
+	rng      *workload.Rand
+	services map[int]*msState
+	order    []int // deterministic iteration order of services
+	queue    *eventQueue
+	now      float64
+	round    int
+}
+
+// New builds a simulator. It returns an error for invalid configurations.
+func New(cfg Config) (*Simulator, error) {
+	c := cfg.withDefaults()
+	if c.Services < 1 {
+		return nil, fmt.Errorf("sim: need at least one microservice, got %d", c.Services)
+	}
+	if c.RoundLength <= 0 || c.Rounds < 1 {
+		return nil, fmt.Errorf("sim: invalid schedule: round length %v, rounds %d", c.RoundLength, c.Rounds)
+	}
+	if err := validateWorkDist(c.Work); err != nil {
+		return nil, err
+	}
+	rng := workload.NewRand(c.Seed)
+	topo := c.Topology
+	if topo == nil {
+		topo = topology.Generate(rng.Fork(), topology.Config{})
+	}
+	s := &Simulator{
+		cfg:      c,
+		topo:     topo,
+		rng:      rng,
+		services: make(map[int]*msState, c.Services),
+		queue:    &eventQueue{},
+	}
+	for i := 1; i <= c.Services; i++ {
+		class := workload.DelaySensitive
+		if i%2 == 0 {
+			class = workload.DelayTolerant
+		}
+		cloud := ((i - 1) % len(topo.Clouds)) + 1
+		def := Microservice{
+			ID:       i,
+			Class:    class,
+			Cloud:    cloud,
+			WorkMean: c.WorkMean,
+			// Delay-sensitive services need to keep up with their
+			// arrival rate with 50% headroom; tolerant ones with 10%.
+			TargetRate: class.ArrivalMean() / c.RoundLength * headroom(class),
+		}
+		s.services[i] = &msState{def: def, arrivalMean: class.ArrivalMean()}
+		s.order = append(s.order, i)
+	}
+	return s, nil
+}
+
+func headroom(class workload.Class) float64 {
+	if class == workload.DelaySensitive {
+		return 1.5
+	}
+	return 1.1
+}
+
+// Topology returns the simulated physical layer.
+func (s *Simulator) Topology() *topology.Topology { return s.topo }
+
+// Services returns the microservice definitions in id order.
+func (s *Simulator) Services() []Microservice {
+	out := make([]Microservice, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.services[id].def)
+	}
+	return out
+}
+
+// Run simulates all configured rounds and returns one report per round.
+func (s *Simulator) Run() []*RoundReport {
+	reports := make([]*RoundReport, 0, s.cfg.Rounds)
+	for r := 1; r <= s.cfg.Rounds; r++ {
+		reports = append(reports, s.RunRound())
+	}
+	return reports
+}
+
+// RunRound simulates a single round and returns its report.
+func (s *Simulator) RunRound() *RoundReport {
+	s.round++
+	roundEnd := float64(s.round) * s.cfg.RoundLength
+
+	// Fair-share allocation for this round, then reschedule in-flight work
+	// under the new rates.
+	alloc := s.fairShare()
+	for _, id := range s.order {
+		st := s.services[id]
+		s.accrue(st)
+		st.stats = roundStats{}
+		st.rate = alloc[id]
+		s.reschedule(st)
+	}
+
+	// Seed this round's Poisson arrivals, uniformly spread in the round.
+	for _, id := range s.order {
+		st := s.services[id]
+		n := s.rng.Poisson(st.arrivalMean)
+		for i := 0; i < n; i++ {
+			at := roundEnd - s.rng.Float64()*s.cfg.RoundLength
+			s.queue.schedule(&event{at: at, kind: evArrival, ms: id})
+		}
+	}
+	s.queue.schedule(&event{at: roundEnd, kind: evRoundEnd})
+
+	for {
+		e := s.queue.next()
+		if e == nil {
+			s.now = roundEnd
+			break
+		}
+		s.now = e.at
+		if e.kind == evRoundEnd {
+			break
+		}
+		switch e.kind {
+		case evArrival:
+			s.onArrival(e.ms)
+		case evCompletion:
+			s.onCompletion(e.ms, e.seq)
+		}
+	}
+	return s.report(alloc)
+}
+
+// fairShare splits each cloud's capacity among its hosted microservices,
+// weighting delay-sensitive services by SensitiveShare (the paper gives
+// them higher priority).
+func (s *Simulator) fairShare() map[int]float64 {
+	weight := func(st *msState) float64 {
+		if st.def.Class == workload.DelaySensitive {
+			return s.cfg.SensitiveShare
+		}
+		return 1
+	}
+	cloudWeight := make(map[int]float64)
+	for _, id := range s.order {
+		st := s.services[id]
+		cloudWeight[st.def.Cloud] += weight(st)
+	}
+	alloc := make(map[int]float64, len(s.order))
+	for _, id := range s.order {
+		st := s.services[id]
+		cloud, err := s.topo.Cloud(st.def.Cloud)
+		if err != nil {
+			continue // unreachable by construction
+		}
+		alloc[id] = cloud.Capacity * weight(st) / cloudWeight[st.def.Cloud]
+	}
+	return alloc
+}
+
+// accrue charges elapsed service work and busy time up to s.now.
+func (s *Simulator) accrue(st *msState) {
+	if st.inService && len(st.queue) > 0 {
+		elapsed := s.now - st.lastUpdate
+		st.queue[0].work -= elapsed * st.rate
+		st.stats.busyTime += elapsed
+	}
+	st.lastUpdate = s.now
+}
+
+// reschedule re-issues the completion event of the in-service request under
+// the current rate (invalidating any stale event via seq).
+func (s *Simulator) reschedule(st *msState) {
+	st.seq++
+	if !st.inService || len(st.queue) == 0 {
+		return
+	}
+	if st.rate <= 0 {
+		return // starved: no completion until rate returns
+	}
+	remaining := st.queue[0].work
+	if remaining < 0 {
+		remaining = 0
+	}
+	s.queue.schedule(&event{
+		at: s.now + remaining/st.rate, kind: evCompletion, ms: st.def.ID, seq: st.seq,
+	})
+}
+
+func (s *Simulator) onArrival(id int) {
+	st := s.services[id]
+	s.accrue(st)
+	st.stats.arrivals++
+	deadline := s.cfg.DeadlineFactor * s.cfg.RoundLength
+	if st.def.Class == workload.DelayTolerant {
+		deadline *= 5
+	}
+	st.queue = append(st.queue, request{
+		arrived:  s.now,
+		work:     drawWork(s.rng, s.cfg.Work, st.def.WorkMean),
+		deadline: s.now + deadline,
+	})
+	if !st.inService {
+		st.inService = true
+		st.queue[0].started = s.now
+		s.reschedule(st)
+	}
+}
+
+func (s *Simulator) onCompletion(id, seq int) {
+	st := s.services[id]
+	if seq != st.seq || !st.inService || len(st.queue) == 0 {
+		return // stale event from before a reschedule
+	}
+	s.accrue(st)
+	done := st.queue[0]
+	st.queue = st.queue[1:]
+	st.stats.completions++
+	st.stats.waitingSum += done.started - done.arrived
+	st.stats.serviceSum += s.now - done.started
+	if s.now > done.deadline {
+		st.stats.slaViolations++
+	}
+	if len(st.queue) > 0 {
+		st.queue[0].started = s.now
+		s.reschedule(st)
+	} else {
+		st.inService = false
+		st.seq++
+	}
+}
+
+// report assembles the round's indicator snapshot.
+func (s *Simulator) report(alloc map[int]float64) *RoundReport {
+	rep := &RoundReport{
+		Round:         s.round,
+		Indicators:    make(map[int]demand.Indicators, len(s.order)),
+		QueueLengths:  make(map[int]int, len(s.order)),
+		Allocated:     alloc,
+		SLAViolations: make(map[int]int, len(s.order)),
+		MeanWaiting:   make(map[int]float64, len(s.order)),
+	}
+	maxAlloc := 0.0
+	for _, a := range alloc {
+		if a > maxAlloc {
+			maxAlloc = a
+		}
+	}
+	// Neighbor density per cloud: hosted services per cloud.
+	perCloud := make(map[int]int)
+	for _, id := range s.order {
+		perCloud[s.services[id].def.Cloud]++
+	}
+	for _, id := range s.order {
+		st := s.services[id]
+		s.accrue(st)
+		achieved := 0.0
+		if st.stats.serviceSum > 0 {
+			achieved = float64(st.stats.completions) / s.cfg.RoundLength
+		}
+		util := st.stats.busyTime / s.cfg.RoundLength
+		if util > 1 {
+			util = 1
+		}
+		rep.Indicators[id] = demand.Indicators{
+			ServedResponses:   st.stats.completions,
+			ReceivedResponses: st.stats.arrivals,
+			NeededRate:        st.def.TargetRate,
+			AchievedRate:      achieved,
+			Allocated:         alloc[id],
+			MaxAllocated:      maxAlloc,
+			ExecutionRate:     util,
+			NeighborDensity:   math.Max(1, float64(perCloud[st.def.Cloud])),
+			Round:             s.round,
+		}
+		rep.QueueLengths[id] = len(st.queue)
+		rep.SLAViolations[id] = st.stats.slaViolations
+		if st.stats.completions > 0 {
+			rep.MeanWaiting[id] = st.stats.waitingSum / float64(st.stats.completions)
+		}
+	}
+	return rep
+}
+
+// MeanWaiting returns the mean request waiting time observed for a
+// microservice in the current round's statistics (0 when nothing
+// completed). Exposed for tests and the simulator CLI.
+func (s *Simulator) MeanWaiting(id int) float64 {
+	st, ok := s.services[id]
+	if !ok || st.stats.completions == 0 {
+		return 0
+	}
+	return st.stats.waitingSum / float64(st.stats.completions)
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"edgeauction/internal/workload"
+)
+
+func newSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Services: -1}); err == nil {
+		t.Fatal("negative services must be rejected")
+	}
+	if _, err := New(Config{RoundLength: -5}); err == nil {
+		t.Fatal("negative round length must be rejected")
+	}
+	if _, err := New(Config{Rounds: -2}); err == nil {
+		t.Fatal("negative rounds must be rejected")
+	}
+}
+
+func TestServicesAlternateClasses(t *testing.T) {
+	s := newSim(t, Config{Services: 6, Seed: 1})
+	services := s.Services()
+	if len(services) != 6 {
+		t.Fatalf("services = %d", len(services))
+	}
+	for _, ms := range services {
+		want := workload.DelaySensitive
+		if ms.ID%2 == 0 {
+			want = workload.DelayTolerant
+		}
+		if ms.Class != want {
+			t.Fatalf("ms %d class = %v, want %v", ms.ID, ms.Class, want)
+		}
+		if ms.Cloud < 1 || ms.Cloud > len(s.Topology().Clouds) {
+			t.Fatalf("ms %d on unknown cloud %d", ms.ID, ms.Cloud)
+		}
+	}
+}
+
+func TestRunProducesReportsPerRound(t *testing.T) {
+	s := newSim(t, Config{Services: 10, Rounds: 4, Seed: 2})
+	reports := s.Run()
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.Round != i+1 {
+			t.Fatalf("report %d has round %d", i, rep.Round)
+		}
+		if len(rep.Indicators) != 10 {
+			t.Fatalf("round %d has %d indicator sets, want 10", rep.Round, len(rep.Indicators))
+		}
+		for id, in := range rep.Indicators {
+			if in.Round != rep.Round {
+				t.Fatalf("ms %d indicator round %d != %d", id, in.Round, rep.Round)
+			}
+			if in.ExecutionRate < 0 || in.ExecutionRate > 1 {
+				t.Fatalf("ms %d utilization %v outside [0,1]", id, in.ExecutionRate)
+			}
+			if in.ServedResponses > in.ReceivedResponses+rep.QueueLengths[id]+100 {
+				t.Fatalf("ms %d served more than plausible", id)
+			}
+			if in.Allocated <= 0 {
+				t.Fatalf("ms %d allocated %v, want positive fair share", id, in.Allocated)
+			}
+			if in.MaxAllocated < in.Allocated {
+				t.Fatalf("ms %d max allocation below own allocation", id)
+			}
+			if in.NeighborDensity < 1 {
+				t.Fatalf("ms %d neighbor density %v < 1", id, in.NeighborDensity)
+			}
+		}
+	}
+}
+
+func TestFairShareFavorsDelaySensitive(t *testing.T) {
+	s := newSim(t, Config{Services: 20, Seed: 3, SensitiveShare: 2})
+	rep := s.RunRound()
+	services := map[int]Microservice{}
+	for _, ms := range s.Services() {
+		services[ms.ID] = ms
+	}
+	// Compare same-cloud pairs of different classes.
+	checked := false
+	for a, inA := range rep.Indicators {
+		for b, inB := range rep.Indicators {
+			msA, msB := services[a], services[b]
+			if msA.Cloud != msB.Cloud || msA.Class == msB.Class {
+				continue
+			}
+			checked = true
+			sensitive, tolerant := inA, inB
+			if msA.Class == workload.DelayTolerant {
+				sensitive, tolerant = inB, inA
+			}
+			if sensitive.Allocated <= tolerant.Allocated {
+				t.Fatalf("delay-sensitive allocation %v not above tolerant %v on cloud %d",
+					sensitive.Allocated, tolerant.Allocated, msA.Cloud)
+			}
+			if ratio := sensitive.Allocated / tolerant.Allocated; math.Abs(ratio-2) > 1e-9 {
+				t.Fatalf("priority ratio = %v, want 2", ratio)
+			}
+		}
+	}
+	if !checked {
+		t.Skip("no mixed-class cloud in this draw")
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Over a long run with light load everything that arrives completes.
+	s := newSim(t, Config{Services: 4, Rounds: 20, WorkMean: 1, Seed: 4})
+	var arrived, completed, backlog int
+	for _, rep := range s.Run() {
+		for _, in := range rep.Indicators {
+			arrived += in.ReceivedResponses
+			completed += in.ServedResponses
+		}
+		backlog = 0
+		for _, q := range rep.QueueLengths {
+			backlog += q
+		}
+	}
+	if arrived == 0 {
+		t.Fatal("no arrivals in 20 rounds")
+	}
+	if completed+backlog < arrived {
+		t.Fatalf("lost requests: arrived %d, completed %d, backlog %d", arrived, completed, backlog)
+	}
+	if completed > arrived {
+		t.Fatalf("completed %d more than arrived %d", completed, arrived)
+	}
+	if backlog != 0 {
+		t.Fatalf("light load should fully drain, %d left", backlog)
+	}
+}
+
+func TestHeavyLoadBuildsBacklogAndUtilization(t *testing.T) {
+	s := newSim(t, Config{Services: 10, Rounds: 6, WorkMean: 50000, Seed: 5})
+	reports := s.Run()
+	last := reports[len(reports)-1]
+	backlog := 0
+	var maxUtil float64
+	for id, q := range last.QueueLengths {
+		backlog += q
+		if u := last.Indicators[id].ExecutionRate; u > maxUtil {
+			maxUtil = u
+		}
+	}
+	if backlog == 0 {
+		t.Fatal("overloaded system should have a backlog")
+	}
+	if maxUtil < 0.9 {
+		t.Fatalf("overloaded system max utilization %v, want near 1", maxUtil)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []*RoundReport {
+		return newSim(t, Config{Services: 8, Rounds: 3, Seed: 42}).Run()
+	}
+	a, b := run(), run()
+	for i := range a {
+		for id, inA := range a[i].Indicators {
+			inB := b[i].Indicators[id]
+			if inA != inB {
+				t.Fatalf("round %d ms %d: %+v vs %+v", i+1, id, inA, inB)
+			}
+		}
+	}
+}
+
+func TestBridgeConvert(t *testing.T) {
+	s := newSim(t, Config{Services: 20, Rounds: 3, WorkMean: 600, Seed: 7})
+	bridge, err := NewBridge(s, BridgeConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNeedy := false
+	for _, rep := range s.Run() {
+		ar := bridge.Convert(rep)
+		ins := ar.Round.Instance
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("round %d: bridge produced invalid instance: %v", rep.Round, err)
+		}
+		if len(ar.Estimates) != 20 {
+			t.Fatalf("round %d: estimates for %d services, want 20", rep.Round, len(ar.Estimates))
+		}
+		if ins.NumNeedy() == 0 {
+			continue
+		}
+		sawNeedy = true
+		if len(ar.NeedyIDs) != ins.NumNeedy() {
+			t.Fatalf("needy ids %d != demands %d", len(ar.NeedyIDs), ins.NumNeedy())
+		}
+		// Needy services never bid.
+		needySet := map[int]bool{}
+		for _, id := range ar.NeedyIDs {
+			needySet[id] = true
+		}
+		hasReserve := false
+		for _, b := range ins.Bids {
+			if b.Bidder >= ReserveBidderID {
+				hasReserve = true
+				if len(b.Covers) != 1 {
+					t.Fatal("reserve rungs must cover exactly one needy microservice")
+				}
+				continue
+			}
+			if needySet[b.Bidder] {
+				t.Fatalf("needy ms %d submitted a bid", b.Bidder)
+			}
+		}
+		if !hasReserve {
+			t.Fatal("platform reserve missing")
+		}
+		if !ins.Coverable() {
+			t.Fatal("bridge round not coverable despite reserve")
+		}
+	}
+	if !sawNeedy {
+		t.Fatal("contended configuration produced no needy rounds")
+	}
+}
+
+func TestBridgeNoReserveOption(t *testing.T) {
+	s := newSim(t, Config{Services: 20, Rounds: 2, WorkMean: 600, Seed: 7})
+	bridge, err := NewBridge(s, BridgeConfig{Seed: 7, NoPlatformReserve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range s.Run() {
+		ar := bridge.Convert(rep)
+		for _, b := range ar.Round.Instance.Bids {
+			if b.Bidder >= ReserveBidderID {
+				t.Fatal("reserve bid present despite NoPlatformReserve")
+			}
+		}
+	}
+}
+
+func TestMeanWaitingAccessor(t *testing.T) {
+	s := newSim(t, Config{Services: 4, Rounds: 1, WorkMean: 1, Seed: 9})
+	s.RunRound()
+	if w := s.MeanWaiting(1); w < 0 {
+		t.Fatalf("mean waiting negative: %v", w)
+	}
+	if w := s.MeanWaiting(999); w != 0 {
+		t.Fatalf("unknown service should report 0, got %v", w)
+	}
+}

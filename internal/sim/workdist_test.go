@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"edgeauction/internal/workload"
+)
+
+func TestDrawWorkMeansMatch(t *testing.T) {
+	rng := workload.NewRand(1)
+	const mean = 40.0
+	const n = 50000
+	for _, dist := range []WorkDist{WorkExponential, WorkPareto, WorkUniform, WorkDeterministic} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			w := drawWork(rng, dist, mean)
+			if w <= 0 {
+				t.Fatalf("%v: non-positive work %v", dist, w)
+			}
+			sum += w
+		}
+		got := sum / n
+		tol := 0.05 * mean
+		if dist == WorkPareto {
+			tol = 0.15 * mean // heavy tail converges slowly
+		}
+		if math.Abs(got-mean) > tol {
+			t.Fatalf("%v: sample mean %v, want ~%v", dist, got, mean)
+		}
+	}
+}
+
+func TestDrawWorkDeterministicIsExact(t *testing.T) {
+	rng := workload.NewRand(2)
+	for i := 0; i < 10; i++ {
+		if w := drawWork(rng, WorkDeterministic, 7.5); w != 7.5 {
+			t.Fatalf("deterministic work = %v", w)
+		}
+	}
+}
+
+func TestDrawWorkParetoHasHeavyTail(t *testing.T) {
+	rng := workload.NewRand(3)
+	const mean = 10.0
+	const n = 200000
+	exceed := func(dist WorkDist, threshold float64) int {
+		count := 0
+		for i := 0; i < n; i++ {
+			if drawWork(rng, dist, mean) > threshold {
+				count++
+			}
+		}
+		return count
+	}
+	pareto := exceed(WorkPareto, 10*mean)
+	expo := exceed(WorkExponential, 10*mean)
+	if pareto <= expo {
+		t.Fatalf("Pareto tail (%d > 10x mean) should dominate exponential (%d)", pareto, expo)
+	}
+}
+
+func TestWorkDistStrings(t *testing.T) {
+	names := map[WorkDist]string{
+		WorkExponential:   "exponential",
+		WorkPareto:        "pareto",
+		WorkUniform:       "uniform",
+		WorkDeterministic: "deterministic",
+		WorkDist(99):      "unknown",
+	}
+	for d, want := range names {
+		if got := d.String(); got != want {
+			t.Fatalf("WorkDist(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestValidateWorkDist(t *testing.T) {
+	if err := validateWorkDist(WorkPareto); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateWorkDist(0); err != nil {
+		t.Fatal("zero value must be accepted (defaulted)")
+	}
+	if err := validateWorkDist(WorkDist(42)); err == nil {
+		t.Fatal("unknown distribution must be rejected")
+	}
+	if _, err := New(Config{Work: WorkDist(42)}); err == nil {
+		t.Fatal("New must reject unknown work distribution")
+	}
+}
+
+func TestSimSLAViolationsTracked(t *testing.T) {
+	// Saturated system: deadlines are missed.
+	s := newSim(t, Config{Services: 6, Rounds: 4, WorkMean: 50000, Seed: 4, DeadlineFactor: 0.01})
+	total := 0
+	for _, rep := range s.Run() {
+		if rep.SLAViolations == nil {
+			t.Fatal("SLA violation map missing")
+		}
+		for _, v := range rep.SLAViolations {
+			if v < 0 {
+				t.Fatalf("negative violation count %d", v)
+			}
+			total += v
+		}
+	}
+	// A lightly loaded system misses (almost) nothing.
+	light := newSim(t, Config{Services: 6, Rounds: 4, WorkMean: 1, Seed: 4})
+	lightTotal := 0
+	for _, rep := range light.Run() {
+		for _, v := range rep.SLAViolations {
+			lightTotal += v
+		}
+	}
+	if lightTotal > total {
+		t.Fatalf("light load misses more deadlines (%d) than saturation (%d)", lightTotal, total)
+	}
+	if lightTotal != 0 {
+		t.Fatalf("near-instant service should miss no deadlines, got %d", lightTotal)
+	}
+}
+
+func TestSimMeanWaitingReported(t *testing.T) {
+	s := newSim(t, Config{Services: 6, Rounds: 2, WorkMean: 600, Seed: 5})
+	for _, rep := range s.Run() {
+		for id, w := range rep.MeanWaiting {
+			if w < 0 {
+				t.Fatalf("ms %d negative mean waiting %v", id, w)
+			}
+		}
+	}
+}
+
+func TestSimParetoWorkloadRuns(t *testing.T) {
+	s := newSim(t, Config{Services: 10, Rounds: 3, WorkMean: 600, Work: WorkPareto, Seed: 6})
+	reports := s.Run()
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// Heavy-tailed work should produce at least some waiting or backlog
+	// somewhere across the run (a giant request blocks the queue).
+	saw := false
+	for _, rep := range reports {
+		for id := range rep.Indicators {
+			if rep.MeanWaiting[id] > 0 || rep.QueueLengths[id] > 0 {
+				saw = true
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("pareto workload produced no queueing at all — implausible")
+	}
+}

@@ -1,0 +1,237 @@
+// Package topology models the physical layer of the evaluation setting
+// (§V-A): macro base stations each co-located with a computing server (an
+// edge cloud), end users attached to base stations, and a backhaul network
+// connecting the edge clouds so that every cloud is reachable from every
+// access point.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgeauction/internal/workload"
+)
+
+// EdgeCloud is one base station + co-located server.
+type EdgeCloud struct {
+	// ID is the 1-based edge cloud identifier.
+	ID int
+	// X, Y locate the base station on the unit deployment plane.
+	X, Y float64
+	// Capacity is the server's resource capacity in abstract units,
+	// shared among hosted microservices by the fair-share policy.
+	Capacity float64
+}
+
+// User is an end user generating application requests.
+type User struct {
+	// ID is the 1-based user identifier.
+	ID int
+	// X, Y locate the user on the unit deployment plane.
+	X, Y float64
+	// Home is the edge cloud id of the nearest base station.
+	Home int
+}
+
+// Link is a backhaul connection between two edge clouds.
+type Link struct {
+	From, To int
+	// Latency is the one-way propagation latency in milliseconds.
+	Latency float64
+}
+
+// Topology is the assembled physical layer.
+type Topology struct {
+	Clouds []EdgeCloud
+	Users  []User
+	Links  []Link
+	// dist[i][j] is the shortest backhaul latency between clouds i+1, j+1.
+	dist [][]float64
+}
+
+// Config parameterizes topology generation, defaulting to the paper's
+// setting of 10 base stations and 300 users.
+type Config struct {
+	// Clouds is the number of edge clouds; zero means 10.
+	Clouds int
+	// Users is the number of end users; zero means 300.
+	Users int
+	// CloudCapacity is each server's resource capacity; zero means 100.
+	CloudCapacity float64
+	// ExtraLinks adds this many random backhaul links on top of the
+	// latency-weighted ring that guarantees connectivity; zero means
+	// Clouds/2.
+	ExtraLinks int
+	// LatencyPerUnit converts plane distance to backhaul latency (ms per
+	// unit distance); zero means 10.
+	LatencyPerUnit float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clouds == 0 {
+		c.Clouds = 10
+	}
+	if c.Users == 0 {
+		c.Users = 300
+	}
+	if c.CloudCapacity == 0 {
+		c.CloudCapacity = 100
+	}
+	if c.ExtraLinks == 0 {
+		c.ExtraLinks = c.Clouds / 2
+	}
+	if c.LatencyPerUnit == 0 {
+		c.LatencyPerUnit = 10
+	}
+	return c
+}
+
+// Generate draws a random topology: clouds and users placed uniformly on
+// the unit square, users homed to the nearest base station, backhaul built
+// as a ring plus random chords (connected by construction).
+func Generate(rng *workload.Rand, cfg Config) *Topology {
+	c := cfg.withDefaults()
+	topo := &Topology{}
+	for i := 1; i <= c.Clouds; i++ {
+		topo.Clouds = append(topo.Clouds, EdgeCloud{
+			ID: i, X: rng.Float64(), Y: rng.Float64(), Capacity: c.CloudCapacity,
+		})
+	}
+	for i := 1; i <= c.Users; i++ {
+		u := User{ID: i, X: rng.Float64(), Y: rng.Float64()}
+		u.Home = topo.nearestCloud(u.X, u.Y)
+		topo.Users = append(topo.Users, u)
+	}
+	// Ring for connectivity, ordered by angle around the centroid so the
+	// ring is geographically sensible.
+	order := cloudAngularOrder(topo.Clouds)
+	for i := range order {
+		a, b := order[i], order[(i+1)%len(order)]
+		topo.Links = append(topo.Links, Link{
+			From: a, To: b,
+			Latency: c.LatencyPerUnit * topo.cloudDistance(a, b),
+		})
+	}
+	for i := 0; i < c.ExtraLinks && c.Clouds > 2; i++ {
+		a := 1 + rng.Intn(c.Clouds)
+		b := 1 + rng.Intn(c.Clouds)
+		if a == b {
+			continue
+		}
+		topo.Links = append(topo.Links, Link{
+			From: a, To: b,
+			Latency: c.LatencyPerUnit * topo.cloudDistance(a, b),
+		})
+	}
+	topo.computeShortestPaths()
+	return topo
+}
+
+func cloudAngularOrder(clouds []EdgeCloud) []int {
+	var cx, cy float64
+	for _, c := range clouds {
+		cx += c.X
+		cy += c.Y
+	}
+	cx /= float64(len(clouds))
+	cy /= float64(len(clouds))
+	ids := make([]int, len(clouds))
+	for i, c := range clouds {
+		ids[i] = c.ID
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ca, cb := clouds[ids[a]-1], clouds[ids[b]-1]
+		return math.Atan2(ca.Y-cy, ca.X-cx) < math.Atan2(cb.Y-cy, cb.X-cx)
+	})
+	return ids
+}
+
+func (t *Topology) nearestCloud(x, y float64) int {
+	best, bestD := 0, math.Inf(1)
+	for _, c := range t.Clouds {
+		d := (c.X-x)*(c.X-x) + (c.Y-y)*(c.Y-y)
+		if d < bestD {
+			best, bestD = c.ID, d
+		}
+	}
+	return best
+}
+
+func (t *Topology) cloudDistance(a, b int) float64 {
+	ca, cb := t.Clouds[a-1], t.Clouds[b-1]
+	return math.Hypot(ca.X-cb.X, ca.Y-cb.Y)
+}
+
+// computeShortestPaths fills the all-pairs latency matrix with
+// Floyd-Warshall over the backhaul links.
+func (t *Topology) computeShortestPaths() {
+	n := len(t.Clouds)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, l := range t.Links {
+		i, j := l.From-1, l.To-1
+		if l.Latency < d[i][j] {
+			d[i][j] = l.Latency
+			d[j][i] = l.Latency
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if via := d[i][k] + d[k][j]; via < d[i][j] {
+					d[i][j] = via
+				}
+			}
+		}
+	}
+	t.dist = d
+}
+
+// Latency returns the shortest backhaul latency between two edge clouds.
+// Same-cloud latency is 0. It returns an error for unknown ids.
+func (t *Topology) Latency(from, to int) (float64, error) {
+	if from < 1 || from > len(t.Clouds) || to < 1 || to > len(t.Clouds) {
+		return 0, fmt.Errorf("topology: latency query for unknown clouds %d -> %d", from, to)
+	}
+	return t.dist[from-1][to-1], nil
+}
+
+// Connected reports whether every cloud can reach every other cloud over
+// the backhaul.
+func (t *Topology) Connected() bool {
+	for i := range t.dist {
+		for j := range t.dist[i] {
+			if math.IsInf(t.dist[i][j], 1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UsersAt returns the users homed at the given edge cloud.
+func (t *Topology) UsersAt(cloud int) []User {
+	var out []User
+	for _, u := range t.Users {
+		if u.Home == cloud {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Cloud returns the edge cloud with the given id.
+func (t *Topology) Cloud(id int) (EdgeCloud, error) {
+	if id < 1 || id > len(t.Clouds) {
+		return EdgeCloud{}, fmt.Errorf("topology: unknown cloud id %d", id)
+	}
+	return t.Clouds[id-1], nil
+}

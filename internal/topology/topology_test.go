@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"edgeauction/internal/workload"
+)
+
+func generate(t *testing.T, cfg Config) *Topology {
+	t.Helper()
+	return Generate(workload.NewRand(1), cfg)
+}
+
+func TestGenerateDefaultsMatchPaper(t *testing.T) {
+	topo := generate(t, Config{})
+	if len(topo.Clouds) != 10 {
+		t.Fatalf("clouds = %d, want 10 (paper §V-A)", len(topo.Clouds))
+	}
+	if len(topo.Users) != 300 {
+		t.Fatalf("users = %d, want 300 (paper §V-A)", len(topo.Users))
+	}
+	for i, c := range topo.Clouds {
+		if c.ID != i+1 {
+			t.Fatalf("cloud ids must be dense 1-based, got %d at %d", c.ID, i)
+		}
+		if c.Capacity != 100 {
+			t.Fatalf("default capacity = %v, want 100", c.Capacity)
+		}
+		if c.X < 0 || c.X > 1 || c.Y < 0 || c.Y > 1 {
+			t.Fatalf("cloud %d outside unit square: (%v,%v)", c.ID, c.X, c.Y)
+		}
+	}
+}
+
+func TestBackhaulConnected(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		topo := Generate(workload.NewRand(seed), Config{Clouds: 8, Users: 20})
+		if !topo.Connected() {
+			t.Fatalf("seed %d: backhaul disconnected", seed)
+		}
+	}
+}
+
+func TestLatencyMetricProperties(t *testing.T) {
+	topo := generate(t, Config{Clouds: 6, Users: 10})
+	n := len(topo.Clouds)
+	for i := 1; i <= n; i++ {
+		d, err := topo.Latency(i, i)
+		if err != nil || d != 0 {
+			t.Fatalf("self latency (%d) = %v, %v", i, d, err)
+		}
+		for j := 1; j <= n; j++ {
+			dij, err := topo.Latency(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dji, err := topo.Latency(j, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dij != dji {
+				t.Fatalf("latency asymmetric: %d<->%d: %v vs %v", i, j, dij, dji)
+			}
+			if i != j && (dij <= 0 || math.IsInf(dij, 1)) {
+				t.Fatalf("latency %d->%d = %v", i, j, dij)
+			}
+			// Triangle inequality through every intermediate.
+			for k := 1; k <= n; k++ {
+				dik, _ := topo.Latency(i, k)
+				dkj, _ := topo.Latency(k, j)
+				if dij > dik+dkj+1e-9 {
+					t.Fatalf("triangle violated: d(%d,%d)=%v > %v+%v", i, j, dij, dik, dkj)
+				}
+			}
+		}
+	}
+}
+
+func TestLatencyUnknownCloud(t *testing.T) {
+	topo := generate(t, Config{Clouds: 3, Users: 5})
+	if _, err := topo.Latency(0, 1); err == nil {
+		t.Fatal("want error for cloud 0")
+	}
+	if _, err := topo.Latency(1, 4); err == nil {
+		t.Fatal("want error for out-of-range cloud")
+	}
+}
+
+func TestUsersHomedToNearestCloud(t *testing.T) {
+	topo := generate(t, Config{Clouds: 5, Users: 50})
+	for _, u := range topo.Users {
+		home, err := topo.Cloud(u.Home)
+		if err != nil {
+			t.Fatalf("user %d homed to unknown cloud: %v", u.ID, err)
+		}
+		dHome := math.Hypot(home.X-u.X, home.Y-u.Y)
+		for _, c := range topo.Clouds {
+			if d := math.Hypot(c.X-u.X, c.Y-u.Y); d < dHome-1e-12 {
+				t.Fatalf("user %d homed to %d but cloud %d is closer", u.ID, u.Home, c.ID)
+			}
+		}
+	}
+}
+
+func TestUsersAtPartitionsAllUsers(t *testing.T) {
+	topo := generate(t, Config{Clouds: 4, Users: 40})
+	total := 0
+	for id := 1; id <= len(topo.Clouds); id++ {
+		total += len(topo.UsersAt(id))
+	}
+	if total != len(topo.Users) {
+		t.Fatalf("UsersAt partitions cover %d of %d users", total, len(topo.Users))
+	}
+}
+
+func TestCloudLookup(t *testing.T) {
+	topo := generate(t, Config{Clouds: 3, Users: 5})
+	if _, err := topo.Cloud(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Cloud(0); err == nil {
+		t.Fatal("want error for id 0")
+	}
+	if _, err := topo.Cloud(4); err == nil {
+		t.Fatal("want error for id beyond range")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(workload.NewRand(42), Config{Clouds: 5, Users: 30})
+	b := Generate(workload.NewRand(42), Config{Clouds: 5, Users: 30})
+	for i := range a.Clouds {
+		if a.Clouds[i] != b.Clouds[i] {
+			t.Fatal("same seed produced different clouds")
+		}
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatal("same seed produced different users")
+		}
+	}
+}

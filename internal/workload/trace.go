@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"edgeauction/internal/core"
+)
+
+// Trace files are JSON-lines: a header record followed by one record per
+// round. The format is the bridge for replacing our synthetic workloads
+// with real platform traces — any producer that emits these records can
+// drive the mechanisms and the experiment harness unchanged.
+
+// traceVersion identifies the on-disk format.
+const traceVersion = 1
+
+// traceHeader is the first JSONL record.
+type traceHeader struct {
+	Kind     string               `json:"kind"` // always "edgeauction-trace"
+	Version  int                  `json:"version"`
+	Rounds   int                  `json:"rounds"`
+	Capacity map[int]int          `json:"capacity,omitempty"`
+	Windows  map[int]windowRecord `json:"windows,omitempty"`
+}
+
+type windowRecord struct {
+	Arrive int `json:"arrive"`
+	Depart int `json:"depart"`
+}
+
+// roundRecord is one JSONL record per round.
+type roundRecord struct {
+	T               int         `json:"t"`
+	Demand          []int       `json:"demand"`
+	EstimatedDemand []int       `json:"estimated_demand,omitempty"`
+	Bids            []bidRecord `json:"bids"`
+}
+
+type bidRecord struct {
+	Bidder   int     `json:"bidder"`
+	Alt      int     `json:"alt"`
+	Price    float64 `json:"price"`
+	TrueCost float64 `json:"true_cost,omitempty"`
+	Covers   []int   `json:"covers"`
+	Units    int     `json:"units"`
+}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// WriteTrace serializes a scenario as JSON lines.
+func WriteTrace(w io.Writer, s *Scenario) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := traceHeader{
+		Kind:     "edgeauction-trace",
+		Version:  traceVersion,
+		Rounds:   len(s.TrueRounds),
+		Capacity: s.Capacity,
+	}
+	if len(s.Windows) > 0 {
+		hdr.Windows = make(map[int]windowRecord, len(s.Windows))
+		for b, win := range s.Windows {
+			hdr.Windows[b] = windowRecord{Arrive: win.Arrive, Depart: win.Depart}
+		}
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("workload: encode trace header: %w", err)
+	}
+	for i, r := range s.TrueRounds {
+		rec := roundRecord{T: r.T, Demand: r.Instance.Demand}
+		if i < len(s.EstimatedRounds) {
+			rec.EstimatedDemand = s.EstimatedRounds[i].Instance.Demand
+		}
+		for _, b := range r.Instance.Bids {
+			rec.Bids = append(rec.Bids, bidRecord{
+				Bidder: b.Bidder, Alt: b.Alt, Price: b.Price,
+				TrueCost: b.TrueCost, Covers: b.Covers, Units: b.Units,
+			})
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("workload: encode trace round %d: %w", r.T, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flush trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace back into a scenario.
+func ReadTrace(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	var hdr traceHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTrace, err)
+	}
+	if hdr.Kind != "edgeauction-trace" {
+		return nil, fmt.Errorf("%w: unexpected kind %q", ErrBadTrace, hdr.Kind)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr.Version)
+	}
+	s := &Scenario{Capacity: hdr.Capacity}
+	if s.Capacity == nil {
+		s.Capacity = make(map[int]int)
+	}
+	s.Windows = make(map[int]core.BidderWindow, len(hdr.Windows))
+	for b, win := range hdr.Windows {
+		s.Windows[b] = core.BidderWindow{Arrive: win.Arrive, Depart: win.Depart}
+	}
+	for {
+		var rec roundRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: round record: %v", ErrBadTrace, err)
+		}
+		ins := &core.Instance{Demand: rec.Demand}
+		for _, b := range rec.Bids {
+			ins.Bids = append(ins.Bids, core.Bid{
+				Bidder: b.Bidder, Alt: b.Alt, Price: b.Price,
+				TrueCost: b.TrueCost, Covers: b.Covers, Units: b.Units,
+			})
+		}
+		if err := ins.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: round %d: %v", ErrBadTrace, rec.T, err)
+		}
+		s.TrueRounds = append(s.TrueRounds, core.Round{T: rec.T, Instance: ins})
+
+		est := ins
+		if rec.EstimatedDemand != nil {
+			if len(rec.EstimatedDemand) != len(rec.Demand) {
+				return nil, fmt.Errorf("%w: round %d: estimated demand length %d != %d",
+					ErrBadTrace, rec.T, len(rec.EstimatedDemand), len(rec.Demand))
+			}
+			est = ins.Clone()
+			est.Demand = rec.EstimatedDemand
+		}
+		s.EstimatedRounds = append(s.EstimatedRounds, core.Round{T: rec.T, Instance: est})
+	}
+	if len(s.TrueRounds) != hdr.Rounds {
+		return nil, fmt.Errorf("%w: header promises %d rounds, found %d", ErrBadTrace, hdr.Rounds, len(s.TrueRounds))
+	}
+	return s, nil
+}

@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test check bench repro
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the per-PR verification gate: static analysis plus the full test
+# suite under the race detector (the platform tests exercise real TCP
+# concurrency and the parallel payment phase exercises the scratch pool).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+repro:
+	$(GO) run ./cmd/repro -fig all -quick

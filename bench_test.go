@@ -8,6 +8,8 @@ package edgeauction
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -322,6 +324,140 @@ func BenchmarkAblationDemand(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.DemandAblation(benchCfg(int64(i + 1))); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Critical-value payment phase: serial vs parallel --------------------
+
+// paymentBenchInstance builds an instance whose greedy selection yields
+// exactly `winners` winners out of `bids` bids: each of `winners` needy
+// microservices demands one unit, bid i covers needy i%winners with one
+// unit, and every bid belongs to a distinct bidder so each counterfactual
+// payment replay removes exactly one bid. This isolates the payment phase
+// (O(winners × iterations × bids × covers)) from selection-shape noise.
+func paymentBenchInstance(bids, winners int) *core.Instance {
+	ins := &core.Instance{Demand: make([]int, winners)}
+	for k := range ins.Demand {
+		ins.Demand[k] = 1
+	}
+	ins.Bids = make([]core.Bid, bids)
+	for i := range ins.Bids {
+		ins.Bids[i] = core.Bid{
+			Bidder: i + 1,
+			Price:  10 + float64((i*7919)%100),
+			Units:  1,
+			Covers: []int{i % winners},
+		}
+	}
+	return ins
+}
+
+// BenchmarkCriticalValuePayments measures the payment-phase hot path at
+// ≥1000 bids across winner counts and Parallelism levels. Parallelism 1 is
+// the serial baseline; 0 is GOMAXPROCS. On a single-core host all levels
+// collapse to roughly the serial time — the speedup manifests on multicore.
+func BenchmarkCriticalValuePayments(b *testing.B) {
+	for _, winners := range []int{8, 32} {
+		ins := paymentBenchInstance(1000, winners)
+		for _, par := range []int{1, 2, 4, 0} {
+			name := fmt.Sprintf("bids=1000/winners=%d/parallelism=%d", winners, par)
+			b.Run(name, func(b *testing.B) {
+				opts := core.Options{SkipCertificate: true, Parallelism: par}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := core.SSAM(ins, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(out.Winners) != winners {
+						b.Fatalf("got %d winners, want %d", len(out.Winners), winners)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPaymentsDeterministicAcrossParallelism asserts that the parallel
+// payment phase is bit-identical (==, not within-epsilon) to the serial
+// path at every Parallelism level: each winner's counterfactual replay
+// depends only on the immutable instance and scaled prices, and results
+// are assembled into the Payments map serially.
+func TestPaymentsDeterministicAcrossParallelism(t *testing.T) {
+	instances := []*core.Instance{
+		paymentBenchInstance(200, 8),
+		paymentBenchInstance(1000, 16),
+		workload.Instance(workload.NewRand(1), workload.InstanceConfig{Bidders: 400, BidsPerBidder: 2}),
+	}
+	for n, ins := range instances {
+		serial, err := core.SSAM(ins, core.Options{SkipCertificate: true, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("instance %d serial: %v", n, err)
+		}
+		for _, par := range []int{2, 3, 4, 8, 0} {
+			out, err := core.SSAM(ins, core.Options{SkipCertificate: true, Parallelism: par})
+			if err != nil {
+				t.Fatalf("instance %d parallelism %d: %v", n, par, err)
+			}
+			if len(out.Winners) != len(serial.Winners) {
+				t.Fatalf("instance %d parallelism %d: %d winners, serial has %d",
+					n, par, len(out.Winners), len(serial.Winners))
+			}
+			for i, w := range serial.Winners {
+				if out.Winners[i] != w {
+					t.Fatalf("instance %d parallelism %d: winner[%d] = %d, serial %d",
+						n, par, i, out.Winners[i], w)
+				}
+			}
+			if len(out.Payments) != len(serial.Payments) {
+				t.Fatalf("instance %d parallelism %d: %d payments, serial has %d",
+					n, par, len(out.Payments), len(serial.Payments))
+			}
+			for w, p := range serial.Payments {
+				if got := out.Payments[w]; got != p {
+					t.Fatalf("instance %d parallelism %d: payment[%d] = %v, serial %v (not bit-identical)",
+						n, par, w, got, p)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSSAMSharedInstance runs several auctions concurrently on
+// one shared instance with a parallel payment phase, exercising the pooled
+// scratch state under the race detector; every run must match the serial
+// baseline exactly.
+func TestConcurrentSSAMSharedInstance(t *testing.T) {
+	ins := paymentBenchInstance(500, 12)
+	serial, err := core.SSAM(ins, core.Options{SkipCertificate: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 8
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for g := 0; g < runs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out, err := core.SSAM(ins, core.Options{SkipCertificate: true, Parallelism: 4})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for w, p := range serial.Payments {
+				if out.Payments[w] != p {
+					errs[g] = fmt.Errorf("run %d: payment[%d] = %v, serial %v", g, w, out.Payments[w], p)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

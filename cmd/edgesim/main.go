@@ -32,6 +32,7 @@ func run(args []string) error {
 	workMean := fs.Float64("workmean", 600, "mean work units per request")
 	workDist := fs.String("workdist", "exponential", "work distribution: exponential, pareto, uniform, deterministic")
 	capacity := fs.Int("capacity", 12, "per-bidder lifetime sharing capacity (coverage slots)")
+	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	verbose := fs.Bool("v", false, "print per-microservice indicators each round")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +59,7 @@ func run(args []string) error {
 	auction := core.NewMSOA(core.MSOAConfig{
 		DefaultCapacity:    *capacity,
 		CapacityExemptFrom: sim.ReserveBidderID,
+		Options:            core.Options{Parallelism: *parallelism},
 	})
 
 	topo := simulator.Topology()

@@ -40,6 +40,7 @@ func run(args []string) error {
 	demandHi := fs.Int("demand-max", 4, "maximum coverage demand per needy microservice")
 	deadline := fs.Duration("bid-deadline", 500*time.Millisecond, "how long each round stays open for bids")
 	seed := fs.Int64("seed", 1, "demand generator seed")
+	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	auditPath := fs.String("audit", "", "append a JSONL audit record per round to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +54,7 @@ func run(args []string) error {
 		BidDeadline: *deadline,
 		Logger:      logger,
 	}
+	scfg.Auction.Options.Parallelism = *parallelism
 	if *auditPath != "" {
 		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -128,11 +128,12 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	optTime := fs.Duration("opt-time", 2*time.Second, "time budget per exact offline solve")
 	csvDir := fs.String("csv", "", "directory to also write per-figure CSV files")
+	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, OptTimeLimit: *optTime}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, OptTimeLimit: *optTime, Parallelism: *parallelism}
 	want := strings.ToLower(*figFlag)
 
 	if *csvDir != "" {

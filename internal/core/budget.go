@@ -66,6 +66,8 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 		active[i] = true
 	}
 	metric := opts.metric()
+	scratch := paymentScratchPool.Get().(*paymentScratch)
+	defer paymentScratchPool.Put(scratch)
 
 	for !cs.satisfied() {
 		best, _, _ := selectBest(ins, scaled, active, cs, metric)
@@ -79,7 +81,7 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 		// against the budget-filtered set: filtering by budget depends on
 		// other payments, which depend on reports, and folding that into
 		// the threshold would break report-independence.
-		pay := paymentFor(ins, scaled, best, opts)
+		pay := paymentFor(ins, scaled, best, opts, scratch)
 		if out.BudgetSpent+pay > budget {
 			// Cannot afford this winner: reject the bidder entirely.
 			out.RejectedByBudget = append(out.RejectedByBudget, best)

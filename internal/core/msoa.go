@@ -37,11 +37,20 @@ type MSOAConfig struct {
 	// Capacity maps bidder id -> Θ_i, the lifetime number of coverage
 	// slots (Σ over winning bids of |S_ij|) the bidder is willing to
 	// share. Bidders absent from the map are treated as having
-	// DefaultCapacity.
+	// DefaultCapacity. A non-positive map entry means that bidder is
+	// unlimited.
 	Capacity map[int]int
-	// DefaultCapacity applies to bidders without an explicit entry. Zero
-	// means unlimited.
+	// DefaultCapacity applies to bidders without an explicit Capacity
+	// entry. When DefaultCapacitySet is false, zero keeps the historical
+	// meaning "unlimited"; when DefaultCapacitySet is true the value is
+	// taken verbatim, so an explicit zero means bidders without an entry
+	// have NO sharing capacity and are excluded from every round.
 	DefaultCapacity int
+	// DefaultCapacitySet marks DefaultCapacity as explicitly configured.
+	// It exists because DefaultCapacity == 0 alone cannot distinguish
+	// "unset, bidders are unlimited" from "bidders without an entry may
+	// not share at all".
+	DefaultCapacitySet bool
 	// CapacityExemptFrom, when positive, exempts every bidder with id >=
 	// this value from capacity constraints. Platforms reserve a high id
 	// space for their own fallback supply (e.g. the reserve ladder of
@@ -63,16 +72,29 @@ type MSOAConfig struct {
 	Options Options
 }
 
-func (c MSOAConfig) capacityOf(bidder int) int {
+// capacityOf resolves a bidder's lifetime capacity Θ_i. limited reports
+// whether the bidder is capacity-constrained at all; when it is true, theta
+// is the (non-negative) constraint — including an explicit zero, which
+// excludes the bidder from every round.
+func (c MSOAConfig) capacityOf(bidder int) (theta int, limited bool) {
 	if c.CapacityExemptFrom > 0 && bidder >= c.CapacityExemptFrom {
-		return 0 // unlimited
+		return 0, false // platform fallback supply: unlimited
 	}
 	if c.Capacity != nil {
 		if theta, ok := c.Capacity[bidder]; ok {
-			return theta
+			if theta <= 0 {
+				return 0, false // explicit map zero keeps meaning unlimited
+			}
+			return theta, true
 		}
 	}
-	return c.DefaultCapacity
+	if c.DefaultCapacity > 0 {
+		return c.DefaultCapacity, true
+	}
+	if c.DefaultCapacitySet {
+		return 0, true // explicit zero default: no capacity at all
+	}
+	return 0, false
 }
 
 // RoundResult couples a round's outcome with the scaled prices it was
@@ -140,8 +162,8 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 			res.Excluded = append(res.Excluded, i)
 			continue
 		}
-		theta := m.cfg.capacityOf(b.Bidder)
-		if theta > 0 && m.chi[b.Bidder]+len(b.Covers) > theta {
+		theta, limited := m.cfg.capacityOf(b.Bidder)
+		if limited && m.chi[b.Bidder]+len(b.Covers) > theta {
 			res.Excluded = append(res.Excluded, i)
 			continue
 		}
@@ -191,8 +213,8 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 	//   ψ_i^t = ψ_i^{t-1}(1 + |S_ij|/(α·Θ_i)) + J_ij·|S_ij|/(α·Θ_i²)
 	for _, orig := range remapped.Winners {
 		b := &ins.Bids[orig]
-		theta := m.cfg.capacityOf(b.Bidder)
-		if theta > 0 {
+		theta, limited := m.cfg.capacityOf(b.Bidder)
+		if limited && theta > 0 {
 			s := float64(len(b.Covers))
 			th := float64(theta)
 			m.psi[b.Bidder] = m.psi[b.Bidder]*(1+s/(alpha*th)) + b.Price*s/(alpha*th*th)
@@ -260,8 +282,8 @@ func CompetitiveBound(alpha float64, cfg MSOAConfig, rounds []Round) float64 {
 	for _, r := range rounds {
 		for i := range r.Instance.Bids {
 			b := &r.Instance.Bids[i]
-			theta := cfg.capacityOf(b.Bidder)
-			if theta <= 0 || len(b.Covers) == 0 {
+			theta, limited := cfg.capacityOf(b.Bidder)
+			if !limited || theta <= 0 || len(b.Covers) == 0 {
 				continue
 			}
 			ratio := float64(theta) / float64(len(b.Covers))

@@ -263,3 +263,94 @@ func TestVariantString(t *testing.T) {
 		}
 	}
 }
+
+func TestReservePaymentUsesScaledPrices(t *testing.T) {
+	// Regression for the scaled-price reserve bug: the pivotal-winner
+	// reserve was derived from competitors' RAW prices J_ij while every
+	// other payment in the round lives in the scaled domain ∇_ij, so a
+	// pivotal winner was underpaid whenever its competitors carried a
+	// positive dual ψ.
+	//
+	// Round 1 gives bidder 2 a positive ψ: it wins at price 8 with
+	// capacity Θ=2 and α=1, so ψ_2 = 8·1/(1·2·2) = 2. In round 2 bidder
+	// 2's bid is priced 20 raw but 22 scaled; bidder 1 is pivotal for
+	// needy 0, so its auto-derived reserve must be the competitor's
+	// SCALED price 22, not the raw 20.
+	m := NewMSOA(MSOAConfig{DefaultCapacity: 2, Alpha: 1})
+	r1 := m.RunRound(Round{T: 1, Instance: &Instance{
+		Demand: []int{1},
+		Bids: []Bid{
+			{Bidder: 1, Alt: 0, Price: 50, TrueCost: 50, Covers: []int{0}, Units: 1},
+			{Bidder: 2, Alt: 0, Price: 8, TrueCost: 8, Covers: []int{0}, Units: 1},
+		},
+	}})
+	if r1.Err != nil {
+		t.Fatalf("round 1: %v", r1.Err)
+	}
+	if len(r1.Outcome.Winners) != 1 || r1.Outcome.Winners[0] != 1 {
+		t.Fatalf("round 1: want bidder 2's bid to win, got %v", r1.Outcome.Winners)
+	}
+	if psi := m.Psi(2); math.Abs(psi-2) > 1e-12 {
+		t.Fatalf("psi_2 = %v, want 2", psi)
+	}
+
+	r2 := m.RunRound(Round{T: 2, Instance: &Instance{
+		Demand: []int{1, 1},
+		Bids: []Bid{
+			{Bidder: 1, Alt: 0, Price: 5, TrueCost: 5, Covers: []int{0}, Units: 1},
+			{Bidder: 2, Alt: 0, Price: 20, TrueCost: 20, Covers: []int{1}, Units: 1},
+		},
+	}})
+	if r2.Err != nil {
+		t.Fatalf("round 2: %v", r2.Err)
+	}
+	if math.Abs(r2.Scaled[1]-22) > 1e-12 {
+		t.Fatalf("round 2 scaled price of bidder 2 = %v, want 22", r2.Scaled[1])
+	}
+	if len(r2.Outcome.Winners) != 2 {
+		t.Fatalf("round 2: want both bids to win, got %v", r2.Outcome.Winners)
+	}
+	if pay := r2.Outcome.Payments[0]; math.Abs(pay-22) > 1e-12 {
+		t.Fatalf("pivotal winner payment = %v, want the competitor's scaled price 22", pay)
+	}
+}
+
+func TestDefaultCapacitySetZeroExcludesUnlistedBidders(t *testing.T) {
+	// DefaultCapacitySet distinguishes "unset, unlimited" from an explicit
+	// zero default: with the sentinel, bidders without a Capacity entry
+	// may not share at all.
+	m := NewMSOA(MSOAConfig{DefaultCapacitySet: true, DefaultCapacity: 0, Capacity: map[int]int{1: 5}})
+	res := m.RunRound(Round{T: 1, Instance: &Instance{
+		Demand: []int{1},
+		Bids: []Bid{
+			{Bidder: 2, Alt: 0, Price: 1, TrueCost: 1, Covers: []int{0}, Units: 1},
+			{Bidder: 1, Alt: 0, Price: 9, TrueCost: 9, Covers: []int{0}, Units: 1},
+		},
+	}})
+	if res.Err != nil {
+		t.Fatalf("round failed: %v", res.Err)
+	}
+	if len(res.Excluded) != 1 || res.Excluded[0] != 0 {
+		t.Fatalf("want unlisted bidder 2's bid excluded, got excluded=%v", res.Excluded)
+	}
+	if len(res.Outcome.Winners) != 1 || res.Outcome.Winners[0] != 1 {
+		t.Fatalf("want listed bidder 1 to win, got %v", res.Outcome.Winners)
+	}
+
+	// Without the sentinel, DefaultCapacity zero keeps meaning unlimited
+	// and the cheap unlisted bidder wins.
+	m2 := NewMSOA(MSOAConfig{Capacity: map[int]int{1: 5}})
+	res2 := m2.RunRound(Round{T: 1, Instance: &Instance{
+		Demand: []int{1},
+		Bids: []Bid{
+			{Bidder: 2, Alt: 0, Price: 1, TrueCost: 1, Covers: []int{0}, Units: 1},
+			{Bidder: 1, Alt: 0, Price: 9, TrueCost: 9, Covers: []int{0}, Units: 1},
+		},
+	}})
+	if res2.Err != nil {
+		t.Fatalf("round failed: %v", res2.Err)
+	}
+	if len(res2.Outcome.Winners) != 1 || res2.Outcome.Winners[0] != 0 {
+		t.Fatalf("unset default must stay unlimited; want bidder 2 to win, got %v", res2.Outcome.Winners)
+	}
+}

@@ -77,8 +77,8 @@ func VerifyCapacity(cfg MSOAConfig, rounds []Round, results []*RoundResult) erro
 		for _, w := range res.Outcome.Winners {
 			b := &ins.Bids[w]
 			used[b.Bidder] += len(b.Covers)
-			theta := cfg.capacityOf(b.Bidder)
-			if theta > 0 && used[b.Bidder] > theta {
+			theta, limited := cfg.capacityOf(b.Bidder)
+			if limited && used[b.Bidder] > theta {
 				return fmt.Errorf("core: bidder %d used %d coverage slots > capacity %d after round %d (constraint 11)",
 					b.Bidder, used[b.Bidder], theta, res.T)
 			}

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // GreedyMetric selects the bid-ranking rule used by the greedy winner
@@ -37,10 +40,18 @@ const (
 // paper's mechanism with an automatic reserve.
 type Options struct {
 	// Reserve is the payment granted to a winner that faces no competing
-	// runner-up bid (its critical value is unbounded). When zero, the
-	// maximum price among OTHER bidders' bids is used; if the winner is the
-	// only bidder, its own price is used.
+	// runner-up bid (its critical value is unbounded). When Reserve is zero
+	// AND ReserveSet is false the reserve is auto-derived: the maximum
+	// SCALED price among OTHER bidders' bids is used; if the winner is the
+	// only bidder, its own (scaled) price is used. Set ReserveSet to make
+	// any Reserve value — including an explicit zero — binding.
 	Reserve float64
+	// ReserveSet marks Reserve as explicitly configured. It exists because
+	// Reserve == 0 alone cannot distinguish "unset, auto-derive from the
+	// competition" from "the platform grants no reserve premium": with
+	// ReserveSet true and Reserve 0, a pivotal winner is paid exactly its
+	// own scaled report.
+	ReserveSet bool
 	// Metric is the greedy ranking rule; zero means PricePerCoverage.
 	Metric GreedyMetric
 	// Payment is the remuneration rule; zero means CriticalValue.
@@ -49,6 +60,14 @@ type Options struct {
 	// sweeps that only need costs and payments set this to avoid the extra
 	// allocations in hot benchmark loops.
 	SkipCertificate bool
+	// Parallelism bounds the number of worker goroutines used for the
+	// critical-value payment phase, the mechanism's asymptotic hot path
+	// (O(winners × iterations × bids × covers) — one full counterfactual
+	// greedy replay per winner). Each replay is independent of the others,
+	// so payments fan out across a bounded pool with bit-identical results
+	// at every level. Zero means runtime.GOMAXPROCS(0); 1 forces the
+	// serial path.
+	Parallelism int
 }
 
 func (o Options) metric() GreedyMetric {
@@ -63,6 +82,13 @@ func (o Options) payment() PaymentRule {
 		return CriticalValue
 	}
 	return o.Payment
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 // SSAM runs the single-stage auction mechanism (Algorithm 1) on ins using
@@ -93,15 +119,25 @@ type coverageState struct {
 }
 
 func newCoverageState(demand []int) *coverageState {
+	cs := &coverageState{}
+	cs.reset(demand)
+	return cs
+}
+
+// reset re-initializes the state for demand, reusing the theta slice when
+// capacity allows so pooled scratch replays stay allocation-free.
+func (cs *coverageState) reset(demand []int) {
+	if cap(cs.theta) < len(demand) {
+		cs.theta = make([]int, len(demand))
+	}
+	cs.theta = cs.theta[:len(demand)]
 	total := 0
-	for _, d := range demand {
+	for i, d := range demand {
+		cs.theta[i] = 0
 		total += d
 	}
-	return &coverageState{
-		theta:   make([]int, len(demand)),
-		demand:  demand,
-		deficit: total,
-	}
+	cs.demand = demand
+	cs.deficit = total
 }
 
 // marginal returns U_ij(E): the increase in Σ_k min(θ_k, X_k) from
@@ -140,6 +176,24 @@ func (cs *coverageState) apply(b *Bid) []int {
 		cs.theta[k] = after
 	}
 	return gains
+}
+
+// applyOnly commits bid b to the state without materializing the per-needy
+// gains slice; the counterfactual payment replays never read the gains and
+// must not allocate per iteration.
+func (cs *coverageState) applyOnly(b *Bid) {
+	for _, k := range b.Covers {
+		before := cs.theta[k]
+		after := before + b.Units
+		capped := after
+		if capped > cs.demand[k] {
+			capped = cs.demand[k]
+		}
+		if capped > before {
+			cs.deficit -= capped - before
+		}
+		cs.theta[k] = after
+	}
 }
 
 func (cs *coverageState) satisfied() bool { return cs.deficit <= 0 }
@@ -191,10 +245,10 @@ func ssamScaled(ins *Instance, scaled []float64, opts Options) (*Outcome, error)
 	}
 
 	// Payments are computed after selection: each winner's critical value
-	// requires a counterfactual greedy run without its bidder.
-	for _, w := range out.Winners {
-		out.Payments[w] = paymentFor(ins, scaled, w, opts)
-	}
+	// requires a counterfactual greedy run without its bidder. The replays
+	// are mutually independent, so they fan out across Options.Parallelism
+	// workers.
+	computePayments(ins, scaled, out.Winners, opts, out.Payments)
 
 	if cert != nil {
 		out.Dual = cert.finish(out)
@@ -226,8 +280,70 @@ func selectBest(ins *Instance, scaled []float64, active []bool, cs *coverageStat
 	return best, bestScore, bestMarginal
 }
 
+// paymentScratch is the reusable per-replay state of one counterfactual
+// payment run: the coverage accumulator and the candidate-set mask. Pooling
+// it keeps both the serial and the parallel payment paths from allocating
+// per winner.
+type paymentScratch struct {
+	cs     coverageState
+	active []bool
+}
+
+var paymentScratchPool = sync.Pool{New: func() any { return new(paymentScratch) }}
+
+// computePayments fills payments[w] for every winning bid index. Each
+// winner's counterfactual replay depends only on (ins, scaled, w, opts), so
+// replays are distributed over a bounded worker pool; every worker performs
+// the exact same float64 operation sequence per winner regardless of
+// scheduling, making the result bit-identical at every parallelism level.
+func computePayments(ins *Instance, scaled []float64, winners []int, opts Options, payments map[int]float64) {
+	if len(winners) == 0 {
+		return
+	}
+	if opts.payment() == FirstPrice {
+		for _, w := range winners {
+			payments[w] = scaled[w]
+		}
+		return
+	}
+	workers := opts.parallelism()
+	if workers > len(winners) {
+		workers = len(winners)
+	}
+	if workers <= 1 {
+		scratch := paymentScratchPool.Get().(*paymentScratch)
+		for _, w := range winners {
+			payments[w] = paymentFor(ins, scaled, w, opts, scratch)
+		}
+		paymentScratchPool.Put(scratch)
+		return
+	}
+	results := make([]float64, len(winners))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := paymentScratchPool.Get().(*paymentScratch)
+			defer paymentScratchPool.Put(scratch)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(winners) {
+					return
+				}
+				results[i] = paymentFor(ins, scaled, winners[i], opts, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, w := range winners {
+		payments[w] = results[i]
+	}
+}
+
 // paymentFor computes the remuneration of winning bid w under the
-// configured payment rule.
+// configured payment rule, using scratch for all per-replay state.
 //
 // Under CriticalValue it computes the Myerson threshold price — the
 // supremum report at which bid w still wins — by replaying the greedy
@@ -239,16 +355,20 @@ func selectBest(ins *Instance, scaled []float64, active []bool, cs *coverageStat
 // counterfactual is independent of the winner's report, which is what
 // makes the rule truthful. If the demand is uncoverable without the
 // bidder (it is pivotal), the reserve applies.
-func paymentFor(ins *Instance, scaled []float64, w int, opts Options) float64 {
+func paymentFor(ins *Instance, scaled []float64, w int, opts Options, scratch *paymentScratch) float64 {
 	if opts.payment() == FirstPrice {
 		return scaled[w]
 	}
 	winner := &ins.Bids[w]
-	active := make([]bool, len(ins.Bids))
+	if cap(scratch.active) < len(ins.Bids) {
+		scratch.active = make([]bool, len(ins.Bids))
+	}
+	active := scratch.active[:len(ins.Bids)]
 	for i := range ins.Bids {
 		active[i] = ins.Bids[i].Bidder != winner.Bidder
 	}
-	cs := newCoverageState(ins.Demand)
+	cs := &scratch.cs
+	cs.reset(ins.Demand)
 	metric := opts.metric()
 
 	best := 0.0
@@ -270,7 +390,7 @@ func paymentFor(ins *Instance, scaled []float64, w int, opts Options) float64 {
 					active[i] = false
 				}
 			}
-			cs.apply(&ins.Bids[idx])
+			cs.applyOnly(&ins.Bids[idx])
 			continue
 		}
 		// The winner's bid can no longer contribute: later iterations
@@ -286,14 +406,20 @@ func paymentFor(ins *Instance, scaled []float64, w int, opts Options) float64 {
 }
 
 // reservePayment is the payment to a pivotal winner (no competing coverage
-// exists): the configured reserve, the best competing price, or the
-// winner's own report — whichever is largest.
+// exists): the configured reserve, the best competing scaled price, or the
+// winner's own report — whichever is largest. The payment phase operates
+// entirely in the scaled price domain ∇_ij, so the competitor scan must
+// too: under MSOA's ψ augmentation a competitor's raw J_ij understates its
+// effective price, and deriving the reserve from raw prices under- or
+// over-pays pivotal winners relative to every other payment in the round.
+// An explicitly configured reserve (ReserveSet, or any non-zero Reserve)
+// is used verbatim; only the unset case auto-derives from the competition.
 func reservePayment(ins *Instance, scaled []float64, w int, opts Options) float64 {
 	reserve := opts.Reserve
-	if reserve == 0 {
+	if reserve == 0 && !opts.ReserveSet {
 		for i := range ins.Bids {
-			if ins.Bids[i].Bidder != ins.Bids[w].Bidder && ins.Bids[i].Price > reserve {
-				reserve = ins.Bids[i].Price
+			if ins.Bids[i].Bidder != ins.Bids[w].Bidder && scaled[i] > reserve {
+				reserve = scaled[i]
 			}
 		}
 	}

@@ -301,3 +301,39 @@ func TestUtilityAndWon(t *testing.T) {
 		}
 	}
 }
+
+// TestReserveSetExplicitZero pins the Reserve==0 sentinel semantics: the
+// zero value auto-derives the pivotal-winner reserve from the competition,
+// while ReserveSet makes an explicit zero binding (the pivotal winner is
+// paid only its own report).
+func TestReserveSetExplicitZero(t *testing.T) {
+	ins := &Instance{
+		Demand: []int{2},
+		Bids: []Bid{
+			{Bidder: 1, Price: 5, Units: 2, Covers: []int{0}},
+			{Bidder: 2, Price: 40, Units: 1, Covers: []int{0}},
+		},
+	}
+
+	// Unset: bidder 1 wins alone (covers the full demand) and is pivotal;
+	// the auto-derived reserve is the best competing scaled price, 40.
+	out, err := SSAM(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) != 1 || ins.Bids[out.Winners[0]].Bidder != 1 {
+		t.Fatalf("winners = %v, want only bidder 1's bid", out.Winners)
+	}
+	if got := out.Payments[out.Winners[0]]; got != 40 {
+		t.Fatalf("auto-derived pivotal payment = %v, want competitor price 40", got)
+	}
+
+	// Explicit zero reserve: the pivotal winner gets exactly its own report.
+	out, err = SSAM(ins, Options{Reserve: 0, ReserveSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Payments[out.Winners[0]]; got != 5 {
+		t.Fatalf("explicit-zero-reserve pivotal payment = %v, want own price 5", got)
+	}
+}

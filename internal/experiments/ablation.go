@@ -68,7 +68,7 @@ func AblationScaledPrice(cfg Config) (*AblationResult, error) {
 				// other bidders are unconstrained.
 				Capacity: map[int]int{1: 3},
 				Alpha:    1,
-				Options:  core.Options{SkipCertificate: true},
+				Options:  c.auctionOptions(true),
 			}
 			runWith, err := runOnlineCostOnly(rounds, cfgOn)
 			if err != nil {
@@ -151,11 +151,11 @@ func AblationPayments(cfg Config) (*AblationResult, error) {
 		var payCrit, payFirst metrics.Running
 		for trial := 0; trial < c.Trials; trial++ {
 			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			outCrit, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+			outCrit, err := core.SSAM(ins, c.auctionOptions(true))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ablation payments n=%d: %w", n, err)
 			}
-			outFirst, err := core.SSAM(ins, core.Options{Payment: core.FirstPrice, SkipCertificate: true})
+			outFirst, err := core.SSAM(ins, core.Options{Payment: core.FirstPrice, SkipCertificate: true, Parallelism: c.Parallelism})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ablation payments n=%d: %w", n, err)
 			}
@@ -190,11 +190,11 @@ func AblationGreedyMetric(cfg Config) (*AblationResult, error) {
 		var a, b, r metrics.Running
 		for trial := 0; trial < c.Trials; trial++ {
 			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			outA, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+			outA, err := core.SSAM(ins, c.auctionOptions(true))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
 			}
-			outB, err := core.SSAM(ins, core.Options{Metric: core.LowestPrice, SkipCertificate: true})
+			outB, err := core.SSAM(ins, core.Options{Metric: core.LowestPrice, SkipCertificate: true, Parallelism: c.Parallelism})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
 			}
@@ -247,7 +247,7 @@ func AblationFixedPrice(cfg Config) (*AblationResult, error) {
 		}
 		for trial := 0; trial < c.Trials; trial++ {
 			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			out, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+			out, err := core.SSAM(ins, c.auctionOptions(true))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ablation fixed-price n=%d: %w", n, err)
 			}

@@ -37,6 +37,11 @@ type Config struct {
 	// Quick trims sweeps for use inside testing.B loops: fewer sweep
 	// points and trials, smaller instances.
 	Quick bool
+	// Parallelism is forwarded to core.Options.Parallelism for every
+	// auction the drivers run: the worker count of the critical-value
+	// payment phase. Zero means GOMAXPROCS, 1 forces serial. Results are
+	// bit-identical at every level.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +62,12 @@ func (c Config) withDefaults() Config {
 
 func (c Config) optOptions() optimal.Options {
 	return optimal.Options{TimeLimit: c.OptTimeLimit, MaxNodes: c.OptMaxNodes}
+}
+
+// auctionOptions builds the single-stage auction options every driver runs
+// with, threading the configured payment parallelism through.
+func (c Config) auctionOptions(skipCertificate bool) core.Options {
+	return core.Options{SkipCertificate: skipCertificate, Parallelism: c.Parallelism}
 }
 
 // sizes returns the microservice-count sweep (paper: 25-75).

@@ -37,7 +37,7 @@ func Fig3a(cfg Config) (*Fig3aResult, error) {
 			var num, den, certAcc metrics.Running
 			for trial := 0; trial < c.Trials; trial++ {
 				ins := workload.Instance(rng, stageConfig(n, 100, j))
-				out, err := core.SSAM(ins, core.Options{})
+				out, err := core.SSAM(ins, c.auctionOptions(false))
 				if err != nil {
 					return nil, fmt.Errorf("experiments: fig3a SSAM n=%d: %w", n, err)
 				}
@@ -105,7 +105,7 @@ func Fig3b(cfg Config) (*Fig3bResult, error) {
 			var cost, pay, opt metrics.Running
 			for trial := 0; trial < c.Trials; trial++ {
 				ins := workload.Instance(rng, stageConfig(n, reqs, 2))
-				out, err := core.SSAM(ins, core.Options{})
+				out, err := core.SSAM(ins, c.auctionOptions(false))
 				if err != nil {
 					return nil, fmt.Errorf("experiments: fig3b SSAM n=%d R=%d: %w", n, reqs, err)
 				}

@@ -33,7 +33,7 @@ func Fig4a(cfg Config) (*Fig4aResult, error) {
 		n = 10
 	}
 	ins := workload.Instance(rng, stageConfig(n, 100, 2))
-	out, err := core.SSAM(ins, core.Options{})
+	out, err := core.SSAM(ins, c.auctionOptions(false))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig4a SSAM: %w", err)
 	}
@@ -87,7 +87,7 @@ func Fig4b(cfg Config) (*Fig4bResult, error) {
 			for trial := 0; trial < c.Trials; trial++ {
 				ins := workload.Instance(rng, stageConfig(n, reqs, 2))
 				start := time.Now()
-				if _, err := core.SSAM(ins, core.Options{SkipCertificate: true}); err != nil {
+				if _, err := core.SSAM(ins, c.auctionOptions(true)); err != nil {
 					return nil, fmt.Errorf("experiments: fig4b SSAM n=%d: %w", n, err)
 				}
 				ms.Add(float64(time.Since(start).Microseconds()) / 1000)

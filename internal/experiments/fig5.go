@@ -33,7 +33,7 @@ func Fig5a(cfg Config) (*Fig5aResult, error) {
 			var cost, opt metrics.Running
 			for trial := 0; trial < c.Trials; trial++ {
 				scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
-				run, err := runOnline(scn.TrueRounds, scn.Config(core.Options{}), c.optOptions())
+				run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
 				if err != nil {
 					return nil, fmt.Errorf("experiments: fig5a n=%d R=%d: %w", n, reqs, err)
 				}
@@ -91,7 +91,7 @@ func Fig5b(cfg Config) (*Fig5bResult, error) {
 			ocfg := onlineConfig(n, 100, 2, rounds, false)
 			ocfg.DemandNoise = 0.35
 			scn := workload.Online(rng, ocfg)
-			baseCfg := scn.Config(core.Options{})
+			baseCfg := scn.Config(c.auctionOptions(false))
 			// Common denominator from the true rounds, unconstrained.
 			ref, err := runOnline(scn.TrueRounds, baseCfg, c.optOptions())
 			if err != nil {

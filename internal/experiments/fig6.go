@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"edgeauction/internal/core"
 	"edgeauction/internal/metrics"
 	"edgeauction/internal/workload"
 )
@@ -34,7 +33,7 @@ func Fig6a(cfg Config) (*Fig6aResult, error) {
 			var cost, opt metrics.Running
 			for trial := 0; trial < c.Trials; trial++ {
 				scn := workload.Online(rng, onlineConfig(n, 100, j, t, true))
-				run, err := runOnline(scn.TrueRounds, scn.Config(core.Options{}), c.optOptions())
+				run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
 				if err != nil {
 					return nil, fmt.Errorf("experiments: fig6a T=%d J=%d: %w", t, j, err)
 				}
@@ -89,7 +88,7 @@ func Fig6b(cfg Config) (*Fig6bResult, error) {
 			var cost, pay, opt metrics.Running
 			for trial := 0; trial < c.Trials; trial++ {
 				scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
-				run, err := runOnline(scn.TrueRounds, scn.Config(core.Options{}), c.optOptions())
+				run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
 				if err != nil {
 					return nil, fmt.Errorf("experiments: fig6b n=%d R=%d: %w", n, reqs, err)
 				}

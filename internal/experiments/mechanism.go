@@ -41,7 +41,7 @@ func AblationCapacity(cfg Config) (*AblationResult, error) {
 			for b := range scn.Capacity {
 				scn.Capacity[b] = int(float64(scn.Capacity[b]) * factor)
 			}
-			mcfg := scn.Config(core.Options{})
+			mcfg := scn.Config(c.auctionOptions(false))
 			run, err := runOnline(scn.TrueRounds, mcfg, c.optOptions())
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ablation capacity factor %v: %w", factor, err)
@@ -53,7 +53,7 @@ func AblationCapacity(cfg Config) (*AblationResult, error) {
 			// on the same instances.
 			alpha := 1.0
 			for _, r := range scn.TrueRounds {
-				out, err := core.SSAM(r.Instance, core.Options{})
+				out, err := core.SSAM(r.Instance, c.auctionOptions(false))
 				if err != nil {
 					continue
 				}
@@ -137,7 +137,7 @@ func TruthfulnessSweep(cfg Config) (*TruthfulnessSweepResult, error) {
 				Bidders: 8 + rng.Intn(8), BidsPerBidder: j,
 				DemandLo: 2, DemandHi: 8, UnitsLo: 1, UnitsHi: 3,
 			})
-			truthful, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+			truthful, err := core.SSAM(ins, c.auctionOptions(true))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: truthfulness sweep: %w", err)
 			}
@@ -147,7 +147,7 @@ func TruthfulnessSweep(cfg Config) (*TruthfulnessSweepResult, error) {
 				for _, f := range factors {
 					dev := ins.Clone()
 					dev.Bids[target].Price = ins.Bids[target].TrueCost * f
-					out, err := core.SSAM(dev, core.Options{SkipCertificate: true})
+					out, err := core.SSAM(dev, c.auctionOptions(true))
 					if err != nil {
 						return nil, fmt.Errorf("experiments: truthfulness sweep deviation: %w", err)
 					}

@@ -39,7 +39,7 @@ func WinningStats(cfg Config) (*WinningStatsResult, error) {
 		var winPct, bidderPct metrics.Running
 		for trial := 0; trial < c.Trials; trial++ {
 			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			out, err := core.SSAM(ins, core.Options{SkipCertificate: true})
+			out, err := core.SSAM(ins, c.auctionOptions(true))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: winning stats n=%d: %w", n, err)
 			}

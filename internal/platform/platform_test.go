@@ -479,3 +479,111 @@ func (b *syncBuffer) reader() *strings.Reader {
 	defer b.mu.Unlock()
 	return strings.NewReader(string(b.buf))
 }
+
+func TestPlatformStaleThenLiveBidGathered(t *testing.T) {
+	// Regression for the gather loop: a stale-tagged bid that races past
+	// the announce-time drain must NOT knock its agent out of the pending
+	// set — the agent's forthcoming current-round bid still counts.
+	srv := startServer(t, ServerConfig{BidDeadline: 2 * time.Second})
+	dialAgent(t, srv.Addr(), AgentConfig{ID: 2, Policy: coveringPolicy(20, 5)})
+
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = raw.Close() }()
+	enc := json.NewEncoder(raw)
+	dec := json.NewDecoder(raw)
+	if err := enc.Encode(Envelope{Type: TypeHello, Hello: &HelloMsg{AgentID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var welcome Envelope
+	if err := dec.Decode(&welcome); err != nil || welcome.Type != TypeWelcome {
+		t.Fatalf("welcome = %+v, err %v", welcome, err)
+	}
+
+	type roundResult struct {
+		out *RoundOutcome
+		err error
+	}
+	done := make(chan roundResult, 1)
+	go func() {
+		out, err := srv.RunRound([]int{1}, nil)
+		done <- roundResult{out, err}
+	}()
+
+	// Wait for the announce so the stale bid lands AFTER the server's
+	// announce-time channel drain, i.e. inside the gather loop proper.
+	var announce Envelope
+	for {
+		if err := dec.Decode(&announce); err != nil {
+			t.Fatalf("waiting for announce: %v", err)
+		}
+		if announce.Type == TypeAnnounce {
+			break
+		}
+	}
+	tag := announce.Announce.T
+	if err := enc.Encode(Envelope{Type: TypeBid, Bid: &BidSubmitMsg{
+		T: tag + 7, Bids: []WireBid{{Alt: 0, Price: 1, Covers: []int{0}, Units: 5}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the gather loop time to consume and discard the stale message
+	// before the live bid arrives.
+	time.Sleep(100 * time.Millisecond)
+	if err := enc.Encode(Envelope{Type: TypeBid, Bid: &BidSubmitMsg{
+		T: tag, Bids: []WireBid{{Alt: 0, Price: 1, Covers: []int{0}, Units: 5}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.out.Bids != 2 {
+		t.Fatalf("want both live bids gathered, got %d", res.out.Bids)
+	}
+	if len(res.out.Awards) != 1 || res.out.Awards[0].Bidder != 1 {
+		t.Fatalf("live bid after a stale one must still win; awards = %+v", res.out.Awards)
+	}
+}
+
+func TestPlatformCloseRacesRunRound(t *testing.T) {
+	// Close racing a round in flight must neither panic nor deadlock, and
+	// a second Close must be an error-free no-op. Run several iterations
+	// with staggered close times to vary the interleaving under -race.
+	for iter := 0; iter < 4; iter++ {
+		srv, err := NewServer("127.0.0.1:0", ServerConfig{BidDeadline: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents := make([]*Agent, 0, 4)
+		for id := 1; id <= 4; id++ {
+			a, err := Dial(srv.Addr(), AgentConfig{ID: id, Policy: coveringPolicy(float64(10 * id), 5)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			agents = append(agents, a)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, _ = srv.RunRound([]int{2, 1}, nil) // may legitimately error if Close wins
+		}()
+		go func(iter int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(iter*20) * time.Millisecond)
+			_ = srv.Close()
+		}(iter)
+		wg.Wait()
+		if err := srv.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}
+}

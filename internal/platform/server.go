@@ -283,13 +283,19 @@ gather:
 		for id, a := range pending {
 			select {
 			case msg := <-a.bids:
-				if msg.T == t {
-					for _, wb := range msg.Bids {
-						ins.Bids = append(ins.Bids, core.Bid{
-							Bidder: id, Alt: wb.Alt, Price: wb.Price,
-							TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
-						})
-					}
+				if msg.T != t {
+					// Stale round tag: the bid raced past the announce-time
+					// drain. Discard the message but KEEP the agent in
+					// pending — deleting it here would silently throw away
+					// the agent's forthcoming current-round bid.
+					collected = true
+					continue
+				}
+				for _, wb := range msg.Bids {
+					ins.Bids = append(ins.Bids, core.Bid{
+						Bidder: id, Alt: wb.Alt, Price: wb.Price,
+						TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
+					})
 				}
 				delete(pending, id)
 				collected = true

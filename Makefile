@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench repro
+.PHONY: all build test check bench bench-repro repro
 
 all: build
 
@@ -12,13 +12,25 @@ test:
 
 # check is the per-PR verification gate: static analysis plus the full test
 # suite under the race detector (the platform tests exercise real TCP
-# concurrency and the parallel payment phase exercises the scratch pool).
+# concurrency, and the parallel payment phase and sweep runner exercise
+# their scratch state), then a quick bench-repro smoke run proving the
+# end-to-end figure pipeline and its wall-clock report still work.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/repro -fig all -quick -opt-time 300ms \
+		-bench-json /tmp/BENCH_repro_smoke.json >/dev/null
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-repro records the end-to-end wall clock of every figure at paper
+# scale into results/BENCH_repro.json (per-figure millis, seed, trial
+# parallelism, GOMAXPROCS). Use TRIAL_PARALLELISM=1 for a serial baseline.
+TRIAL_PARALLELISM ?= 0
+bench-repro:
+	$(GO) run ./cmd/repro -fig all -trial-parallelism $(TRIAL_PARALLELISM) \
+		-bench-json results/BENCH_repro.json
 
 repro:
 	$(GO) run ./cmd/repro -fig all -quick

@@ -8,6 +8,7 @@ package edgeauction
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"sync"
 	"testing"
@@ -20,8 +21,17 @@ import (
 	"edgeauction/internal/workload"
 )
 
+// -trial-parallelism sets the sweep-cell worker count for every figure
+// bench (0 = GOMAXPROCS, 1 = serial). Rendered results are byte-identical
+// at every level; only wall clock changes.
+var trialParallelism = flag.Int("trial-parallelism", 0,
+	"sweep-cell worker goroutines for figure benchmarks (0 = GOMAXPROCS, 1 = serial)")
+
 func benchCfg(seed int64) experiments.Config {
-	return experiments.Config{Seed: seed, Quick: true, OptTimeLimit: 300 * time.Millisecond}
+	return experiments.Config{
+		Seed: seed, Quick: true, OptTimeLimit: 300 * time.Millisecond,
+		TrialParallelism: *trialParallelism,
+	}
 }
 
 // BenchmarkFig3aSSAMRatio regenerates Figure 3(a): SSAM performance ratio
@@ -376,6 +386,32 @@ func BenchmarkCriticalValuePayments(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFigureSweepTrialParallelism measures one representative figure
+// sweep (Fig3a, Quick) end to end at several TrialParallelism levels.
+// Level 1 is the serial baseline; 0 is GOMAXPROCS. On a single-core host
+// all levels collapse to roughly the serial time — the fan-out speedup
+// manifests on multicore.
+func BenchmarkFigureSweepTrialParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("trial-parallelism=%d", par), func(b *testing.B) {
+			cfg := experiments.Config{
+				Seed: 1, Quick: true, OptTimeLimit: 300 * time.Millisecond,
+				TrialParallelism: par,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig3a(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.RatioByJ[1].Len() == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
 	}
 }
 

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -129,12 +131,21 @@ func run(args []string) error {
 	optTime := fs.Duration("opt-time", 2*time.Second, "time budget per exact offline solve")
 	csvDir := fs.String("csv", "", "directory to also write per-figure CSV files")
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
+	trialParallelism := fs.Int("trial-parallelism", 0, "sweep-cell worker goroutines (0 = GOMAXPROCS, 1 = serial; rendered tables identical)")
+	benchJSON := fs.String("bench-json", "", "file to write per-figure wall-clock timings as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, OptTimeLimit: *optTime, Parallelism: *parallelism}
+	cfg := experiments.Config{
+		Seed: *seed, Trials: *trials, Quick: *quick, OptTimeLimit: *optTime,
+		Parallelism: *parallelism, TrialParallelism: *trialParallelism,
+	}
 	want := strings.ToLower(*figFlag)
+	var bench *benchReport
+	if *benchJSON != "" {
+		bench = newBenchReport(cfg)
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -153,8 +164,10 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", f.name, err)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(result.Render())
-		fmt.Printf("(figure %s regenerated in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(figure %s regenerated in %v)\n\n", f.name, elapsed.Round(time.Millisecond))
+		bench.record("fig"+f.name, elapsed)
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, "fig"+f.name+".csv"), series); err != nil {
 				return err
@@ -170,8 +183,10 @@ func run(args []string) error {
 			if err != nil {
 				return fmt.Errorf("ablation %s: %w", name, err)
 			}
+			elapsed := time.Since(start)
 			fmt.Println(result.Render())
-			fmt.Printf("(ablation %s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(ablation %s done in %v)\n\n", name, elapsed.Round(time.Millisecond))
+			bench.record("ablation_"+name, elapsed)
 			if *csvDir != "" {
 				if err := writeCSV(filepath.Join(*csvDir, "ablation_"+name+".csv"), result.Series); err != nil {
 					return err
@@ -187,8 +202,10 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("federation sweep: %w", err)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(res.Render())
-		fmt.Printf("(federation sweep done in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(federation sweep done in %v)\n\n", elapsed.Round(time.Millisecond))
+		bench.record("federation", elapsed)
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, "federation.csv"),
 				[]*metrics.Series{res.Covered, res.Cost, res.Borrowed}); err != nil {
@@ -204,8 +221,10 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("demand ablation: %w", err)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(res.Render())
-		fmt.Printf("(demand ablation done in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(demand ablation done in %v)\n\n", elapsed.Round(time.Millisecond))
+		bench.record("demand_ablation", elapsed)
 	}
 
 	if want == "all" || want == "truthfulness" {
@@ -215,12 +234,71 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("truthfulness sweep: %w", err)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(res.Render())
-		fmt.Printf("(truthfulness sweep done in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(truthfulness sweep done in %v)\n\n", elapsed.Round(time.Millisecond))
+		bench.record("truthfulness", elapsed)
 	}
 
 	if !ranAny {
 		return fmt.Errorf("unknown figure %q (want 3a,3b,4a,4b,5a,5b,6a,6b, winstats, truthfulness, ablations, or all)", *figFlag)
+	}
+	if bench != nil {
+		if err := bench.write(*benchJSON); err != nil {
+			return err
+		}
+		fmt.Printf("(wall-clock report written to %s)\n", *benchJSON)
+	}
+	return nil
+}
+
+// benchReport accumulates per-figure wall-clock timings for -bench-json.
+type benchReport struct {
+	Seed             int64        `json:"seed"`
+	Trials           int          `json:"trials"`
+	Quick            bool         `json:"quick"`
+	Parallelism      int          `json:"parallelism"`
+	TrialParallelism int          `json:"trialParallelism"`
+	GoMaxProcs       int          `json:"goMaxProcs"`
+	TotalMillis      float64      `json:"totalMillis"`
+	Figures          []benchEntry `json:"figures"`
+}
+
+type benchEntry struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+func newBenchReport(cfg experiments.Config) *benchReport {
+	return &benchReport{
+		Seed: cfg.Seed, Trials: cfg.Trials, Quick: cfg.Quick,
+		Parallelism: cfg.Parallelism, TrialParallelism: cfg.TrialParallelism,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// record is a no-op on a nil receiver so call sites stay unconditional.
+func (b *benchReport) record(name string, d time.Duration) {
+	if b == nil {
+		return
+	}
+	ms := float64(d.Microseconds()) / 1000
+	b.Figures = append(b.Figures, benchEntry{Name: name, Millis: ms})
+	b.TotalMillis += ms
+}
+
+func (b *benchReport) write(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create bench dir: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal bench report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write bench report: %w", err)
 	}
 	return nil
 }

@@ -51,40 +51,50 @@ func (r *AblationResult) Render() string {
 // The x axis is the number of scarce rounds in a 12-round horizon.
 func AblationScaledPrice(cfg Config) (*AblationResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	with := metrics.NewSeries("cost with ψ-scaling")
-	without := metrics.NewSeries("cost without ψ-scaling")
 	scarceCounts := []int{2, 4, 6, 8}
 	if c.Quick {
 		scarceCounts = []int{2, 4}
 	}
 	const horizon = 12
-	for _, scarce := range scarceCounts {
-		var costWith, costWithout metrics.Running
-		for trial := 0; trial < c.Trials; trial++ {
-			rounds := scarcityScenario(rng, horizon, scarce)
-			cfgOn := core.MSOAConfig{
-				// The cheap bidder (id 1) can win only a few times; all
-				// other bidders are unconstrained.
-				Capacity: map[int]int{1: 3},
-				Alpha:    1,
-				Options:  c.auctionOptions(true),
-			}
-			runWith, err := runOnlineCostOnly(rounds, cfgOn)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation scaled-price (on): %w", err)
-			}
-			cfgOff := cfgOn
-			cfgOff.DisableScaledPrice = true
-			runWithout, err := runOnlineCostOnly(rounds, cfgOff)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation scaled-price (off): %w", err)
-			}
-			costWith.Add(runWith.SocialCost + penalty(runWith))
-			costWithout.Add(runWithout.SocialCost + penalty(runWithout))
+	type cell struct{ with, without float64 }
+	cells, err := runSweep(c, "ablation-scaledprice", len(scarceCounts), func(rng *workload.Rand, p, _ int) (cell, error) {
+		rounds := scarcityScenario(rng, horizon, scarceCounts[p])
+		cfgOn := core.MSOAConfig{
+			// The cheap bidder (id 1) can win only a few times; all
+			// other bidders are unconstrained.
+			Capacity: map[int]int{1: 3},
+			Alpha:    1,
+			Options:  c.auctionOptions(true),
 		}
-		with.Add(float64(scarce), costWith.Mean())
-		without.Add(float64(scarce), costWithout.Mean())
+		runWith, err := runOnlineCostOnly(rounds, cfgOn)
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation scaled-price (on): %w", err)
+		}
+		cfgOff := cfgOn
+		cfgOff.DisableScaledPrice = true
+		runWithout, err := runOnlineCostOnly(rounds, cfgOff)
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation scaled-price (off): %w", err)
+		}
+		return cell{
+			with:    runWith.SocialCost + penalty(runWith),
+			without: runWithout.SocialCost + penalty(runWithout),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	with := metrics.NewSeries("cost with ψ-scaling")
+	without := metrics.NewSeries("cost without ψ-scaling")
+	for p, trials := range cells {
+		var costWith, costWithout metrics.Running
+		for _, v := range trials {
+			costWith.Add(v.with)
+			costWithout.Add(v.without)
+		}
+		with.Add(float64(scarceCounts[p]), costWith.Mean())
+		without.Add(float64(scarceCounts[p]), costWithout.Mean())
 	}
 	return &AblationResult{
 		Title:  "Ablation: ψ-scaled prices in MSOA (cost vs number of scarce rounds in a 12-round horizon)",
@@ -143,32 +153,43 @@ func penalty(run *onlineRun) float64 {
 // premium the platform pays for dominant-strategy truthfulness.
 func AblationPayments(cfg Config) (*AblationResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
+	sizes := c.sizes()
+	type cell struct{ crit, first float64 }
+	cells, err := runSweep(c, "ablation-payments", len(sizes), func(rng *workload.Rand, p, _ int) (cell, error) {
+		n := sizes[p]
+		ins := workload.Instance(rng, stageConfig(n, 100, 2))
+		outCrit, err := core.SSAM(ins, c.auctionOptions(true))
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation payments n=%d: %w", n, err)
+		}
+		firstOpts := c.auctionOptions(true)
+		firstOpts.Payment = core.FirstPrice
+		outFirst, err := core.SSAM(ins, firstOpts)
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation payments n=%d: %w", n, err)
+		}
+		return cell{crit: outCrit.TotalPayment(), first: outFirst.TotalPayment()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	critical := metrics.NewSeries("payment critical-value")
 	first := metrics.NewSeries("payment first-price")
 	premium := metrics.NewSeries("truthfulness premium")
-	for _, n := range c.sizes() {
+	for p, trials := range cells {
 		var payCrit, payFirst metrics.Running
-		for trial := 0; trial < c.Trials; trial++ {
-			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			outCrit, err := core.SSAM(ins, c.auctionOptions(true))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation payments n=%d: %w", n, err)
-			}
-			outFirst, err := core.SSAM(ins, core.Options{Payment: core.FirstPrice, SkipCertificate: true, Parallelism: c.Parallelism})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation payments n=%d: %w", n, err)
-			}
-			payCrit.Add(outCrit.TotalPayment())
-			payFirst.Add(outFirst.TotalPayment())
+		for _, v := range trials {
+			payCrit.Add(v.crit)
+			payFirst.Add(v.first)
 		}
-		critical.Add(float64(n), payCrit.Mean())
-		first.Add(float64(n), payFirst.Mean())
+		critical.Add(float64(sizes[p]), payCrit.Mean())
+		first.Add(float64(sizes[p]), payFirst.Mean())
 		ratio := 0.0
 		if payFirst.Mean() > 0 {
 			ratio = payCrit.Mean() / payFirst.Mean()
 		}
-		premium.Add(float64(n), ratio)
+		premium.Add(float64(sizes[p]), ratio)
 	}
 	return &AblationResult{
 		Title:  "Ablation: critical-value vs first-price payments (platform outlay)",
@@ -182,33 +203,44 @@ func AblationPayments(cfg Config) (*AblationResult, error) {
 // selection.
 func AblationGreedyMetric(cfg Config) (*AblationResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
+	sizes := c.sizes()
+	type cell struct{ perCov, lowest, random float64 }
+	cells, err := runSweep(c, "ablation-greedy", len(sizes), func(rng *workload.Rand, p, _ int) (cell, error) {
+		n := sizes[p]
+		ins := workload.Instance(rng, stageConfig(n, 100, 2))
+		outA, err := core.SSAM(ins, c.auctionOptions(true))
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
+		}
+		lowestOpts := c.auctionOptions(true)
+		lowestOpts.Metric = core.LowestPrice
+		outB, err := core.SSAM(ins, lowestOpts)
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
+		}
+		outR, err := baseline.Random(ins, rng)
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
+		}
+		return cell{perCov: outA.SocialCost, lowest: outB.SocialCost, random: outR.SocialCost}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	perCov := metrics.NewSeries("cost price/coverage greedy")
 	lowest := metrics.NewSeries("cost lowest-price greedy")
 	random := metrics.NewSeries("cost random selection")
-	for _, n := range c.sizes() {
+	for p, trials := range cells {
 		var a, b, r metrics.Running
-		for trial := 0; trial < c.Trials; trial++ {
-			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			outA, err := core.SSAM(ins, c.auctionOptions(true))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
-			}
-			outB, err := core.SSAM(ins, core.Options{Metric: core.LowestPrice, SkipCertificate: true, Parallelism: c.Parallelism})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
-			}
-			outR, err := baseline.Random(ins, rng)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation greedy n=%d: %w", n, err)
-			}
-			a.Add(outA.SocialCost)
-			b.Add(outB.SocialCost)
-			r.Add(outR.SocialCost)
+		for _, v := range trials {
+			a.Add(v.perCov)
+			b.Add(v.lowest)
+			r.Add(v.random)
 		}
-		perCov.Add(float64(n), a.Mean())
-		lowest.Add(float64(n), b.Mean())
-		random.Add(float64(n), r.Mean())
+		perCov.Add(float64(sizes[p]), a.Mean())
+		lowest.Add(float64(sizes[p]), b.Mean())
+		random.Add(float64(sizes[p]), r.Mean())
 	}
 	return &AblationResult{
 		Title:  "Ablation: greedy selection metric (single-stage social cost)",
@@ -227,45 +259,58 @@ func AblationGreedyMetric(cfg Config) (*AblationResult, error) {
 // pays competitive rates.
 func AblationFixedPrice(cfg Config) (*AblationResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	auction := metrics.NewSeries("auction payment")
+	sizes := c.sizes()
 	labels := []string{"p05", "p50", "p95"}
 	quantiles := []float64{0.05, 0.50, 0.95}
+	type cell struct {
+		auction  float64
+		coverage [3]float64
+		payment  [3]float64
+	}
+	cells, err := runSweep(c, "ablation-fixedprice", len(sizes), func(rng *workload.Rand, p, _ int) (cell, error) {
+		n := sizes[p]
+		ins := workload.Instance(rng, stageConfig(n, 100, 2))
+		out, err := core.SSAM(ins, c.auctionOptions(true))
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation fixed-price n=%d: %w", n, err)
+		}
+		v := cell{auction: out.TotalPayment()}
+		posted := unitCostQuantiles(ins, n, quantiles)
+		for i := range labels {
+			res, err := baseline.FixedPrice(ins, posted[i])
+			if err != nil && res == nil {
+				return cell{}, fmt.Errorf("experiments: ablation fixed-price n=%d posted=%v: %w", n, posted[i], err)
+			}
+			v.coverage[i] = res.CoveredFraction
+			v.payment[i] = res.Outcome.TotalPayment()
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	auction := metrics.NewSeries("auction payment")
 	coverage := make([]*metrics.Series, len(labels))
 	payment := make([]*metrics.Series, len(labels))
 	for i, l := range labels {
 		coverage[i] = metrics.NewSeries("coverage posted=" + l)
 		payment[i] = metrics.NewSeries("payment posted=" + l)
 	}
-	for _, n := range c.sizes() {
+	for p, trials := range cells {
 		var auc metrics.Running
-		cov := make([]*metrics.Running, len(labels))
-		pay := make([]*metrics.Running, len(labels))
-		for i := range labels {
-			cov[i] = &metrics.Running{}
-			pay[i] = &metrics.Running{}
-		}
-		for trial := 0; trial < c.Trials; trial++ {
-			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			out, err := core.SSAM(ins, c.auctionOptions(true))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation fixed-price n=%d: %w", n, err)
-			}
-			auc.Add(out.TotalPayment())
-			posted := unitCostQuantiles(ins, n, quantiles)
+		var cov, pay [3]metrics.Running
+		for _, v := range trials {
+			auc.Add(v.auction)
 			for i := range labels {
-				res, err := baseline.FixedPrice(ins, posted[i])
-				if err != nil && res == nil {
-					return nil, fmt.Errorf("experiments: ablation fixed-price n=%d posted=%v: %w", n, posted[i], err)
-				}
-				cov[i].Add(res.CoveredFraction)
-				pay[i].Add(res.Outcome.TotalPayment())
+				cov[i].Add(v.coverage[i])
+				pay[i].Add(v.payment[i])
 			}
 		}
-		auction.Add(float64(n), auc.Mean())
+		auction.Add(float64(sizes[p]), auc.Mean())
 		for i := range labels {
-			coverage[i].Add(float64(n), cov[i].Mean())
-			payment[i].Add(float64(n), pay[i].Mean())
+			coverage[i].Add(float64(sizes[p]), cov[i].Mean())
+			payment[i].Add(float64(sizes[p]), pay[i].Mean())
 		}
 	}
 	series := []*metrics.Series{auction}

@@ -7,6 +7,7 @@ import (
 	"edgeauction/internal/demand"
 	"edgeauction/internal/metrics"
 	"edgeauction/internal/sim"
+	"edgeauction/internal/workload"
 )
 
 // DemandAblationResult compares demand-estimation schemes (§III) on
@@ -65,26 +66,30 @@ func DemandAblation(cfg Config) (*DemandAblationResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: demand ablation: %w", err)
 	}
+	// Estimator.Estimate is a pure function of the indicators, so sharing
+	// the estimators across concurrent trials is safe.
 	schemes := []scheme{{"AHP weights", ahp}, {"uniform weights", uniform}, {"oracle (backlog)", nil}}
 
 	type acc struct {
 		est, truth []float64
 	}
-	accs := make([]acc, len(schemes))
-	total := 0
-
-	for trial := 0; trial < c.Trials; trial++ {
+	type cell struct {
+		accs  []acc
+		total int
+	}
+	cells, err := runTrials(c, "demand-ablation", c.Trials, func(rng *workload.Rand, _ int) (cell, error) {
+		v := cell{accs: make([]acc, len(schemes))}
 		s, err := sim.New(sim.Config{
 			Services: services,
 			Rounds:   rounds,
 			WorkMean: 600, // contended regime: some services overload
-			Seed:     c.Seed + int64(trial)*17,
+			Seed:     rng.Int63(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: demand ablation sim: %w", err)
+			return cell{}, fmt.Errorf("experiments: demand ablation sim: %w", err)
 		}
 		for _, rep := range s.Run() {
-			total++
+			v.total++
 			for id, in := range rep.Indicators {
 				truth := float64(rep.QueueLengths[id])
 				if truth == 0 && in.ReceivedResponses == 0 {
@@ -97,10 +102,26 @@ func DemandAblation(cfg Config) (*DemandAblationResult, error) {
 					} else {
 						estimate = sch.est.Estimate(in)
 					}
-					accs[si].est = append(accs[si].est, estimate)
-					accs[si].truth = append(accs[si].truth, truth)
+					v.accs[si].est = append(v.accs[si].est, estimate)
+					v.accs[si].truth = append(v.accs[si].truth, truth)
 				}
 			}
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-trial samples in trial order so the pooled slices — and
+	// therefore the rank correlations — are independent of scheduling.
+	accs := make([]acc, len(schemes))
+	total := 0
+	for _, v := range cells {
+		total += v.total
+		for si := range schemes {
+			accs[si].est = append(accs[si].est, v.accs[si].est...)
+			accs[si].truth = append(accs[si].truth, v.accs[si].truth...)
 		}
 	}
 

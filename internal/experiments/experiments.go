@@ -42,20 +42,29 @@ type Config struct {
 	// payment phase. Zero means GOMAXPROCS, 1 forces serial. Results are
 	// bit-identical at every level.
 	Parallelism int
+	// TrialParallelism is the worker count of the sweep runner that fans
+	// (sweep point, trial) cells out across goroutines. Zero means
+	// GOMAXPROCS, 1 forces serial. Every trial samples from its own
+	// DeriveSeed-derived RNG stream, so rendered results are byte-identical
+	// at every level for a fixed seed.
+	TrialParallelism int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Trials == 0 {
 		c.Trials = 5
 	}
+	// An explicitly set OptTimeLimit is respected even in Quick mode (the
+	// determinism tests set it non-binding so solver timeouts cannot make
+	// renders load-dependent); only the default is trimmed for Quick runs.
 	if c.OptTimeLimit == 0 {
 		c.OptTimeLimit = 2 * time.Second
+		if c.Quick {
+			c.OptTimeLimit = 500 * time.Millisecond
+		}
 	}
 	if c.Quick {
 		c.Trials = 2
-		if c.OptTimeLimit > 500*time.Millisecond {
-			c.OptTimeLimit = 500 * time.Millisecond
-		}
 	}
 	return c
 }
@@ -65,9 +74,18 @@ func (c Config) optOptions() optimal.Options {
 }
 
 // auctionOptions builds the single-stage auction options every driver runs
-// with, threading the configured payment parallelism through.
+// with, threading the configured payment parallelism through. When the
+// outer trial pool already uses more than one worker and the inner payment
+// parallelism is left on auto, the inner pool defaults to serial: the
+// trial fan-out saturates GOMAXPROCS by itself, and nested auto-sized
+// payment pools would only oversubscribe the scheduler. An explicit
+// Parallelism setting always wins.
 func (c Config) auctionOptions(skipCertificate bool) core.Options {
-	return core.Options{SkipCertificate: skipCertificate, Parallelism: c.Parallelism}
+	par := c.Parallelism
+	if par == 0 && c.trialWorkers() > 1 {
+		par = 1
+	}
+	return core.Options{SkipCertificate: skipCertificate, Parallelism: par}
 }
 
 // sizes returns the microservice-count sweep (paper: 25-75).

@@ -28,14 +28,17 @@ type FederationResult struct {
 	Borrowed *metrics.Series
 }
 
+// federationCell is one (premium, trial) multi-round federation run.
+type federationCell struct {
+	cleared, total, borrowed int
+	costSum                  float64
+	costN                    int
+	localCleared, localTotal int
+}
+
 // Federation runs the borrowing sweep.
 func Federation(cfg Config) (*FederationResult, error) {
 	c := cfg.withDefaults()
-	res := &FederationResult{
-		Covered:  metrics.NewSeries("covered fraction"),
-		Cost:     metrics.NewSeries("cost per cleared round"),
-		Borrowed: metrics.NewSeries("borrowed slots per round"),
-	}
 	premiums := []float64{0.05, 0.25, 1, 4}
 	rounds := 8
 	clouds := 3
@@ -44,55 +47,88 @@ func Federation(cfg Config) (*FederationResult, error) {
 		rounds = 3
 	}
 
-	var localCleared, localTotal int
-	for pi, premium := range premiums {
-		topo := topology.Generate(workload.NewRand(c.Seed+7), topology.Config{Clouds: clouds, Users: 30})
-		var cleared, total, borrowed int
-		var cost metrics.Running
-		for trial := 0; trial < c.Trials; trial++ {
-			fed, err := federation.New(federation.Config{
-				Topology:       topo,
-				LatencyPremium: premium,
-				Auction:        core.MSOAConfig{DefaultCapacity: 10},
-			})
+	cells, err := runSweep(c, "federation", len(premiums), func(_ *workload.Rand, p, trial int) (federationCell, error) {
+		// The topology is shared by every cell and the market draws are
+		// keyed by trial alone (not by premium), so every premium level is
+		// compared on identical substrates and identical market sequences —
+		// a paired comparison, as in the serial driver.
+		topo := topology.Generate(workload.NewDerived(c.Seed, "federation-topology", 0, 0),
+			topology.Config{Clouds: clouds, Users: 30})
+		rng := workload.NewDerived(c.Seed, "federation-markets", 0, trial)
+		fed, err := federation.New(federation.Config{
+			Topology:       topo,
+			LatencyPremium: premiums[p],
+			Auction:        core.MSOAConfig{DefaultCapacity: 10},
+		})
+		if err != nil {
+			return federationCell{}, fmt.Errorf("experiments: federation: %w", err)
+		}
+		var v federationCell
+		for t := 1; t <= rounds; t++ {
+			markets := federationMarkets(rng, clouds)
+			rr, err := fed.RunRound(t, markets)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: federation: %w", err)
+				return federationCell{}, fmt.Errorf("experiments: federation round: %w", err)
 			}
-			trialRng := workload.NewRand(c.Seed + int64(trial)*101)
-			for t := 1; t <= rounds; t++ {
-				markets := federationMarkets(trialRng, clouds)
-				rr, err := fed.RunRound(t, markets)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: federation round: %w", err)
+			for _, cr := range rr.Clouds {
+				if cr.Outcome == nil && cr.Err == nil {
+					continue // no demand
 				}
-				for _, cr := range rr.Clouds {
-					if cr.Outcome == nil && cr.Err == nil {
-						continue // no demand
-					}
-					total++
-					if cr.Err == nil {
-						cleared++
-						cost.Add(cr.Outcome.SocialCost)
-					}
-					// Local-only reference: a cloud round counts as
-					// locally cleared iff it did not need federation.
-					if pi == 0 {
-						localTotal++
-						if cr.Err == nil && !cr.Federated {
-							localCleared++
-						}
-					}
+				v.total++
+				if cr.Err == nil {
+					v.cleared++
+					v.costSum += cr.Outcome.SocialCost
+					v.costN++
 				}
-				borrowed += rr.BorrowedSlots
+				// Local-only reference: a cloud round counts as locally
+				// cleared iff it did not need federation.
+				v.localTotal++
+				if cr.Err == nil && !cr.Federated {
+					v.localCleared++
+				}
+			}
+			v.borrowed += rr.BorrowedSlots
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FederationResult{
+		Covered:  metrics.NewSeries("covered fraction"),
+		Cost:     metrics.NewSeries("cost per cleared round"),
+		Borrowed: metrics.NewSeries("borrowed slots per round"),
+	}
+	var localCleared, localTotal int
+	for p, trials := range cells {
+		var cleared, total, borrowed, costN int
+		var costSum float64
+		for _, v := range trials {
+			cleared += v.cleared
+			total += v.total
+			borrowed += v.borrowed
+			costSum += v.costSum
+			costN += v.costN
+			// The local-only reference is premium-independent; tally it
+			// from the first premium level only, like the serial driver
+			// did.
+			if p == 0 {
+				localCleared += v.localCleared
+				localTotal += v.localTotal
 			}
 		}
 		frac := 0.0
 		if total > 0 {
 			frac = float64(cleared) / float64(total)
 		}
-		res.Covered.Add(premium, frac)
-		res.Cost.Add(premium, cost.Mean())
-		res.Borrowed.Add(premium, float64(borrowed)/float64(c.Trials*rounds))
+		meanCost := 0.0
+		if costN > 0 {
+			meanCost = costSum / float64(costN)
+		}
+		res.Covered.Add(premiums[p], frac)
+		res.Cost.Add(premiums[p], meanCost)
+		res.Borrowed.Add(premiums[p], float64(borrowed)/float64(c.Trials*rounds))
 	}
 	if localTotal > 0 {
 		res.CoveredLocal = float64(localCleared) / float64(localTotal)

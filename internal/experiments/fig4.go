@@ -27,7 +27,7 @@ type Fig4aResult struct {
 // collects the per-winner (price, payment) pairs.
 func Fig4a(cfg Config) (*Fig4aResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
+	rng := workload.NewDerived(c.Seed, "fig4a", 0, 0)
 	n := 25
 	if c.Quick {
 		n = 10
@@ -75,26 +75,46 @@ type Fig4bResult struct {
 	MillisByRequests map[int]*metrics.Series
 }
 
-// Fig4b measures SSAM wall time per sweep point.
+// Fig4b measures SSAM wall time per sweep point. The sampled instances are
+// deterministic per (point, trial) cell like every other driver's, but the
+// measured times are physical: they vary run to run, and with
+// TrialParallelism > 1 concurrent trials contend for cores and inflate
+// each other's wall clock. For paper-grade timings run this figure with
+// TrialParallelism 1.
 func Fig4b(cfg Config) (*Fig4bResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	res := &Fig4bResult{MillisByRequests: make(map[int]*metrics.Series)}
-	for _, reqs := range []int{100, 200} {
-		series := metrics.NewSeries(fmt.Sprintf("ms R=%d", reqs))
-		for _, n := range c.sizes() {
-			var ms metrics.Running
-			for trial := 0; trial < c.Trials; trial++ {
-				ins := workload.Instance(rng, stageConfig(n, reqs, 2))
-				start := time.Now()
-				if _, err := core.SSAM(ins, c.auctionOptions(true)); err != nil {
-					return nil, fmt.Errorf("experiments: fig4b SSAM n=%d: %w", n, err)
-				}
-				ms.Add(float64(time.Since(start).Microseconds()) / 1000)
-			}
-			series.Add(float64(n), ms.Mean())
+	requests := []int{100, 200}
+	sizes := c.sizes()
+	type point struct{ reqs, n int }
+	points := make([]point, 0, len(requests)*len(sizes))
+	for _, reqs := range requests {
+		for _, n := range sizes {
+			points = append(points, point{reqs, n})
 		}
-		res.MillisByRequests[reqs] = series
+	}
+	cells, err := runSweep(c, "fig4b", len(points), func(rng *workload.Rand, p, _ int) (float64, error) {
+		reqs, n := points[p].reqs, points[p].n
+		ins := workload.Instance(rng, stageConfig(n, reqs, 2))
+		start := time.Now()
+		if _, err := core.SSAM(ins, c.auctionOptions(true)); err != nil {
+			return 0, fmt.Errorf("experiments: fig4b SSAM n=%d: %w", n, err)
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig4bResult{MillisByRequests: make(map[int]*metrics.Series)}
+	for _, reqs := range requests {
+		res.MillisByRequests[reqs] = metrics.NewSeries(fmt.Sprintf("ms R=%d", reqs))
+	}
+	for p, trials := range cells {
+		var ms metrics.Running
+		for _, v := range trials {
+			ms.Add(v)
+		}
+		res.MillisByRequests[points[p].reqs].Add(float64(points[p].n), ms.Mean())
 	}
 	return res, nil
 }

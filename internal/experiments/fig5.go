@@ -15,36 +15,67 @@ type Fig5aResult struct {
 	RatioByRequests map[int]*metrics.Series
 	// InfeasibleRounds counts skipped rounds across the sweep.
 	InfeasibleRounds int
+	// ExactFraction is the share of per-round denominators solved to
+	// optimality.
+	ExactFraction float64
+}
+
+// fig5aCell is one (R, |S|, trial) scenario run.
+type fig5aCell struct {
+	cost, opt          float64
+	infeasible         int
+	exactOpt, totalOpt int
 }
 
 // Fig5a runs the Figure 5(a) sweep: T=10 rounds per scenario, plain MSOA
 // on true demand.
 func Fig5a(cfg Config) (*Fig5aResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	res := &Fig5aResult{RatioByRequests: make(map[int]*metrics.Series)}
 	rounds := 10
 	if c.Quick {
 		rounds = 3
 	}
-	for _, reqs := range []int{100, 200} {
-		series := metrics.NewSeries(fmt.Sprintf("ratio R=%d", reqs))
-		for _, n := range c.sizes() {
-			var cost, opt metrics.Running
-			for trial := 0; trial < c.Trials; trial++ {
-				scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
-				run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
-				if err != nil {
-					return nil, fmt.Errorf("experiments: fig5a n=%d R=%d: %w", n, reqs, err)
-				}
-				res.InfeasibleRounds += run.Infeasible
-				cost.Add(run.SocialCost)
-				opt.Add(run.OptimalSum)
-			}
-			series.Add(float64(n), meanRatio(&cost, &opt))
+	requests := []int{100, 200}
+	sizes := c.sizes()
+	type point struct{ reqs, n int }
+	points := make([]point, 0, len(requests)*len(sizes))
+	for _, reqs := range requests {
+		for _, n := range sizes {
+			points = append(points, point{reqs, n})
 		}
-		res.RatioByRequests[reqs] = series
 	}
+	cells, err := runSweep(c, "fig5a", len(points), func(rng *workload.Rand, p, _ int) (fig5aCell, error) {
+		reqs, n := points[p].reqs, points[p].n
+		scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
+		run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
+		if err != nil {
+			return fig5aCell{}, fmt.Errorf("experiments: fig5a n=%d R=%d: %w", n, reqs, err)
+		}
+		return fig5aCell{
+			cost: run.SocialCost, opt: run.OptimalSum, infeasible: run.Infeasible,
+			exactOpt: run.ExactOpt, totalOpt: run.TotalOpt,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig5aResult{RatioByRequests: make(map[int]*metrics.Series)}
+	var tally exactTally
+	for _, reqs := range requests {
+		res.RatioByRequests[reqs] = metrics.NewSeries(fmt.Sprintf("ratio R=%d", reqs))
+	}
+	for p, trials := range cells {
+		var cost, opt metrics.Running
+		for _, cell := range trials {
+			res.InfeasibleRounds += cell.infeasible
+			tally.addCounts(cell.exactOpt, cell.totalOpt)
+			cost.Add(cell.cost)
+			opt.Add(cell.opt)
+		}
+		res.RatioByRequests[points[p].reqs].Add(float64(points[p].n), meanRatio(&cost, &opt))
+	}
+	res.ExactFraction = tally.fraction()
 	return res, nil
 }
 
@@ -55,6 +86,7 @@ func (r *Fig5aResult) Render() string {
 	b.WriteString(metrics.Table("microservices",
 		r.RatioByRequests[100], r.RatioByRequests[200]))
 	fmt.Fprintf(&b, "infeasible rounds skipped: %d\n", r.InfeasibleRounds)
+	fmt.Fprintf(&b, "exact offline optima: %.0f%%\n", r.ExactFraction*100)
 	return b.String()
 }
 
@@ -66,51 +98,81 @@ func (r *Fig5aResult) Render() string {
 // the paper attributes to the variants.
 type Fig5bResult struct {
 	RatioByVariant map[core.Variant]*metrics.Series
+	// ExactFraction is the share of per-round denominators solved to
+	// optimality.
+	ExactFraction float64
+}
+
+// fig5bCell is one (|S|, trial) scenario run across all variants.
+type fig5bCell struct {
+	opt                float64
+	costByVariant      map[core.Variant]float64
+	exactOpt, totalOpt int
 }
 
 // Fig5b runs the variant comparison sweep.
 func Fig5b(cfg Config) (*Fig5bResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	res := &Fig5bResult{RatioByVariant: make(map[core.Variant]*metrics.Series)}
 	variants := []core.Variant{core.VariantBase, core.VariantDA, core.VariantRC, core.VariantOA}
-	for _, v := range variants {
-		res.RatioByVariant[v] = metrics.NewSeries(v.String())
-	}
 	rounds := 10
 	if c.Quick {
 		rounds = 3
 	}
-	for _, n := range c.sizes() {
+	sizes := c.sizes()
+	cells, err := runSweep(c, "fig5b", len(sizes), func(rng *workload.Rand, p, _ int) (fig5bCell, error) {
+		n := sizes[p]
+		ocfg := onlineConfig(n, 100, 2, rounds, false)
+		ocfg.DemandNoise = 0.35
+		scn := workload.Online(rng, ocfg)
+		baseCfg := scn.Config(c.auctionOptions(false))
+		// Common denominator from the true rounds, unconstrained.
+		ref, err := runOnline(scn.TrueRounds, baseCfg, c.optOptions())
+		if err != nil {
+			return fig5bCell{}, fmt.Errorf("experiments: fig5b reference n=%d: %w", n, err)
+		}
+		cell := fig5bCell{
+			opt:           ref.OptimalSum,
+			costByVariant: make(map[core.Variant]float64, len(variants)),
+			exactOpt:      ref.ExactOpt,
+			totalOpt:      ref.TotalOpt,
+		}
+		for _, v := range variants {
+			vr, vcfg := core.BuildVariant(v, core.VariantParams{}, scn.TrueRounds, scn.EstimatedRounds, baseCfg)
+			run, err := runOnlineCostOnly(vr, vcfg)
+			if err != nil {
+				return fig5bCell{}, fmt.Errorf("experiments: fig5b %s n=%d: %w", v, n, err)
+			}
+			cell.costByVariant[v] = run.SocialCost
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig5bResult{RatioByVariant: make(map[core.Variant]*metrics.Series)}
+	var tally exactTally
+	for _, v := range variants {
+		res.RatioByVariant[v] = metrics.NewSeries(v.String())
+	}
+	for p, trials := range cells {
 		acc := make(map[core.Variant]*metrics.Running, len(variants))
-		var opt metrics.Running
 		for _, v := range variants {
 			acc[v] = &metrics.Running{}
 		}
-		for trial := 0; trial < c.Trials; trial++ {
-			ocfg := onlineConfig(n, 100, 2, rounds, false)
-			ocfg.DemandNoise = 0.35
-			scn := workload.Online(rng, ocfg)
-			baseCfg := scn.Config(c.auctionOptions(false))
-			// Common denominator from the true rounds, unconstrained.
-			ref, err := runOnline(scn.TrueRounds, baseCfg, c.optOptions())
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig5b reference n=%d: %w", n, err)
-			}
-			opt.Add(ref.OptimalSum)
+		var opt metrics.Running
+		for _, cell := range trials {
+			tally.addCounts(cell.exactOpt, cell.totalOpt)
+			opt.Add(cell.opt)
 			for _, v := range variants {
-				vr, vcfg := core.BuildVariant(v, core.VariantParams{}, scn.TrueRounds, scn.EstimatedRounds, baseCfg)
-				run, err := runOnlineCostOnly(vr, vcfg)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: fig5b %s n=%d: %w", v, n, err)
-				}
-				acc[v].Add(run.SocialCost)
+				acc[v].Add(cell.costByVariant[v])
 			}
 		}
 		for _, v := range variants {
-			res.RatioByVariant[v].Add(float64(n), meanRatio(acc[v], &opt))
+			res.RatioByVariant[v].Add(float64(sizes[p]), meanRatio(acc[v], &opt))
 		}
 	}
+	res.ExactFraction = tally.fraction()
 	return res, nil
 }
 
@@ -123,5 +185,6 @@ func (r *Fig5bResult) Render() string {
 		r.RatioByVariant[core.VariantDA],
 		r.RatioByVariant[core.VariantRC],
 		r.RatioByVariant[core.VariantOA]))
+	fmt.Fprintf(&b, "exact offline optima: %.0f%%\n", r.ExactFraction*100)
 	return b.String()
 }

@@ -17,10 +17,6 @@ import (
 // every Θ_i.
 func AblationCapacity(cfg Config) (*AblationResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	measured := metrics.NewSeries("measured ratio")
-	bound := metrics.NewSeries("bound αβ/(β−1)")
-	betaSeries := metrics.NewSeries("β")
 	n := 25
 	rounds := 12
 	if c.Quick {
@@ -28,43 +24,67 @@ func AblationCapacity(cfg Config) (*AblationResult, error) {
 		rounds = 4
 	}
 	factors := []float64{1, 1.5, 2, 3, 5}
-	for _, factor := range factors {
-		var cost, opt, betaAcc, alphaAcc metrics.Running
-		for trial := 0; trial < c.Trials; trial++ {
-			stage := stageConfig(n, 100, 2)
-			scn := workload.Online(rng, workload.OnlineConfig{
-				Rounds:     rounds,
-				Stage:      stage,
-				CapacityLo: stage.CoverHi + 1,
-				CapacityHi: 2 * (stage.CoverHi + 1),
-			})
-			for b := range scn.Capacity {
-				scn.Capacity[b] = int(float64(scn.Capacity[b]) * factor)
-			}
-			mcfg := scn.Config(c.auctionOptions(false))
-			run, err := runOnline(scn.TrueRounds, mcfg, c.optOptions())
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation capacity factor %v: %w", factor, err)
-			}
-			cost.Add(run.SocialCost + penalty(run))
-			opt.Add(run.OptimalSum)
-
-			// Empirical α: the max per-round certified ratio of plain SSAM
-			// on the same instances.
-			alpha := 1.0
-			for _, r := range scn.TrueRounds {
-				out, err := core.SSAM(r.Instance, c.auctionOptions(false))
-				if err != nil {
-					continue
-				}
-				if rr := out.Dual.Ratio(); rr > alpha {
-					alpha = rr
-				}
-			}
-			alphaAcc.Add(alpha)
-			beta := minBeta(mcfg, scn.TrueRounds)
-			betaAcc.Add(beta)
+	type cell struct {
+		cost, opt, alpha, beta float64
+		exactOpt, totalOpt     int
+	}
+	cells, err := runSweep(c, "ablation-capacity", len(factors), func(rng *workload.Rand, p, _ int) (cell, error) {
+		factor := factors[p]
+		stage := stageConfig(n, 100, 2)
+		scn := workload.Online(rng, workload.OnlineConfig{
+			Rounds:     rounds,
+			Stage:      stage,
+			CapacityLo: stage.CoverHi + 1,
+			CapacityHi: 2 * (stage.CoverHi + 1),
+		})
+		for b := range scn.Capacity {
+			scn.Capacity[b] = int(float64(scn.Capacity[b]) * factor)
 		}
+		mcfg := scn.Config(c.auctionOptions(false))
+		run, err := runOnline(scn.TrueRounds, mcfg, c.optOptions())
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation capacity factor %v: %w", factor, err)
+		}
+		v := cell{
+			cost:     run.SocialCost + penalty(run),
+			opt:      run.OptimalSum,
+			exactOpt: run.ExactOpt,
+			totalOpt: run.TotalOpt,
+		}
+
+		// Empirical α: the max per-round certified ratio of plain SSAM
+		// on the same instances.
+		v.alpha = 1.0
+		for _, r := range scn.TrueRounds {
+			out, err := core.SSAM(r.Instance, c.auctionOptions(false))
+			if err != nil {
+				continue
+			}
+			if rr := out.Dual.Ratio(); rr > v.alpha {
+				v.alpha = rr
+			}
+		}
+		v.beta = minBeta(mcfg, scn.TrueRounds)
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	measured := metrics.NewSeries("measured ratio")
+	bound := metrics.NewSeries("bound αβ/(β−1)")
+	betaSeries := metrics.NewSeries("β")
+	var tally exactTally
+	for p, trials := range cells {
+		var cost, opt, betaAcc, alphaAcc metrics.Running
+		for _, v := range trials {
+			tally.addCounts(v.exactOpt, v.totalOpt)
+			cost.Add(v.cost)
+			opt.Add(v.opt)
+			alphaAcc.Add(v.alpha)
+			betaAcc.Add(v.beta)
+		}
+		factor := factors[p]
 		measured.Add(factor, meanRatio(&cost, &opt))
 		beta := betaAcc.Mean()
 		alpha := alphaAcc.Mean()
@@ -77,7 +97,10 @@ func AblationCapacity(cfg Config) (*AblationResult, error) {
 		Title:  "Ablation: capacity slack β vs online performance (x = capacity factor)",
 		XLabel: "capacity factor",
 		Series: []*metrics.Series{measured, bound, betaSeries},
-		Notes:  []string{"Theorem 7: cost/OPT ≤ αβ/(β−1); the bound tightens as capacities relax"},
+		Notes: []string{
+			"Theorem 7: cost/OPT ≤ αβ/(β−1); the bound tightens as capacities relax",
+			fmt.Sprintf("exact offline optima: %.0f%%", tally.fraction()*100),
+		},
 	}, nil
 }
 
@@ -121,17 +144,22 @@ type TruthfulnessSweepResult struct {
 	MaxGainMulti float64
 }
 
-// TruthfulnessSweep probes truthfulness empirically.
+// TruthfulnessSweep probes truthfulness empirically. Each probed instance
+// is one trial of the sweep runner, so the (instance × deviation) grid
+// fans out across the trial pool.
 func TruthfulnessSweep(cfg Config) (*TruthfulnessSweepResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
-	res := &TruthfulnessSweepResult{}
 	instances := 30
 	if c.Quick {
 		instances = 8
 	}
 	factors := []float64{0.5, 0.8, 1.2, 1.6, 2.5}
-	for trial := 0; trial < instances; trial++ {
+	type cell struct {
+		deviations, single, multi int
+		maxGain                   float64
+	}
+	cells, err := runTrials(c, "truthfulness", instances, func(rng *workload.Rand, _ int) (cell, error) {
+		var v cell
 		for _, j := range []int{1, 2} {
 			ins := workload.Instance(rng, workload.InstanceConfig{
 				Bidders: 8 + rng.Intn(8), BidsPerBidder: j,
@@ -139,7 +167,7 @@ func TruthfulnessSweep(cfg Config) (*TruthfulnessSweepResult, error) {
 			})
 			truthful, err := core.SSAM(ins, c.auctionOptions(true))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: truthfulness sweep: %w", err)
+				return cell{}, fmt.Errorf("experiments: truthfulness sweep: %w", err)
 			}
 			reserveIdx := len(ins.Bids) - 1 // platform reserve: not strategic
 			for target := 0; target < reserveIdx; target++ {
@@ -149,25 +177,39 @@ func TruthfulnessSweep(cfg Config) (*TruthfulnessSweepResult, error) {
 					dev.Bids[target].Price = ins.Bids[target].TrueCost * f
 					out, err := core.SSAM(dev, c.auctionOptions(true))
 					if err != nil {
-						return nil, fmt.Errorf("experiments: truthfulness sweep deviation: %w", err)
+						return cell{}, fmt.Errorf("experiments: truthfulness sweep deviation: %w", err)
 					}
-					res.Deviations++
+					v.deviations++
 					utility := 0.0
 					if out.Won(target) {
 						utility = out.Payments[target] - ins.Bids[target].TrueCost
 					}
 					if utility > base+1e-6 {
 						if j == 1 {
-							res.ViolationsSingle++
+							v.single++
 						} else {
-							res.ViolationsMulti++
-							if gain := utility - base; gain > res.MaxGainMulti {
-								res.MaxGainMulti = gain
+							v.multi++
+							if gain := utility - base; gain > v.maxGain {
+								v.maxGain = gain
 							}
 						}
 					}
 				}
 			}
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TruthfulnessSweepResult{}
+	for _, v := range cells {
+		res.Deviations += v.deviations
+		res.ViolationsSingle += v.single
+		res.ViolationsMulti += v.multi
+		if v.maxGain > res.MaxGainMulti {
+			res.MaxGainMulti = v.maxGain
 		}
 	}
 	return res, nil

@@ -24,6 +24,11 @@ type onlineRun struct {
 	OptimalSum float64
 	Infeasible int
 	Rounds     int
+	// ExactOpt and TotalOpt count how many per-round denominators the
+	// exact solver closed vs how many were computed at all, so drivers can
+	// report the exact-optimum share instead of silently mixing optima
+	// with lower bounds.
+	ExactOpt, TotalOpt int
 }
 
 func runOnline(rounds []core.Round, cfg core.MSOAConfig, opt optimal.Options) (*onlineRun, error) {
@@ -53,7 +58,7 @@ func runOnlineOpt(rounds []core.Round, cfg core.MSOAConfig, opt optimal.Options,
 		if !needDenominator {
 			continue
 		}
-		den, err := roundOptimum(r, cfg, opt)
+		den, isExact, err := roundOptimum(r, cfg, opt)
 		if err != nil {
 			if errors.Is(err, optimal.ErrInfeasible) {
 				// Window filtering can make the stand-alone round
@@ -61,18 +66,25 @@ func runOnlineOpt(rounds []core.Round, cfg core.MSOAConfig, opt optimal.Options,
 				// windows admitted; in that case fall back to the
 				// mechanism's own cost as a (weak) denominator.
 				run.OptimalSum += res.Outcome.SocialCost
+				run.TotalOpt++
 				continue
 			}
 			return nil, err
 		}
 		run.OptimalSum += den
+		run.TotalOpt++
+		if isExact {
+			run.ExactOpt++
+		}
 	}
 	return run, nil
 }
 
 // roundOptimum computes the offline denominator of one round, with the
-// round's bids filtered by the bidders' participation windows.
-func roundOptimum(r core.Round, cfg core.MSOAConfig, opt optimal.Options) (float64, error) {
+// round's bids filtered by the bidders' participation windows. The bool
+// reports whether the solver closed (true optimum) or fell back to the LP
+// lower bound.
+func roundOptimum(r core.Round, cfg core.MSOAConfig, opt optimal.Options) (float64, bool, error) {
 	ins := r.Instance
 	if len(cfg.Windows) > 0 {
 		filtered := &core.Instance{Demand: ins.Demand}
@@ -86,12 +98,12 @@ func roundOptimum(r core.Round, cfg core.MSOAConfig, opt optimal.Options) (float
 	}
 	res, err := optimal.Solve(ins, opt)
 	if err != nil {
-		return 0, fmt.Errorf("experiments: round %d optimum: %w", r.T, err)
+		return 0, false, fmt.Errorf("experiments: round %d optimum: %w", r.T, err)
 	}
 	if res.Exact {
-		return res.Cost, nil
+		return res.Cost, true, nil
 	}
-	return res.LowerBound, nil
+	return res.LowerBound, false, nil
 }
 
 // ratio returns the run's performance ratio, 0 when undefined.

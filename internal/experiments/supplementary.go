@@ -25,55 +25,85 @@ type WinningStatsResult struct {
 	WinningPrices *metrics.Sample
 }
 
+// winningStatsCell is one (|S|, trial) auction's market statistics.
+type winningStatsCell struct {
+	winPct, bidderPct   float64
+	hasBids, hasBidders bool
+	prices              []float64
+}
+
 // WinningStats runs the §V supplementary sweep.
 func WinningStats(cfg Config) (*WinningStatsResult, error) {
 	c := cfg.withDefaults()
-	rng := workload.NewRand(c.Seed)
+	sizes := c.sizes()
+	cells, err := runSweep(c, "winstats", len(sizes), func(rng *workload.Rand, p, _ int) (winningStatsCell, error) {
+		n := sizes[p]
+		ins := workload.Instance(rng, stageConfig(n, 100, 2))
+		out, err := core.SSAM(ins, c.auctionOptions(true))
+		if err != nil {
+			return winningStatsCell{}, fmt.Errorf("experiments: winning stats n=%d: %w", n, err)
+		}
+		// Exclude the platform reserve from market statistics.
+		marketBids := 0
+		bidders := map[int]struct{}{}
+		for _, b := range ins.Bids {
+			if workload.IsReserveBid(b, n) {
+				continue
+			}
+			marketBids++
+			bidders[b.Bidder] = struct{}{}
+		}
+		var v winningStatsCell
+		winners := 0
+		winningBidders := map[int]struct{}{}
+		for _, w := range out.Winners {
+			b := ins.Bids[w]
+			if workload.IsReserveBid(b, n) {
+				continue
+			}
+			winners++
+			winningBidders[b.Bidder] = struct{}{}
+			v.prices = append(v.prices, b.Price)
+		}
+		if marketBids > 0 {
+			v.hasBids = true
+			v.winPct = 100 * float64(winners) / float64(marketBids)
+		}
+		if len(bidders) > 0 {
+			v.hasBidders = true
+			v.bidderPct = 100 * float64(len(winningBidders)) / float64(len(bidders))
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &WinningStatsResult{
 		WinPercent:       metrics.NewSeries("winning bids %"),
 		BidderWinPercent: metrics.NewSeries("winning bidders %"),
 		PriceHistogram:   metrics.NewHistogram(10, 35, 10),
 		WinningPrices:    metrics.NewSample(256),
 	}
-	for _, n := range c.sizes() {
+	for p, trials := range cells {
 		var winPct, bidderPct metrics.Running
-		for trial := 0; trial < c.Trials; trial++ {
-			ins := workload.Instance(rng, stageConfig(n, 100, 2))
-			out, err := core.SSAM(ins, c.auctionOptions(true))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: winning stats n=%d: %w", n, err)
+		for _, v := range trials {
+			if v.hasBids {
+				winPct.Add(v.winPct)
 			}
-			// Exclude the platform reserve from market statistics.
-			marketBids := 0
-			bidders := map[int]struct{}{}
-			for _, b := range ins.Bids {
-				if workload.IsReserveBid(b, n) {
-					continue
-				}
-				marketBids++
-				bidders[b.Bidder] = struct{}{}
+			if v.hasBidders {
+				bidderPct.Add(v.bidderPct)
 			}
-			winners := 0
-			winningBidders := map[int]struct{}{}
-			for _, w := range out.Winners {
-				b := ins.Bids[w]
-				if workload.IsReserveBid(b, n) {
-					continue
-				}
-				winners++
-				winningBidders[b.Bidder] = struct{}{}
-				res.PriceHistogram.Add(b.Price)
-				res.WinningPrices.Add(b.Price)
-			}
-			if marketBids > 0 {
-				winPct.Add(100 * float64(winners) / float64(marketBids))
-			}
-			if len(bidders) > 0 {
-				bidderPct.Add(100 * float64(len(winningBidders)) / float64(len(bidders)))
+			// Pooled in deterministic (point, trial, winner) order so the
+			// histogram and quantile sample render identically at every
+			// parallelism level.
+			for _, price := range v.prices {
+				res.PriceHistogram.Add(price)
+				res.WinningPrices.Add(price)
 			}
 		}
-		res.WinPercent.Add(float64(n), winPct.Mean())
-		res.BidderWinPercent.Add(float64(n), bidderPct.Mean())
+		res.WinPercent.Add(float64(sizes[p]), winPct.Mean())
+		res.BidderWinPercent.Add(float64(sizes[p]), bidderPct.Mean())
 	}
 	return res, nil
 }

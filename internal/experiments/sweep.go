@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"edgeauction/internal/workload"
+)
+
+// This file is the shared sweep runner every experiment driver fans its
+// trials out on. A sweep is a (points × trials) grid of independent cells;
+// each cell samples its workload from an RNG stream derived purely from
+// (Config.Seed, driver tag, point, trial), so the grid can execute in any
+// order — serially, or across a bounded worker pool — and still produce
+// byte-identical rendered results. Drivers call runSweep (or runTrials for
+// a single-point sweep), then reduce the returned cell matrix in
+// deterministic point-major order on the calling goroutine.
+
+// runSweep executes body for every cell of a points × trials grid across
+// c.trialWorkers() goroutines and returns the results as res[point][trial].
+//
+// Each invocation receives a fresh *workload.Rand derived from
+// (c.Seed, tag, point, trial); body must draw all of the cell's randomness
+// from it (deriving further streams with rng.Fork is fine) and must not
+// touch shared mutable state — the reduce step after runSweep returns is
+// the place for aggregation.
+//
+// On failure the runner stops dispatching new cells, waits for in-flight
+// cells to finish, and returns the error of the lowest-indexed failing
+// cell. Cells are dispatched in index order and each cell's outcome is a
+// deterministic function of its seed, so that choice — and therefore the
+// returned error — is identical at every parallelism level.
+func runSweep[T any](c Config, tag string, points int, body func(rng *workload.Rand, point, trial int) (T, error)) ([][]T, error) {
+	return runGrid(c, tag, points, c.Trials, body)
+}
+
+// runTrials is runSweep for drivers whose grid is a single sweep point
+// with a custom trial count (e.g. the truthfulness probe's instance
+// count): it returns the flat per-trial results.
+func runTrials[T any](c Config, tag string, trials int, body func(rng *workload.Rand, trial int) (T, error)) ([]T, error) {
+	grid, err := runGrid(c, tag, 1, trials, func(rng *workload.Rand, _, trial int) (T, error) {
+		return body(rng, trial)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return grid[0], nil
+}
+
+func runGrid[T any](c Config, tag string, points, trials int, body func(rng *workload.Rand, point, trial int) (T, error)) ([][]T, error) {
+	total := points * trials
+	out := make([][]T, points)
+	if total == 0 {
+		return out, nil
+	}
+	flat := make([]T, total)
+	for p := range out {
+		out[p] = flat[p*trials : (p+1)*trials]
+	}
+	cell := func(i int) (T, error) {
+		p, tr := i/trials, i%trials
+		return body(workload.NewDerived(c.Seed, tag, p, tr), p, tr)
+	}
+
+	if workers := min(c.trialWorkers(), total); workers > 1 {
+		if err := fanOut(workers, total, flat, cell); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for i := range flat {
+		v, err := cell(i)
+		if err != nil {
+			return nil, err
+		}
+		flat[i] = v
+	}
+	return out, nil
+}
+
+// fanOut runs cell(0..total-1) on a pool of workers, writing results into
+// flat. The dispatch loop feeds indices in order and stops at the first
+// observed failure; already-dispatched cells run to completion, so every
+// index below the lowest failing one is guaranteed to have been executed,
+// which makes the "first error" below deterministic.
+func fanOut[T any](workers, total int, flat []T, cell func(int) (T, error)) error {
+	jobs := make(chan int)
+	errs := make([]error, total)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				v, err := cell(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				flat[i] = v
+			}
+		}()
+	}
+	for i := 0; i < total && !failed.Load(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trialWorkers resolves TrialParallelism: 0 means one worker per
+// available CPU, 1 forces serial execution.
+func (c Config) trialWorkers() int {
+	if c.TrialParallelism > 0 {
+		return c.TrialParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// exactTally accumulates the share of ratio denominators that the exact
+// solver closed (vs falling back to the LP lower bound), so every figure
+// can report how much of its "optimal" baseline is proven optimum.
+type exactTally struct{ exact, total int }
+
+func (e *exactTally) add(isExact bool) {
+	e.total++
+	if isExact {
+		e.exact++
+	}
+}
+
+func (e *exactTally) addCounts(exact, total int) {
+	e.exact += exact
+	e.total += total
+}
+
+// fraction returns the exact share in [0,1]; 0 when nothing was solved.
+func (e *exactTally) fraction() float64 {
+	if e.total == 0 {
+		return 0
+	}
+	return float64(e.exact) / float64(e.total)
+}

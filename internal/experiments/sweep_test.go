@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgeauction/internal/workload"
+)
+
+// TestFiguresByteIdenticalAcrossTrialParallelism is the determinism
+// contract of the sweep runner: every figure driver renders byte-identical
+// output at TrialParallelism 1 (serial) and 8 (fan-out), because each cell
+// samples from an RNG stream derived purely from its grid coordinate and
+// reduces run in deterministic order. Fig4b is excluded by design: it
+// measures physical wall-clock time, which no scheduling discipline can
+// make bit-reproducible.
+func TestFiguresByteIdenticalAcrossTrialParallelism(t *testing.T) {
+	type renderable interface{ Render() string }
+	drivers := []struct {
+		name string
+		run  func(Config) (renderable, error)
+	}{
+		{"fig3a", func(c Config) (renderable, error) { return Fig3a(c) }},
+		{"fig3b", func(c Config) (renderable, error) { return Fig3b(c) }},
+		{"fig4a", func(c Config) (renderable, error) { return Fig4a(c) }},
+		{"fig5a", func(c Config) (renderable, error) { return Fig5a(c) }},
+		{"fig5b", func(c Config) (renderable, error) { return Fig5b(c) }},
+		{"fig6a", func(c Config) (renderable, error) { return Fig6a(c) }},
+		{"fig6b", func(c Config) (renderable, error) { return Fig6b(c) }},
+		{"winstats", func(c Config) (renderable, error) { return WinningStats(c) }},
+		{"ablation-scaledprice", func(c Config) (renderable, error) { return AblationScaledPrice(c) }},
+		{"ablation-payments", func(c Config) (renderable, error) { return AblationPayments(c) }},
+		{"ablation-greedy", func(c Config) (renderable, error) { return AblationGreedyMetric(c) }},
+		{"ablation-fixedprice", func(c Config) (renderable, error) { return AblationFixedPrice(c) }},
+		{"ablation-capacity", func(c Config) (renderable, error) { return AblationCapacity(c) }},
+		{"truthfulness", func(c Config) (renderable, error) { return TruthfulnessSweep(c) }},
+		{"federation", func(c Config) (renderable, error) { return Federation(c) }},
+		{"demand-ablation", func(c Config) (renderable, error) { return DemandAblation(c) }},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			var got [2]string
+			for i, par := range []int{1, 8} {
+				// The exact-solver budget must never bind: a solve that
+				// times out falls back to the LP bound, which would make the
+				// render depend on machine load (e.g. the -race slowdown).
+				// Quick instances solve in milliseconds, so an hour-scale
+				// limit keeps every cell a pure function of its seed.
+				res, err := d.run(Config{Seed: 7, Quick: true, TrialParallelism: par,
+					OptTimeLimit: time.Hour})
+				if err != nil {
+					t.Fatalf("TrialParallelism=%d: %v", par, err)
+				}
+				got[i] = res.Render()
+			}
+			if got[0] != got[1] {
+				t.Fatalf("render differs between TrialParallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					got[0], got[1])
+			}
+		})
+	}
+}
+
+// TestRunSweepMatchesSerial checks the grid values themselves (not just a
+// rendering) are identical at every parallelism level, including the
+// derived RNG stream handed to each cell.
+func TestRunSweepMatchesSerial(t *testing.T) {
+	body := func(rng *workload.Rand, point, trial int) (float64, error) {
+		return float64(point*1000+trial) + rng.Uniform(0, 1), nil
+	}
+	base := Config{Seed: 3, Trials: 7, TrialParallelism: 1}
+	want, err := runSweep(base, "sweep-test", 5, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 3, 8, 0} {
+		c := base
+		c.TrialParallelism = par
+		got, err := runSweep(c, "sweep-test", 5, body)
+		if err != nil {
+			t.Fatalf("TrialParallelism=%d: %v", par, err)
+		}
+		for p := range want {
+			for tr := range want[p] {
+				if got[p][tr] != want[p][tr] {
+					t.Fatalf("TrialParallelism=%d: cell[%d][%d] = %v, serial %v",
+						par, p, tr, got[p][tr], want[p][tr])
+				}
+			}
+		}
+	}
+}
+
+// TestRunSweepDeterministicFirstError hammers the runner with failing
+// cells: whichever failure a worker observes first in wall-clock time, the
+// error returned must always be the lowest-indexed failing cell's, at
+// every parallelism level. Run under -race this also exercises the
+// dispatch/collect synchronization.
+func TestRunSweepDeterministicFirstError(t *testing.T) {
+	failAt := map[int]bool{13: true, 14: true, 47: true, 90: true}
+	body := func(_ *workload.Rand, point, trial int) (int, error) {
+		i := point*10 + trial
+		if failAt[i] {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	}
+	for _, par := range []int{1, 2, 4, 8, 0} {
+		c := Config{Seed: 1, Trials: 10, TrialParallelism: par}
+		_, err := runSweep(c, "err-test", 10, body)
+		if err == nil {
+			t.Fatalf("TrialParallelism=%d: expected error", par)
+		}
+		if got, want := err.Error(), "cell 13 failed"; got != want {
+			t.Fatalf("TrialParallelism=%d: error %q, want %q (lowest failing index)", par, got, want)
+		}
+	}
+}
+
+// TestRunSweepCancelsAfterFailure checks that a failure stops dispatch:
+// with an early failing cell in a 1000-cell grid, only a small prefix (the
+// cells dispatched before the failure was observed, bounded by scheduling
+// slack) executes, instead of the whole grid.
+func TestRunSweepCancelsAfterFailure(t *testing.T) {
+	var executed atomic.Int64
+	sentinel := errors.New("boom")
+	body := func(_ *workload.Rand, point, trial int) (int, error) {
+		executed.Add(1)
+		if point == 0 && trial == 3 {
+			return 0, sentinel
+		}
+		return 0, nil
+	}
+	c := Config{Seed: 1, Trials: 100, TrialParallelism: 8}
+	_, err := runSweep(c, "cancel-test", 10, body)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+	if n := executed.Load(); n >= 100 {
+		t.Fatalf("%d cells executed after early failure, want far fewer than 100", n)
+	}
+}
+
+// TestRunTrialsSinglePoint checks the single-point wrapper derives its
+// streams from point 0 and preserves trial order.
+func TestRunTrialsSinglePoint(t *testing.T) {
+	vals, err := runTrials(Config{Seed: 5, TrialParallelism: 4}, "trials-test", 6,
+		func(rng *workload.Rand, trial int) (float64, error) {
+			return float64(trial) + rng.Uniform(0, 1), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 6 {
+		t.Fatalf("got %d trials, want 6", len(vals))
+	}
+	for tr, v := range vals {
+		want := float64(tr) + workload.NewDerived(5, "trials-test", 0, tr).Uniform(0, 1)
+		if v != want {
+			t.Fatalf("trial %d = %v, want %v", tr, v, want)
+		}
+	}
+}

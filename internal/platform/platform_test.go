@@ -561,7 +561,7 @@ func TestPlatformCloseRacesRunRound(t *testing.T) {
 		}
 		agents := make([]*Agent, 0, 4)
 		for id := 1; id <= 4; id++ {
-			a, err := Dial(srv.Addr(), AgentConfig{ID: id, Policy: coveringPolicy(float64(10 * id), 5)})
+			a, err := Dial(srv.Addr(), AgentConfig{ID: id, Policy: coveringPolicy(float64(10*id), 5)})
 			if err != nil {
 				t.Fatal(err)
 			}

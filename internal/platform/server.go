@@ -269,49 +269,66 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 		}
 	}
 
-	// Gather bids until the deadline.
+	// Gather bids until the deadline, event-driven: per-agent forwarder
+	// goroutines feed one fan-in channel, so the collection select wakes
+	// only when a bid actually arrives (or the deadline fires) — zero
+	// timed polling — and the round clears the moment the last pending
+	// agent answers.
 	ins := &core.Instance{Demand: demand}
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
-	pending := make(map[int]*agentConn, len(agents))
-	for _, a := range agents {
-		pending[a.id] = a
+	type inBid struct {
+		id  int
+		msg *BidSubmitMsg
 	}
-gather:
-	for len(pending) > 0 {
-		collected := false
-		for id, a := range pending {
-			select {
-			case msg := <-a.bids:
-				if msg.T != t {
-					// Stale round tag: the bid raced past the announce-time
-					// drain. Discard the message but KEEP the agent in
-					// pending — deleting it here would silently throw away
-					// the agent's forthcoming current-round bid.
-					collected = true
-					continue
+	fanIn := make(chan inBid)
+	done := make(chan struct{})
+	defer close(done)
+	for _, a := range agents {
+		go func(a *agentConn) {
+			for {
+				select {
+				case msg := <-a.bids:
+					select {
+					case fanIn <- inBid{id: a.id, msg: msg}:
+					case <-done:
+						// A message consumed here but not delivered can only
+						// carry a stale round tag (agents bid in response to
+						// an announce, and the next announce has not been
+						// sent), so dropping it matches the announce-time
+						// drain.
+						return
+					}
+				case <-done:
+					return
 				}
-				for _, wb := range msg.Bids {
-					ins.Bids = append(ins.Bids, core.Bid{
-						Bidder: id, Alt: wb.Alt, Price: wb.Price,
-						TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
-					})
-				}
-				delete(pending, id)
-				collected = true
-			default:
 			}
-		}
-		if collected {
-			continue
-		}
+		}(a)
+	}
+	pending := len(agents)
+gather:
+	for pending > 0 {
 		select {
+		case in := <-fanIn:
+			if in.msg.T != t {
+				// Stale round tag: the bid raced past the announce-time
+				// drain. Discard the message but KEEP the agent pending —
+				// its forthcoming current-round bid must still count.
+				continue
+			}
+			for _, wb := range in.msg.Bids {
+				ins.Bids = append(ins.Bids, core.Bid{
+					Bidder: in.id, Alt: wb.Alt, Price: wb.Price,
+					TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
+				})
+			}
+			pending--
 		case <-timer.C:
 			break gather
-		case <-time.After(time.Millisecond):
 		}
 	}
-	// Stable bid order: agents were iterated from a map above.
+	// Stable bid order: fan-in delivery order follows bid arrival, not
+	// agent id.
 	sort.Slice(ins.Bids, func(i, j int) bool {
 		if ins.Bids[i].Bidder != ins.Bids[j].Bidder {
 			return ins.Bids[i].Bidder < ins.Bids[j].Bidder

@@ -128,7 +128,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	trials := fs.Int("trials", 5, "instances averaged per sweep point")
 	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
-	optTime := fs.Duration("opt-time", 2*time.Second, "time budget per exact offline solve")
+	optTime := fs.Duration("opt-time", 0, "time budget per exact offline solve (default 2s, or 500ms with -quick)")
 	csvDir := fs.String("csv", "", "directory to also write per-figure CSV files")
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	trialParallelism := fs.Int("trial-parallelism", 0, "sweep-cell worker goroutines (0 = GOMAXPROCS, 1 = serial; rendered tables identical)")
@@ -138,9 +138,17 @@ func run(args []string) error {
 	}
 
 	cfg := experiments.Config{
-		Seed: *seed, Trials: *trials, Quick: *quick, OptTimeLimit: *optTime,
+		Seed: *seed, Trials: *trials, Quick: *quick,
 		Parallelism: *parallelism, TrialParallelism: *trialParallelism,
 	}
+	// Only an -opt-time the user actually typed overrides the defaults;
+	// otherwise the zero value lets withDefaults pick 2s (500ms in Quick
+	// mode), so `repro -quick` keeps its fast solver budget.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "opt-time" {
+			cfg.OptTimeLimit = *optTime
+		}
+	})
 	want := strings.ToLower(*figFlag)
 	var bench *benchReport
 	if *benchJSON != "" {

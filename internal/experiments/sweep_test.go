@@ -123,26 +123,47 @@ func TestRunSweepDeterministicFirstError(t *testing.T) {
 }
 
 // TestRunSweepCancelsAfterFailure checks that a failure stops dispatch:
-// with an early failing cell in a 1000-cell grid, only a small prefix (the
-// cells dispatched before the failure was observed, bounded by scheduling
-// slack) executes, instead of the whole grid.
+// with an early failing cell in a 1000-cell grid, only a small prefix
+// executes instead of the whole grid. To keep the bound scheduling-proof,
+// non-failing cells block until the failing cell has returned, so the
+// cells that START before the failure can never exceed the worker pool
+// size — no interleaving can let the other workers race through the grid
+// first. Cells dispatched in the instant between the failure returning and
+// the dispatcher observing it complete as fast no-ops; they are legitimate
+// in-flight slack and only the total-grid assertion covers them.
 func TestRunSweepCancelsAfterFailure(t *testing.T) {
-	var executed atomic.Int64
+	const workers = 8
+	const points, trials = 10, 100
+	var executed, preFailure atomic.Int64
 	sentinel := errors.New("boom")
+	release := make(chan struct{})
 	body := func(_ *workload.Rand, point, trial int) (int, error) {
 		executed.Add(1)
 		if point == 0 && trial == 3 {
+			preFailure.Add(1)
+			defer close(release)
 			return 0, sentinel
+		}
+		select {
+		case <-release:
+			// Post-failure slack: dispatched before the runner observed
+			// the error.
+		default:
+			preFailure.Add(1)
+			<-release
 		}
 		return 0, nil
 	}
-	c := Config{Seed: 1, Trials: 100, TrialParallelism: 8}
-	_, err := runSweep(c, "cancel-test", 10, body)
+	c := Config{Seed: 1, Trials: trials, TrialParallelism: workers}
+	_, err := runSweep(c, "cancel-test", points, body)
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("error = %v, want sentinel", err)
 	}
-	if n := executed.Load(); n >= 100 {
-		t.Fatalf("%d cells executed after early failure, want far fewer than 100", n)
+	if n := preFailure.Load(); n > workers {
+		t.Fatalf("%d cells started before the failure returned, want at most %d (worker pool size)", n, workers)
+	}
+	if n := executed.Load(); n >= points*trials {
+		t.Fatalf("all %d cells executed despite early failure; dispatch was not cancelled", n)
 	}
 }
 

@@ -550,6 +550,98 @@ func TestPlatformStaleThenLiveBidGathered(t *testing.T) {
 	}
 }
 
+func TestPlatformDuplicateBidNotDoubleCounted(t *testing.T) {
+	// Regression for the fan-in gather loop: the reader keeps only the
+	// first queued bid per agent, but once the forwarder has drained the
+	// queue a resubmission slips through to fan-in. It must neither append
+	// the agent's bids a second time nor decrement the pending count again
+	// — the latter would clear the round while an honest slower agent is
+	// still pending, silently dropping its bid.
+	srv := startServer(t, ServerConfig{BidDeadline: 2 * time.Second})
+
+	// Two raw wire-level clients so the test controls bid timing exactly.
+	dialRaw := func(id int) (*json.Encoder, *json.Decoder) {
+		t.Helper()
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = raw.Close() })
+		enc := json.NewEncoder(raw)
+		dec := json.NewDecoder(raw)
+		if err := enc.Encode(Envelope{Type: TypeHello, Hello: &HelloMsg{AgentID: id}}); err != nil {
+			t.Fatal(err)
+		}
+		var welcome Envelope
+		if err := dec.Decode(&welcome); err != nil || welcome.Type != TypeWelcome {
+			t.Fatalf("welcome = %+v, err %v", welcome, err)
+		}
+		return enc, dec
+	}
+	enc1, dec1 := dialRaw(1)
+	enc2, dec2 := dialRaw(2)
+
+	type roundResult struct {
+		out *RoundOutcome
+		err error
+	}
+	done := make(chan roundResult, 1)
+	go func() {
+		out, err := srv.RunRound([]int{1}, nil)
+		done <- roundResult{out, err}
+	}()
+
+	waitAnnounce := func(dec *json.Decoder) int {
+		t.Helper()
+		for {
+			var env Envelope
+			if err := dec.Decode(&env); err != nil {
+				t.Fatalf("waiting for announce: %v", err)
+			}
+			if env.Type == TypeAnnounce {
+				return env.Announce.T
+			}
+		}
+	}
+	tag := waitAnnounce(dec1)
+	_ = waitAnnounce(dec2)
+
+	// Agent 1 answers, then resubmits a cheaper current-round bid. The
+	// gaps let the forwarder drain the first message so the duplicate
+	// reaches fan-in rather than being dropped at the reader.
+	if err := enc1.Encode(Envelope{Type: TypeBid, Bid: &BidSubmitMsg{
+		T: tag, Bids: []WireBid{{Alt: 0, Price: 10, Covers: []int{0}, Units: 5}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := enc1.Encode(Envelope{Type: TypeBid, Bid: &BidSubmitMsg{
+		T: tag, Bids: []WireBid{{Alt: 1, Price: 0.5, Covers: []int{0}, Units: 5}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	// Agent 2 (the honest slow bidder) undercuts agent 1's first bid. If
+	// the duplicate had decremented pending again, the round would already
+	// have cleared without this bid.
+	if err := enc2.Encode(Envelope{Type: TypeBid, Bid: &BidSubmitMsg{
+		T: tag, Bids: []WireBid{{Alt: 0, Price: 1, Covers: []int{0}, Units: 5}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.out.Bids != 2 {
+		t.Fatalf("gathered %d bids, want 2 (first from agent 1 + agent 2; duplicate discarded)", res.out.Bids)
+	}
+	if len(res.out.Awards) != 1 || res.out.Awards[0].Bidder != 2 {
+		t.Fatalf("slow honest agent 2 must win; awards = %+v", res.out.Awards)
+	}
+}
+
 func TestPlatformCloseRacesRunRound(t *testing.T) {
 	// Close racing a round in flight must neither panic nor deadlock, and
 	// a second Close must be an error-free no-op. Run several iterations

@@ -283,20 +283,30 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 	}
 	fanIn := make(chan inBid)
 	done := make(chan struct{})
-	defer close(done)
+	var forwarders sync.WaitGroup
+	defer func() {
+		// Signal AND join the forwarders before returning: a stale
+		// forwarder left running into the next RunRound call could win the
+		// race for that round's live bid on a.bids and then drop it once it
+		// sees done closed.
+		close(done)
+		forwarders.Wait()
+	}()
 	for _, a := range agents {
+		forwarders.Add(1)
 		go func(a *agentConn) {
+			defer forwarders.Done()
 			for {
 				select {
 				case msg := <-a.bids:
 					select {
 					case fanIn <- inBid{id: a.id, msg: msg}:
 					case <-done:
-						// A message consumed here but not delivered can only
-						// carry a stale round tag (agents bid in response to
-						// an announce, and the next announce has not been
-						// sent), so dropping it matches the announce-time
-						// drain.
+						// A message consumed here but not delivered is either
+						// stale-tagged, a resubmission after the agent already
+						// answered, or a bid that missed the deadline — in
+						// every case it must not count, so dropping it matches
+						// the announce-time drain.
 						return
 					}
 				case <-done:
@@ -306,6 +316,7 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 		}(a)
 	}
 	pending := len(agents)
+	answered := make(map[int]bool, len(agents))
 gather:
 	for pending > 0 {
 		select {
@@ -316,6 +327,16 @@ gather:
 				// its forthcoming current-round bid must still count.
 				continue
 			}
+			if answered[in.id] {
+				// Resubmission for the current round: the forwarder keeps
+				// draining a.bids after the agent answered, so a second
+				// message can reach fan-in. Keep the first — resubmission
+				// could game the critical payment — and do not decrement
+				// pending again, or the round could clear while an honest
+				// agent is still pending.
+				continue
+			}
+			answered[in.id] = true
 			for _, wb := range in.msg.Bids {
 				ins.Bids = append(ins.Bids, core.Bid{
 					Bidder: in.id, Alt: wb.Alt, Price: wb.Price,

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-repro repro
+.PHONY: all build test check bench bench-core bench-repro repro
 
 all: build
 
@@ -23,6 +23,17 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-core records the SSAM selection/payment kernel micro-benchmark grid
+# (bids × needy × covers-density, serial Parallelism=1) into
+# results/BENCH_core.json, appending a labelled run so before/after kernel
+# numbers live side by side. Use BENCH_CORE_LABEL=seed-baseline (or any
+# label) to name the run.
+BENCH_CORE_LABEL ?= optimized
+bench-core:
+	$(GO) test -run '^TestBenchCoreJSON$$' -count=1 \
+		-bench-core-json results/BENCH_core.json \
+		-bench-core-label $(BENCH_CORE_LABEL) .
 
 # bench-repro records the end-to-end wall clock of every figure at paper
 # scale into results/BENCH_repro.json (per-figure millis, seed, trial

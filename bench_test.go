@@ -8,8 +8,12 @@ package edgeauction
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -205,16 +209,28 @@ func BenchmarkSSAMWithCertificate(b *testing.B) {
 }
 
 // BenchmarkMSOARound measures one online round end to end, including
-// scaled-price derivation and dual-state updates.
+// scaled-price derivation and dual-state updates, at the paper's default
+// scale (25 bidders) and at production-leaning scales. Parallelism is pinned
+// to 1 so the numbers isolate the serial kernel (the dev container is
+// 1-CPU; see results/BENCH_core.json for the recorded trajectory).
 func BenchmarkMSOARound(b *testing.B) {
-	scn := workload.Online(workload.NewRand(1), workload.OnlineConfig{
-		Rounds: 1, Stage: workload.InstanceConfig{Bidders: 25},
-	})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := core.NewMSOA(scn.Config(core.Options{SkipCertificate: true}))
-		if res := m.RunRound(scn.TrueRounds[0]); res.Err != nil {
-			b.Fatal(res.Err)
+	for _, bidders := range []int{25, 75, 250} {
+		b.Run(fmt.Sprintf("bidders=%d", bidders), benchMSOARoundN(bidders))
+	}
+}
+
+func benchMSOARoundN(bidders int) func(b *testing.B) {
+	return func(b *testing.B) {
+		scn := workload.Online(workload.NewRand(1), workload.OnlineConfig{
+			Rounds: 1, Stage: workload.InstanceConfig{Bidders: bidders},
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := core.NewMSOA(scn.Config(core.Options{SkipCertificate: true, Parallelism: 1}))
+			if res := m.RunRound(scn.TrueRounds[0]); res.Err != nil {
+				b.Fatal(res.Err)
+			}
 		}
 	}
 }
@@ -412,6 +428,155 @@ func BenchmarkFigureSweepTrialParallelism(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Core kernel micro-benchmarks (make bench-core) ----------------------
+//
+// The SSAM selection/payment kernel is the mechanism's asymptotic hot path
+// (one counterfactual greedy replay per winner). The grid below pins its
+// serial cost at several (bids, needy, covers-density) scales; `make
+// bench-core` replays the grid through testing.Benchmark and records the
+// numbers in results/BENCH_core.json, so kernel PRs carry a committed
+// before/after trajectory instead of a claim.
+
+var (
+	benchCoreJSON = flag.String("bench-core-json", "",
+		"write the core kernel micro-benchmark grid (JSON) to this file (used by `make bench-core`)")
+	benchCoreLabel = flag.String("bench-core-label", "optimized",
+		"label recorded for this bench-core run (e.g. seed-baseline, optimized)")
+)
+
+type coreBenchSpec struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// kernelBenchInstance draws a deterministic instance with the requested
+// shape: `bidders` each submit 2 alternative bids (so ~2·bidders bids plus
+// the reserve ladder), `needy` demands, cover sets of size [1, coverHi].
+func kernelBenchInstance(bidders, needy, coverHi int) *core.Instance {
+	return workload.Instance(workload.NewRand(1), workload.InstanceConfig{
+		Bidders: bidders, BidsPerBidder: 2, Needy: needy, CoverLo: 1, CoverHi: coverHi,
+	})
+}
+
+func benchSSAM(ins *core.Instance, opts core.Options) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := core.SSAM(ins, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out.Winners) == 0 {
+				b.Fatal("no winners")
+			}
+		}
+	}
+}
+
+// coreBenchSpecs is the fixed grid recorded by bench-core. Select uses
+// FirstPrice payments to isolate pure winner selection; Payments uses the
+// paper's CriticalValue rule (selection + one counterfactual replay per
+// winner). Parallelism is pinned to 1 throughout: the recorded trajectory
+// tracks the serial kernel, which any parallel layer multiplies.
+func coreBenchSpecs() []coreBenchSpec {
+	selOpts := core.Options{SkipCertificate: true, Payment: core.FirstPrice, Parallelism: 1}
+	payOpts := core.Options{SkipCertificate: true, Parallelism: 1}
+	return []coreBenchSpec{
+		{"SSAMSelect/bids=1000/needy=50/cover=4", benchSSAM(kernelBenchInstance(500, 50, 4), selOpts)},
+		{"SSAMSelect/bids=4000/needy=100/cover=6", benchSSAM(kernelBenchInstance(2000, 100, 6), selOpts)},
+		{"SSAMPayments/bids=1000/needy=50/cover=4", benchSSAM(kernelBenchInstance(500, 50, 4), payOpts)},
+		{"SSAMPayments/bids=2000/needy=50/cover=4", benchSSAM(kernelBenchInstance(1000, 50, 4), payOpts)},
+		{"SSAMPayments/bids=1000/needy=100/cover=8", benchSSAM(kernelBenchInstance(500, 100, 8), payOpts)},
+		{"MSOARound/bidders=25", benchMSOARoundN(25)},
+		{"MSOARound/bidders=250", benchMSOARoundN(250)},
+	}
+}
+
+func runCoreBenchGroup(b *testing.B, prefix string) {
+	for _, spec := range coreBenchSpecs() {
+		if strings.HasPrefix(spec.name, prefix) {
+			b.Run(strings.TrimPrefix(spec.name, prefix), spec.run)
+		}
+	}
+}
+
+// BenchmarkSSAMSelect measures pure greedy winner selection (payments
+// trivialized to first-price) at several instance shapes.
+func BenchmarkSSAMSelect(b *testing.B) { runCoreBenchGroup(b, "SSAMSelect/") }
+
+// BenchmarkSSAMPayments measures selection plus the critical-value payment
+// phase — the full serial hot path — at several instance shapes.
+func BenchmarkSSAMPayments(b *testing.B) { runCoreBenchGroup(b, "SSAMPayments/") }
+
+type coreBenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type coreBenchRun struct {
+	Label      string            `json:"label"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	GoVersion  string            `json:"go_version"`
+	Benchmarks []coreBenchResult `json:"benchmarks"`
+}
+
+// TestBenchCoreJSON replays the coreBenchSpecs grid through
+// testing.Benchmark and records the results under -bench-core-label in the
+// -bench-core-json file, appending to (or replacing the same label in) any
+// runs already recorded there. Skipped unless -bench-core-json is set; `make
+// bench-core` is the entry point.
+func TestBenchCoreJSON(t *testing.T) {
+	if *benchCoreJSON == "" {
+		t.Skip("enable with -bench-core-json <file> (see `make bench-core`)")
+	}
+	run := coreBenchRun{
+		Label:      *benchCoreLabel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	for _, spec := range coreBenchSpecs() {
+		r := testing.Benchmark(spec.run)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", spec.name)
+		}
+		run.Benchmarks = append(run.Benchmarks, coreBenchResult{
+			Name:        spec.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		t.Logf("%-45s %s %s", spec.name, r.String(), r.MemString())
+	}
+
+	var runs []coreBenchRun
+	if data, err := os.ReadFile(*benchCoreJSON); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			t.Fatalf("existing %s is not a bench-core file: %v", *benchCoreJSON, err)
+		}
+	}
+	replaced := false
+	for i := range runs {
+		if runs[i].Label == run.Label {
+			runs[i], replaced = run, true
+		}
+	}
+	if !replaced {
+		runs = append(runs, run)
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchCoreJSON, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -56,21 +56,20 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 		scaled[i] = b.Price
 	}
 
-	cs := newCoverageState(ins.Demand)
+	kn := kernelPool.Get().(*kernel)
+	defer kn.release()
+	if err := kn.build(ins, scaled, opts); err != nil {
+		return nil, err
+	}
 	out := &BudgetedOutcome{
 		Outcome: Outcome{Payments: make(map[int]float64)},
 		Budget:  budget,
 	}
-	active := make([]bool, len(ins.Bids))
-	for i := range active {
-		active[i] = true
-	}
-	metric := opts.metric()
-	scratch := paymentScratchPool.Get().(*paymentScratch)
-	defer paymentScratchPool.Put(scratch)
+	rs := replayScratchPool.Get().(*replayScratch)
+	defer replayScratchPool.Put(rs)
 
-	for !cs.satisfied() {
-		best, _, _ := selectBest(ins, scaled, active, cs, metric)
+	for kn.deficit > 0 {
+		best, _, _ := kn.selectBestIn(&kn.cand, kn.theta)
 		if best < 0 {
 			break // market exhausted; remaining demand stays uncovered
 		}
@@ -80,33 +79,27 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 		// set semantics of SSAM (counterfactual without the bidder), not
 		// against the budget-filtered set: filtering by budget depends on
 		// other payments, which depend on reports, and folding that into
-		// the threshold would break report-independence.
-		pay := paymentFor(ins, scaled, best, opts, scratch)
+		// the threshold would break report-independence. The budgeted
+		// selection path diverges from plain SSAM once the budget binds,
+		// so the replay runs from scratch rather than from a checkpoint.
+		pay := kn.fullCounterfactual(ins, best, opts, rs)
 		if out.BudgetSpent+pay > budget {
 			// Cannot afford this winner: reject the bidder entirely.
-			out.RejectedByBudget = append(out.RejectedByBudget, best)
-			for i := range ins.Bids {
-				if ins.Bids[i].Bidder == winner.Bidder {
-					active[i] = false
-				}
-			}
+			out.RejectedByBudget = append(out.RejectedByBudget, int(best))
+			kn.removeGroupIn(&kn.cand, kn.groupOf[best])
 			continue
 		}
 
-		for i := range ins.Bids {
-			if ins.Bids[i].Bidder == winner.Bidder {
-				active[i] = false
-			}
-		}
-		cs.apply(winner)
-		out.Winners = append(out.Winners, best)
-		out.Payments[best] = pay
+		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
+		kn.applyTo(kn.theta, &kn.deficit, best)
+		out.Winners = append(out.Winners, int(best))
+		out.Payments[int(best)] = pay
 		out.BudgetSpent += pay
 		out.SocialCost += winner.Price
 		out.ScaledCost += winner.Price
 	}
 
-	out.UncoveredDemand = cs.deficit
+	out.UncoveredDemand = kn.deficit
 	return out, nil
 }
 

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func dualString(d *DualCertificate) string {
+	if d == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("{W=%v Xi=%v Primal=%v Obj=%v Y=%v Z=%v}",
+		d.W, d.Xi, d.Primal, d.DualObjective, d.Y, d.Z)
+}
+
+// This file is the standing differential gate between the optimized kernel
+// (kernel.go: CSR covers, compact swap-delete candidates, checkpointed
+// payment replays) and the straightforward seed implementation preserved in
+// reference_test.go. Every comparison is EXACT — Outcome.Equal applies no
+// epsilon — because the kernel's optimizations are designed to preserve the
+// float64 operation sequence bit for bit.
+
+// diffOptionGrid enumerates every option combination the differential tests
+// sweep: both greedy metrics, both payment rules, the three reserve
+// configurations (auto-derive, explicit zero, explicit non-zero), both
+// certificate modes, and parallelism 1 and 4.
+func diffOptionGrid() []Options {
+	var grid []Options
+	for _, metric := range []GreedyMetric{PricePerCoverage, LowestPrice} {
+		for _, payment := range []PaymentRule{CriticalValue, FirstPrice} {
+			for _, reserve := range []Options{
+				{},
+				{ReserveSet: true, Reserve: 0},
+				{Reserve: 40},
+			} {
+				for _, skipCert := range []bool{false, true} {
+					for _, par := range []int{1, 4} {
+						grid = append(grid, Options{
+							Metric:          metric,
+							Payment:         payment,
+							Reserve:         reserve.Reserve,
+							ReserveSet:      reserve.ReserveSet,
+							SkipCertificate: skipCert,
+							Parallelism:     par,
+						})
+					}
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// tieProneInstance generates instances whose scores collide exactly: prices
+// from a small discrete grid and units in {1, 2} make equal
+// price-per-coverage ratios common, exercising the lowest-index tie-break
+// on both paths.
+func tieProneInstance(rng *rand.Rand, bidders, needy, bidsPer int) *Instance {
+	prices := []float64{8, 10, 12, 16, 24}
+	ins := &Instance{Demand: make([]int, needy)}
+	for k := range ins.Demand {
+		ins.Demand[k] = 1 + rng.Intn(4)
+	}
+	for b := 1; b <= bidders; b++ {
+		for j := 0; j < bidsPer; j++ {
+			n := 1 + rng.Intn(needy)
+			covers := rng.Perm(needy)[:n]
+			sortInts(covers)
+			p := prices[rng.Intn(len(prices))]
+			ins.Bids = append(ins.Bids, Bid{
+				Bidder: b, Alt: j, Price: p, TrueCost: p,
+				Covers: covers, Units: 1 + rng.Intn(2),
+			})
+		}
+	}
+	// Feasibility reserve supplier (mirrors randomInstance).
+	maxD := 0
+	all := make([]int, needy)
+	for k, d := range ins.Demand {
+		all[k] = k
+		if d > maxD {
+			maxD = d
+		}
+	}
+	ins.Bids = append(ins.Bids, Bid{
+		Bidder: bidders + 1, Price: 30 * float64(ins.TotalDemand()),
+		TrueCost: 30 * float64(ins.TotalDemand()),
+		Covers:   all, Units: maxD,
+	})
+	return ins
+}
+
+// assertDifferential runs both paths on (ins, scaled, opts) and fails the
+// test unless errors and outcomes agree exactly.
+func assertDifferential(t *testing.T, ins *Instance, scaled []float64, opts Options, label string) {
+	t.Helper()
+	want, wantErr := referenceSSAMScaled(ins, scaled, opts)
+	got, gotErr := ssamScaled(ins, scaled, opts)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%s: error divergence: reference=%v kernel=%v", label, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: error text divergence: reference=%q kernel=%q", label, wantErr, gotErr)
+		}
+		return
+	}
+	if !want.Equal(got) {
+		t.Fatalf("%s: outcome divergence:\nreference: winners=%v social=%v scaled=%v payments=%v dual=%s\nkernel:    winners=%v social=%v scaled=%v payments=%v dual=%s",
+			label,
+			want.Winners, want.SocialCost, want.ScaledCost, want.Payments, dualString(want.Dual),
+			got.Winners, got.SocialCost, got.ScaledCost, got.Payments, dualString(got.Dual))
+	}
+}
+
+// TestDifferentialSSAM sweeps random and tie-prone instances across the full
+// option grid, in both the raw price domain and a ψ-scaled price domain
+// (distinct scaled vector, as MSOA rounds produce), asserting bit-identical
+// outcomes between the reference and optimized paths.
+func TestDifferentialSSAM(t *testing.T) {
+	grid := diffOptionGrid()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		var ins *Instance
+		if trial%2 == 0 {
+			ins = randomInstance(rng, 4+rng.Intn(8), 2+rng.Intn(4), 1+rng.Intn(3))
+		} else {
+			ins = tieProneInstance(rng, 4+rng.Intn(8), 2+rng.Intn(4), 1+rng.Intn(3))
+		}
+		raw := make([]float64, len(ins.Bids))
+		psi := make([]float64, len(ins.Bids))
+		factor := 1 + rng.Float64()
+		for i, b := range ins.Bids {
+			raw[i] = b.Price
+			psi[i] = b.Price * factor
+		}
+		for oi, opts := range grid {
+			assertDifferential(t, ins, raw, opts, labelFor(trial, oi, "raw"))
+			assertDifferential(t, ins, psi, opts, labelFor(trial, oi, "psi"))
+		}
+	}
+}
+
+func labelFor(trial, opt int, domain string) string {
+	return "trial=" + itoa(trial) + " opt=" + itoa(opt) + " domain=" + domain
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestDifferentialSSAMInfeasible locks the error path: both implementations
+// must reject an uncoverable instance with the same wrapped ErrInfeasible.
+func TestDifferentialSSAMInfeasible(t *testing.T) {
+	ins := &Instance{
+		Demand: []int{3, 2},
+		Bids: []Bid{
+			{Bidder: 1, Price: 5, Covers: []int{0}, Units: 1},
+			{Bidder: 2, Price: 7, Covers: []int{0}, Units: 1},
+		},
+	}
+	scaled := []float64{5, 7}
+	assertDifferential(t, ins, scaled, Options{}, "infeasible")
+}
+
+// TestDifferentialBudgetedSSAM holds BudgetedSSAM (now kernel-backed) to
+// the seed behavior across budgets that never bind, bind mid-run, and
+// afford nothing.
+func TestDifferentialBudgetedSSAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 6; trial++ {
+		ins := tieProneInstance(rng, 4+rng.Intn(6), 2+rng.Intn(3), 1+rng.Intn(2))
+		full, err := referenceSSAM(ins, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: reference full run: %v", trial, err)
+		}
+		total := full.TotalPayment()
+		for _, frac := range []float64{0, 0.3, 0.7, 1, 2} {
+			budget := total * frac
+			for _, opts := range []Options{
+				{},
+				{Metric: LowestPrice},
+				{Payment: FirstPrice},
+				{ReserveSet: true, Reserve: 0},
+			} {
+				want, wantErr := referenceBudgetedSSAM(ins, budget, opts)
+				got, gotErr := BudgetedSSAM(ins, budget, opts)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("trial %d budget %v: error divergence: reference=%v kernel=%v", trial, budget, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !want.Outcome.Equal(&got.Outcome) {
+					t.Fatalf("trial %d budget %v: outcome divergence:\nreference: %+v\nkernel:    %+v", trial, budget, want.Outcome, got.Outcome)
+				}
+				if want.BudgetSpent != got.BudgetSpent || want.UncoveredDemand != got.UncoveredDemand {
+					t.Fatalf("trial %d budget %v: accounting divergence: reference spent=%v uncovered=%d, kernel spent=%v uncovered=%d",
+						trial, budget, want.BudgetSpent, want.UncoveredDemand, got.BudgetSpent, got.UncoveredDemand)
+				}
+				if len(want.RejectedByBudget) != len(got.RejectedByBudget) {
+					t.Fatalf("trial %d budget %v: rejected divergence: %v vs %v", trial, budget, want.RejectedByBudget, got.RejectedByBudget)
+				}
+				for i := range want.RejectedByBudget {
+					if want.RejectedByBudget[i] != got.RejectedByBudget[i] {
+						t.Fatalf("trial %d budget %v: rejected divergence: %v vs %v", trial, budget, want.RejectedByBudget, got.RejectedByBudget)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzSSAMDifferential fuzzes the reference/kernel equivalence over
+// generator seeds and packed option bits. The seed corpus (f.Add) runs as
+// ordinary bounded test cases on every `go test`, so the equivalence is a
+// standing gate even without -fuzz.
+func FuzzSSAMDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(3), uint8(2), uint8(0))
+	f.Add(int64(2), uint8(12), uint8(5), uint8(3), uint8(0xFF))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(1), uint8(0x2A))
+	f.Add(int64(4), uint8(20), uint8(2), uint8(1), uint8(0x15))
+	f.Add(int64(5), uint8(8), uint8(6), uint8(2), uint8(0x63))
+	f.Fuzz(func(t *testing.T, seed int64, bidders, needy, bidsPer, optBits uint8) {
+		nb := int(bidders)%24 + 1
+		nk := int(needy)%8 + 1
+		bp := int(bidsPer)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		var ins *Instance
+		if seed%2 == 0 {
+			ins = randomInstance(rng, nb, nk, bp)
+		} else {
+			ins = tieProneInstance(rng, nb, nk, bp)
+		}
+		opts := Options{
+			SkipCertificate: optBits&1 != 0,
+			ReserveSet:      optBits&2 != 0,
+		}
+		if optBits&4 != 0 {
+			opts.Metric = LowestPrice
+		}
+		if optBits&8 != 0 {
+			opts.Payment = FirstPrice
+		}
+		if optBits&16 != 0 {
+			opts.Reserve = 40
+		}
+		if optBits&32 != 0 {
+			opts.Parallelism = 4
+		} else {
+			opts.Parallelism = 1
+		}
+		scaled := make([]float64, len(ins.Bids))
+		factor := 1.0
+		if optBits&64 != 0 {
+			factor = 1 + rng.Float64() // ψ-scaled domain
+		}
+		for i, b := range ins.Bids {
+			scaled[i] = b.Price * factor
+		}
+		assertDifferential(t, ins, scaled, opts, "fuzz")
+	})
+}

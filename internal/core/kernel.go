@@ -1,0 +1,571 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the optimized SSAM selection/payment engine. It produces
+// BIT-IDENTICAL outcomes (winner sequence, costs, every payment, the dual
+// certificate) to the straightforward implementation preserved as the
+// differential oracle in reference_test.go, via three exact optimizations:
+//
+//  1. CSR cover layout. Bid.Covers is flattened once per run into shared
+//     arrays (coverStart offsets + coverKey needy indices + coverCap
+//     precomputed min(Units, Demand[k]) per edge), so the inner marginal
+//     loop is branch-light and cache-contiguous instead of chasing
+//     per-bid slices.
+//
+//  2. Compact candidate list. Marginal coverage is monotone non-increasing
+//     (θ only grows), so a bid whose marginal hits 0 is dead FOREVER; the
+//     selection scan drops it via swap-delete and never revisits it. The
+//     scan therefore shrinks as the run progresses instead of re-walking a
+//     full []bool mask every iteration.
+//
+//  3. Checkpointed counterfactual payment replays. The critical-value
+//     replay that excludes winner w's bidder is provably identical to the
+//     truthful run up to the iteration s where w was selected: before s,
+//     no bid of w's bidder was ever the greedy arg-min — a strictly better
+//     bid would have been selected, and under lowest-index tie-breaking an
+//     equal-score bid of w's bidder with a lower index would also have been
+//     selected, so removing the bidder changes neither the selections nor
+//     the scores. The main run snapshots (θ, deficit, compact candidate
+//     list, selected score) at every winning iteration; each winner's
+//     replay then reduces to a cheap prefix max over stored scores
+//     (O(s·|Covers_w|), no candidate scans) plus a live replay of only the
+//     SUFFIX from its own checkpoint. The per-iteration max is
+//     order-independent, so prefix-max + suffix-max equals the full
+//     replay's max bit for bit. Pivotal winners (counterfactual arg-min
+//     exhausted) can only surface in the suffix — the prefix replays
+//     selections that actually happened.
+//
+// The kernel operates on int32 state for cache density; build rejects the
+// (unrealistic) instances whose demands overflow that domain instead of
+// silently truncating.
+
+// candSet is a compact candidate list with O(1) swap-delete membership:
+// list holds the live bid indices in arbitrary order, pos maps a bid index
+// to its position in list (-1 once removed). Scans must apply an explicit
+// lowest-bid-index tie-break, because swap-deletes permute list order.
+type candSet struct {
+	list []int32
+	pos  []int32
+}
+
+func (cs *candSet) reset(nb int) {
+	if cap(cs.list) < nb {
+		cs.list = make([]int32, nb)
+		cs.pos = make([]int32, nb)
+	}
+	cs.list = cs.list[:nb]
+	cs.pos = cs.pos[:nb]
+	for i := range cs.list {
+		cs.list[i] = int32(i)
+		cs.pos[i] = int32(i)
+	}
+}
+
+func (cs *candSet) removeAt(i int) {
+	b := cs.list[i]
+	last := len(cs.list) - 1
+	moved := cs.list[last]
+	cs.list[i] = moved
+	cs.pos[moved] = int32(i)
+	cs.list = cs.list[:last]
+	cs.pos[b] = -1 // after pos[moved]: correct even when b == moved
+}
+
+func (cs *candSet) remove(b int32) {
+	if p := cs.pos[b]; p >= 0 {
+		cs.removeAt(int(p))
+	}
+}
+
+// kernel is the flat view of one ssamScaled (or BudgetedSSAM) run plus all
+// mutable greedy state and the payment checkpoints. Kernels are pooled; the
+// flat view is immutable once built and is shared read-only by the parallel
+// payment replays.
+type kernel struct {
+	nb     int // number of bids
+	nk     int // number of needy microservices
+	metric GreedyMetric
+
+	demand []int32
+	scaled []float64 // caller's scaled prices ∇ (borrowed, read-only)
+
+	// CSR cover view: bid b's edges are [coverStart[b], coverStart[b+1]).
+	coverStart []int32
+	coverKey   []int32 // needy index per edge
+	coverCap   []int32 // min(Units, Demand[key]) per edge
+
+	// Bidder grouping ("remove ALL bids of the winning bidder"): groupOf
+	// maps a bid to a dense bidder id, groupStart/groupBids list each
+	// group's bids CSR-style. bidderGroup is the build-time dense
+	// re-indexing map, retained (and cleared) across pooled reuse.
+	groupOf     []int32
+	groupStart  []int32
+	groupBids   []int32
+	cursor      []int32
+	bidderGroup map[int]int32
+
+	// Main-run mutable state.
+	theta       []int32 // θ_k, capped at demand[k]
+	deficit     int
+	totalDemand int
+	cand        candSet
+	winners     []int
+
+	// Per-winning-iteration checkpoints (CriticalValue payments only):
+	// state BEFORE the iteration's winner was applied or its bidder
+	// removed. ckTheta is iterations × nk flattened; ckCand holds the
+	// concatenated candidate lists with ckCandStart offsets (one more
+	// entry than iterations); ckScore is the iteration's selected score.
+	ckTheta     []int32
+	ckDeficit   []int
+	ckScore     []float64
+	ckCand      []int32
+	ckCandStart []int
+
+	gains []int // certificate per-winner gains scratch (aligned with Covers)
+}
+
+var kernelPool = sync.Pool{New: func() any { return new(kernel) }}
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// build flattens ins and scaled into the kernel and resets all run state.
+func (kn *kernel) build(ins *Instance, scaled []float64, opts Options) error {
+	nb, nk := len(ins.Bids), len(ins.Demand)
+	kn.nb, kn.nk = nb, nk
+	kn.scaled = scaled
+	kn.metric = opts.metric()
+
+	kn.demand = resizeInt32(kn.demand, nk)
+	kn.totalDemand = 0
+	for k, d := range ins.Demand {
+		if d > math.MaxInt32 {
+			return fmt.Errorf("core: demand %d of needy microservice %d exceeds the kernel's int32 domain", d, k)
+		}
+		// The raw (possibly negative) demand counts toward the deficit —
+		// the reference sums demands verbatim — but the gain math clamps
+		// at 0 so a negative demand can never be covered, exactly like the
+		// reference's `before >= demand` skip.
+		kn.totalDemand += d
+		if d < 0 {
+			d = 0
+		}
+		kn.demand[k] = int32(d)
+	}
+	kn.deficit = kn.totalDemand
+	kn.theta = resizeInt32(kn.theta, nk)
+	for k := range kn.theta {
+		kn.theta[k] = 0
+	}
+
+	edges := 0
+	for i := range ins.Bids {
+		edges += len(ins.Bids[i].Covers)
+	}
+	kn.coverStart = resizeInt32(kn.coverStart, nb+1)
+	kn.coverKey = resizeInt32(kn.coverKey, edges)
+	kn.coverCap = resizeInt32(kn.coverCap, edges)
+	e := int32(0)
+	for i := range ins.Bids {
+		b := &ins.Bids[i]
+		if b.Units < 1 {
+			return fmt.Errorf("core: bid %d has non-positive units %d", i, b.Units)
+		}
+		kn.coverStart[i] = e
+		for _, k := range b.Covers {
+			u := b.Units // clamp in int before narrowing: demand ≤ MaxInt32
+			if d := int(kn.demand[k]); u > d {
+				u = d
+			}
+			kn.coverKey[e] = int32(k)
+			kn.coverCap[e] = int32(u)
+			e++
+		}
+	}
+	kn.coverStart[nb] = e
+
+	if kn.bidderGroup == nil {
+		kn.bidderGroup = make(map[int]int32, nb)
+	}
+	clear(kn.bidderGroup)
+	kn.groupOf = resizeInt32(kn.groupOf, nb)
+	for i := range ins.Bids {
+		g, ok := kn.bidderGroup[ins.Bids[i].Bidder]
+		if !ok {
+			g = int32(len(kn.bidderGroup))
+			kn.bidderGroup[ins.Bids[i].Bidder] = g
+		}
+		kn.groupOf[i] = g
+	}
+	groups := len(kn.bidderGroup)
+	kn.groupStart = resizeInt32(kn.groupStart, groups+1)
+	for g := range kn.groupStart {
+		kn.groupStart[g] = 0
+	}
+	for i := 0; i < nb; i++ {
+		kn.groupStart[kn.groupOf[i]+1]++
+	}
+	for g := 0; g < groups; g++ {
+		kn.groupStart[g+1] += kn.groupStart[g]
+	}
+	kn.groupBids = resizeInt32(kn.groupBids, nb)
+	kn.cursor = append(kn.cursor[:0], kn.groupStart[:groups]...)
+	for i := 0; i < nb; i++ {
+		g := kn.groupOf[i]
+		kn.groupBids[kn.cursor[g]] = int32(i)
+		kn.cursor[g]++
+	}
+
+	kn.cand.reset(nb)
+	kn.winners = kn.winners[:0]
+	kn.ckTheta = kn.ckTheta[:0]
+	kn.ckDeficit = kn.ckDeficit[:0]
+	kn.ckScore = kn.ckScore[:0]
+	kn.ckCand = kn.ckCand[:0]
+	kn.ckCandStart = append(kn.ckCandStart[:0], 0)
+	return nil
+}
+
+// release drops the borrowed scaled-price slice and returns the kernel to
+// the pool. All payment workers must have been joined by the caller.
+func (kn *kernel) release() {
+	kn.scaled = nil
+	kernelPool.Put(kn)
+}
+
+// marginalOf returns U_w(E): the marginal coverage of bid b at state theta
+// (Eq. 19). theta may be the main-run state, a replay state, or a stored
+// checkpoint row. With theta capped at demand, every residual r is ≥ 0 and
+// each edge contributes min(coverCap, r) — branch-light by construction.
+func (kn *kernel) marginalOf(b int32, theta []int32) int {
+	gain := 0
+	for e := kn.coverStart[b]; e < kn.coverStart[b+1]; e++ {
+		k := kn.coverKey[e]
+		r := kn.demand[k] - theta[k]
+		g := kn.coverCap[e]
+		if g > r {
+			g = r
+		}
+		gain += int(g)
+	}
+	return gain
+}
+
+// applyTo commits bid b to (theta, deficit). theta stays capped at demand,
+// so the per-edge gain formula matches marginalOf exactly.
+func (kn *kernel) applyTo(theta []int32, deficit *int, b int32) {
+	for e := kn.coverStart[b]; e < kn.coverStart[b+1]; e++ {
+		k := kn.coverKey[e]
+		r := kn.demand[k] - theta[k]
+		g := kn.coverCap[e]
+		if g > r {
+			g = r
+		}
+		theta[k] += g
+		*deficit -= int(g)
+	}
+}
+
+// applyGains is applyTo on the main-run state, additionally materializing
+// the per-cover gains (aligned with Bid.Covers) into the pooled kn.gains
+// scratch for the certificate builder — the only consumer. SkipCertificate
+// runs never call it and allocate nothing per iteration.
+func (kn *kernel) applyGains(b int32) []int {
+	n := int(kn.coverStart[b+1] - kn.coverStart[b])
+	if cap(kn.gains) < n {
+		kn.gains = make([]int, n)
+	}
+	kn.gains = kn.gains[:n]
+	for i, e := 0, kn.coverStart[b]; e < kn.coverStart[b+1]; i, e = i+1, e+1 {
+		k := kn.coverKey[e]
+		r := kn.demand[k] - kn.theta[k]
+		g := kn.coverCap[e]
+		if g > r {
+			g = r
+		}
+		kn.theta[k] += g
+		kn.deficit -= int(g)
+		kn.gains[i] = int(g)
+	}
+	return kn.gains
+}
+
+// selectBestIn returns the candidate bid minimizing the greedy metric at
+// theta, removing dead candidates (marginal 0 — permanent, since θ only
+// grows) from cs as it scans. It returns best = -1 when no live candidate
+// remains. The swap-delete list is scanned in permuted order, so the
+// lowest-bid-index tie-break is applied explicitly; this reproduces the
+// reference's ascending-scan tie-break exactly.
+func (kn *kernel) selectBestIn(cs *candSet, theta []int32) (best int32, bestScore float64, bestMarginal int) {
+	best, bestScore = -1, math.Inf(1)
+	for i := 0; i < len(cs.list); {
+		b := cs.list[i]
+		m := kn.marginalOf(b, theta)
+		if m <= 0 {
+			cs.removeAt(i)
+			continue
+		}
+		var score float64
+		if kn.metric == LowestPrice {
+			score = kn.scaled[b]
+		} else {
+			score = kn.scaled[b] / float64(m)
+		}
+		if score < bestScore || (score == bestScore && b < best) {
+			best, bestScore, bestMarginal = b, score, m
+		}
+		i++
+	}
+	return best, bestScore, bestMarginal
+}
+
+// removeGroupIn removes every bid of bidder group g from cs.
+func (kn *kernel) removeGroupIn(cs *candSet, g int32) {
+	for _, b := range kn.groupBids[kn.groupStart[g]:kn.groupStart[g+1]] {
+		cs.remove(b)
+	}
+}
+
+// checkpoint snapshots the pre-apply state of the current winning
+// iteration: θ, deficit, the compact candidate list (post dead-bid
+// removal, pre winner-group removal — dead bids are dead in every
+// counterfactual too, and the replay filters the excluded bidder itself),
+// and the iteration's selected score for the prefix max.
+func (kn *kernel) checkpoint(score float64) {
+	kn.ckTheta = append(kn.ckTheta, kn.theta...)
+	kn.ckDeficit = append(kn.ckDeficit, kn.deficit)
+	kn.ckScore = append(kn.ckScore, score)
+	kn.ckCand = append(kn.ckCand, kn.cand.list...)
+	kn.ckCandStart = append(kn.ckCandStart, len(kn.ckCand))
+}
+
+// selectWinners runs the greedy selection loop (Algorithm 1, lines 3-12)
+// on the built kernel, filling out's winner list and cost accounting and
+// feeding the certificate builder when present. Checkpoints are recorded
+// only when the payment phase will consume them.
+func (kn *kernel) selectWinners(ins *Instance, opts Options, out *Outcome, cert *certBuilder) error {
+	checkpoints := opts.payment() == CriticalValue
+	for kn.deficit > 0 {
+		best, score, marginal := kn.selectBestIn(&kn.cand, kn.theta)
+		if best < 0 {
+			return fmt.Errorf("%w: uncovered demand %d remains", ErrInfeasible, kn.deficit)
+		}
+		if checkpoints {
+			kn.checkpoint(score)
+		}
+		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
+		if cert != nil {
+			gains := kn.applyGains(best)
+			cert.record(int(best), &ins.Bids[best], gains, kn.scaled[best], marginal)
+		} else {
+			kn.applyTo(kn.theta, &kn.deficit, best)
+		}
+		kn.winners = append(kn.winners, int(best))
+		out.SocialCost += ins.Bids[best].Price
+		out.ScaledCost += kn.scaled[best]
+	}
+	out.Winners = append([]int(nil), kn.winners...)
+	return nil
+}
+
+// replayScratch is the reusable per-replay mutable state of one
+// counterfactual payment run. Pooled so neither the serial nor the
+// parallel payment path allocates per winner.
+type replayScratch struct {
+	theta   []int32
+	deficit int
+	cand    candSet
+}
+
+var replayScratchPool = sync.Pool{New: func() any { return new(replayScratch) }}
+
+// loadCheckpoint initializes rs from main-run checkpoint s with bidder
+// group ban excluded from the candidate set.
+func (rs *replayScratch) loadCheckpoint(kn *kernel, s int, ban int32) {
+	rs.theta = append(rs.theta[:0], kn.ckTheta[s*kn.nk:(s+1)*kn.nk]...)
+	rs.deficit = kn.ckDeficit[s]
+	rs.loadCands(kn, kn.ckCand[kn.ckCandStart[s]:kn.ckCandStart[s+1]], ban)
+}
+
+// loadInitial initializes rs to the blank pre-auction state (θ ≡ 0, all
+// bids live) with bidder group ban excluded — the from-scratch replay used
+// by BudgetedSSAM, whose selection path diverges from plain SSAM once the
+// budget binds and therefore cannot reuse the truthful run's checkpoints.
+func (rs *replayScratch) loadInitial(kn *kernel, ban int32) {
+	rs.theta = resizeInt32(rs.theta, kn.nk)
+	for k := range rs.theta {
+		rs.theta[k] = 0
+	}
+	rs.deficit = kn.totalDemand
+	if cap(rs.cand.list) < kn.nb {
+		rs.cand.list = make([]int32, 0, kn.nb)
+	}
+	rs.cand.list = rs.cand.list[:0]
+	rs.cand.pos = resizeInt32(rs.cand.pos, kn.nb)
+	for b := int32(0); b < int32(kn.nb); b++ {
+		if kn.groupOf[b] == ban {
+			rs.cand.pos[b] = -1
+			continue
+		}
+		rs.cand.pos[b] = int32(len(rs.cand.list))
+		rs.cand.list = append(rs.cand.list, b)
+	}
+}
+
+func (rs *replayScratch) loadCands(kn *kernel, cands []int32, ban int32) {
+	rs.cand.pos = resizeInt32(rs.cand.pos, kn.nb)
+	for b := range rs.cand.pos {
+		rs.cand.pos[b] = -1
+	}
+	if cap(rs.cand.list) < len(cands) {
+		rs.cand.list = make([]int32, 0, len(cands))
+	}
+	rs.cand.list = rs.cand.list[:0]
+	for _, b := range cands {
+		if kn.groupOf[b] == ban {
+			continue
+		}
+		rs.cand.pos[b] = int32(len(rs.cand.list))
+		rs.cand.list = append(rs.cand.list, b)
+	}
+}
+
+// replayFrom runs the counterfactual greedy from rs's loaded state,
+// accumulating max over iterations of U_w(E_s)·θ_s — what bid w's report
+// could be while still preempting the iteration — until w can no longer
+// contribute or the demand is covered. pivotal reports that the remaining
+// demand was uncoverable while w still had positive marginal (the reserve
+// applies; any accumulated value is discarded, as in the reference).
+func (kn *kernel) replayFrom(rs *replayScratch, w int32, prior float64) (best float64, pivotal bool) {
+	best = prior
+	for rs.deficit > 0 {
+		m := kn.marginalOf(w, rs.theta)
+		if m <= 0 {
+			break
+		}
+		idx, score, _ := kn.selectBestIn(&rs.cand, rs.theta)
+		if idx < 0 {
+			return 0, true
+		}
+		if v := float64(m) * score; v > best {
+			best = v
+		}
+		kn.removeGroupIn(&rs.cand, kn.groupOf[idx])
+		kn.applyTo(rs.theta, &rs.deficit, idx)
+	}
+	return best, false
+}
+
+// criticalValue computes winner w's Myerson threshold (Lemma 3's
+// counterfactual without w's bidder, see paymentFor in reference_test.go
+// for the from-scratch formulation). s is w's position in the winner
+// sequence. The prefix t < s replays nothing: the counterfactual coincides
+// with the truthful run there, so the iteration values are
+// marginalOf(w, checkpoint-θ_t) · stored score_t. The suffix runs live
+// from checkpoint s. Pivotality cannot occur in the prefix (those
+// iterations selected real bids), and w's marginal is strictly positive
+// throughout it (marginals are non-increasing and w's was still positive
+// at s), so no prefix iteration can break out early either.
+func (kn *kernel) criticalValue(ins *Instance, w int32, s int, opts Options, rs *replayScratch) float64 {
+	best := 0.0
+	for t := 0; t < s; t++ {
+		m := kn.marginalOf(w, kn.ckTheta[t*kn.nk:(t+1)*kn.nk])
+		if v := float64(m) * kn.ckScore[t]; v > best {
+			best = v
+		}
+	}
+	rs.loadCheckpoint(kn, s, kn.groupOf[w])
+	best, pivotal := kn.replayFrom(rs, w, best)
+	if pivotal {
+		return reservePayment(ins, kn.scaled, int(w), opts)
+	}
+	if best < kn.scaled[w] {
+		// Numeric guard: the winner beat the truthful-run competition, so
+		// its critical value is at least its own report.
+		best = kn.scaled[w]
+	}
+	return best
+}
+
+// fullCounterfactual computes the critical value of bid w via a
+// from-scratch replay against the full candidate set. BudgetedSSAM uses it
+// because its budget-filtered selection state must not leak into the
+// threshold (report-independence).
+func (kn *kernel) fullCounterfactual(ins *Instance, w int32, opts Options, rs *replayScratch) float64 {
+	if opts.payment() == FirstPrice {
+		return kn.scaled[w]
+	}
+	rs.loadInitial(kn, kn.groupOf[w])
+	best, pivotal := kn.replayFrom(rs, w, 0)
+	if pivotal {
+		return reservePayment(ins, kn.scaled, int(w), opts)
+	}
+	if best < kn.scaled[w] {
+		best = kn.scaled[w]
+	}
+	return best
+}
+
+// computePayments fills payments[w] for every winner of the completed
+// selection run. Each winner's replay depends only on the immutable flat
+// view, its checkpoint, and its winner position, so replays fan out across
+// a bounded worker pool with bit-identical results at every Parallelism
+// level (each replay performs the same float64 operation sequence
+// regardless of scheduling; results are assembled serially).
+func (kn *kernel) computePayments(ins *Instance, opts Options, payments map[int]float64) {
+	winners := kn.winners
+	if len(winners) == 0 {
+		return
+	}
+	if opts.payment() == FirstPrice {
+		for _, w := range winners {
+			payments[w] = kn.scaled[w]
+		}
+		return
+	}
+	workers := opts.parallelism()
+	if workers > len(winners) {
+		workers = len(winners)
+	}
+	if workers <= 1 {
+		rs := replayScratchPool.Get().(*replayScratch)
+		for s, w := range winners {
+			payments[w] = kn.criticalValue(ins, int32(w), s, opts, rs)
+		}
+		replayScratchPool.Put(rs)
+		return
+	}
+	results := make([]float64, len(winners))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs := replayScratchPool.Get().(*replayScratch)
+			defer replayScratchPool.Put(rs)
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= len(winners) {
+					return
+				}
+				results[s] = kn.criticalValue(ins, int32(winners[s]), s, opts, rs)
+			}
+		}()
+	}
+	wg.Wait()
+	for s, w := range winners {
+		payments[w] = results[s]
+	}
+}

@@ -259,7 +259,7 @@ func TestQuickCoverageStateMarginalNeverNegative(t *testing.T) {
 	f := func(demandSeed, unitSeed uint8) bool {
 		demand := []int{int(demandSeed%7) + 1, int(demandSeed%3) + 1}
 		units := int(unitSeed%4) + 1
-		cs := newCoverageState(demand)
+		cs := newRefCoverageState(demand)
 		b := &Bid{Covers: []int{0, 1}, Units: units}
 		for !cs.satisfied() {
 			m := cs.marginal(b)

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"sort"
 )
 
 // GreedyMetric selects the bid-ranking rule used by the greedy winner
@@ -62,11 +61,11 @@ type Options struct {
 	SkipCertificate bool
 	// Parallelism bounds the number of worker goroutines used for the
 	// critical-value payment phase, the mechanism's asymptotic hot path
-	// (O(winners × iterations × bids × covers) — one full counterfactual
-	// greedy replay per winner). Each replay is independent of the others,
-	// so payments fan out across a bounded pool with bit-identical results
-	// at every level. Zero means runtime.GOMAXPROCS(0); 1 forces the
-	// serial path.
+	// (one counterfactual greedy replay per winner, resumed from the
+	// winner's checkpoint in the truthful run — see kernel.go). Each
+	// replay is independent of the others, so payments fan out across a
+	// bounded pool with bit-identical results at every level. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces the serial path.
 	Parallelism int
 }
 
@@ -103,306 +102,45 @@ func SSAM(ins *Instance, opts Options) (*Outcome, error) {
 	return ssamScaled(ins, scaled, opts)
 }
 
-// coverageState tracks θ_k, the units of coverage accumulated per needy
-// microservice, plus the remaining total deficit.
-//
-// A CELF-style lazy-greedy selector (heap of cached scores, refreshed on
-// pop) was prototyped here and REMOVED: with the paper's workload shape —
-// a handful of needy microservices and densely overlapping covers — every
-// selection invalidates most cached scores, and the heap overhead made
-// selection 1.5-3.6x SLOWER than the plain scan at every size up to 4000
-// bids. selectBest's linear scan is the measured winner.
-type coverageState struct {
-	theta   []int
-	demand  []int
-	deficit int
-}
-
-func newCoverageState(demand []int) *coverageState {
-	cs := &coverageState{}
-	cs.reset(demand)
-	return cs
-}
-
-// reset re-initializes the state for demand, reusing the theta slice when
-// capacity allows so pooled scratch replays stay allocation-free.
-func (cs *coverageState) reset(demand []int) {
-	if cap(cs.theta) < len(demand) {
-		cs.theta = make([]int, len(demand))
-	}
-	cs.theta = cs.theta[:len(demand)]
-	total := 0
-	for i, d := range demand {
-		cs.theta[i] = 0
-		total += d
-	}
-	cs.demand = demand
-	cs.deficit = total
-}
-
-// marginal returns U_ij(E): the increase in Σ_k min(θ_k, X_k) from
-// selecting bid b at the current state (Eq. 19).
-func (cs *coverageState) marginal(b *Bid) int {
-	gain := 0
-	for _, k := range b.Covers {
-		before := cs.theta[k]
-		if before >= cs.demand[k] {
-			continue
-		}
-		after := before + b.Units
-		if after > cs.demand[k] {
-			after = cs.demand[k]
-		}
-		gain += after - before
-	}
-	return gain
-}
-
-// apply commits bid b to the state and returns, per covered needy k, the
-// number of new units supplied (aligned with b.Covers).
-func (cs *coverageState) apply(b *Bid) []int {
-	gains := make([]int, len(b.Covers))
-	for i, k := range b.Covers {
-		before := cs.theta[k]
-		after := before + b.Units
-		capped := after
-		if capped > cs.demand[k] {
-			capped = cs.demand[k]
-		}
-		if capped > before {
-			gains[i] = capped - before
-			cs.deficit -= gains[i]
-		}
-		cs.theta[k] = after
-	}
-	return gains
-}
-
-// applyOnly commits bid b to the state without materializing the per-needy
-// gains slice; the counterfactual payment replays never read the gains and
-// must not allocate per iteration.
-func (cs *coverageState) applyOnly(b *Bid) {
-	for _, k := range b.Covers {
-		before := cs.theta[k]
-		after := before + b.Units
-		capped := after
-		if capped > cs.demand[k] {
-			capped = cs.demand[k]
-		}
-		if capped > before {
-			cs.deficit -= capped - before
-		}
-		cs.theta[k] = after
-	}
-}
-
-func (cs *coverageState) satisfied() bool { return cs.deficit <= 0 }
-
 // ssamScaled is the shared implementation behind SSAM and each MSOA round:
 // winner selection and payments operate on the scaled prices ∇_ij, while
 // Outcome.SocialCost is accounted with the raw prices J_ij (Lemma 4).
+//
+// It runs on the pooled flat kernel (kernel.go): a CSR cover view with a
+// compact swap-delete candidate list for selection, per-iteration
+// checkpoints feeding the critical-value payment phase, and a bounded
+// worker pool fanning the per-winner replays out. The straightforward
+// implementation it is bit-identical to lives in reference_test.go and is
+// exercised against this path by the differential property/fuzz tests.
 func ssamScaled(ins *Instance, scaled []float64, opts Options) (*Outcome, error) {
 	if len(scaled) != len(ins.Bids) {
 		return nil, fmt.Errorf("core: scaled price vector has %d entries for %d bids", len(scaled), len(ins.Bids))
 	}
-	cs := newCoverageState(ins.Demand)
-	out := &Outcome{Payments: make(map[int]float64)}
 	var cert *certBuilder
 	if !opts.SkipCertificate {
 		cert = newCertBuilder(ins, scaled)
 	}
-
-	active := make([]bool, len(ins.Bids)) // bid still in candidate set F^t
-	for i := range active {
-		active[i] = true
+	kn := kernelPool.Get().(*kernel)
+	defer kn.release()
+	if err := kn.build(ins, scaled, opts); err != nil {
+		return nil, err
 	}
-	metric := opts.metric()
-
-	for !cs.satisfied() {
-		best, _, bestMarginal := selectBest(ins, scaled, active, cs, metric)
-		if best < 0 {
-			return nil, fmt.Errorf("%w: uncovered demand %d remains", ErrInfeasible, cs.deficit)
-		}
-
-		winner := &ins.Bids[best]
-
-		// Remove ALL bids of the winning bidder (Algorithm 1, line 10):
-		// each microservice wins at most one bid per round.
-		for i := range ins.Bids {
-			if ins.Bids[i].Bidder == winner.Bidder {
-				active[i] = false
-			}
-		}
-
-		gains := cs.apply(winner)
-		if cert != nil {
-			cert.record(best, winner, gains, scaled[best], bestMarginal)
-		}
-
-		out.Winners = append(out.Winners, best)
-		out.SocialCost += winner.Price
-		out.ScaledCost += scaled[best]
+	out := &Outcome{}
+	if err := kn.selectWinners(ins, opts, out, cert); err != nil {
+		return nil, err
 	}
+	out.Payments = make(map[int]float64, len(out.Winners))
 
 	// Payments are computed after selection: each winner's critical value
-	// requires a counterfactual greedy run without its bidder. The replays
-	// are mutually independent, so they fan out across Options.Parallelism
-	// workers.
-	computePayments(ins, scaled, out.Winners, opts, out.Payments)
+	// requires a counterfactual greedy run without its bidder, replayed
+	// from the winner's own checkpoint. The replays are mutually
+	// independent, so they fan out across Options.Parallelism workers.
+	kn.computePayments(ins, opts, out.Payments)
 
 	if cert != nil {
 		out.Dual = cert.finish(out)
 	}
 	return out, nil
-}
-
-// selectBest returns the active bid minimizing the greedy metric at the
-// current coverage state, with deterministic lowest-index tie-breaking.
-// It returns best = -1 when no active bid has positive marginal coverage.
-func selectBest(ins *Instance, scaled []float64, active []bool, cs *coverageState, metric GreedyMetric) (best int, bestScore float64, bestMarginal int) {
-	best, bestScore = -1, math.Inf(1)
-	for i := range ins.Bids {
-		if !active[i] {
-			continue
-		}
-		m := cs.marginal(&ins.Bids[i])
-		if m <= 0 {
-			continue
-		}
-		score := scaled[i] / float64(m)
-		if metric == LowestPrice {
-			score = scaled[i]
-		}
-		if score < bestScore || (score == bestScore && i < best) {
-			best, bestScore, bestMarginal = i, score, m
-		}
-	}
-	return best, bestScore, bestMarginal
-}
-
-// paymentScratch is the reusable per-replay state of one counterfactual
-// payment run: the coverage accumulator and the candidate-set mask. Pooling
-// it keeps both the serial and the parallel payment paths from allocating
-// per winner.
-type paymentScratch struct {
-	cs     coverageState
-	active []bool
-}
-
-var paymentScratchPool = sync.Pool{New: func() any { return new(paymentScratch) }}
-
-// computePayments fills payments[w] for every winning bid index. Each
-// winner's counterfactual replay depends only on (ins, scaled, w, opts), so
-// replays are distributed over a bounded worker pool; every worker performs
-// the exact same float64 operation sequence per winner regardless of
-// scheduling, making the result bit-identical at every parallelism level.
-func computePayments(ins *Instance, scaled []float64, winners []int, opts Options, payments map[int]float64) {
-	if len(winners) == 0 {
-		return
-	}
-	if opts.payment() == FirstPrice {
-		for _, w := range winners {
-			payments[w] = scaled[w]
-		}
-		return
-	}
-	workers := opts.parallelism()
-	if workers > len(winners) {
-		workers = len(winners)
-	}
-	if workers <= 1 {
-		scratch := paymentScratchPool.Get().(*paymentScratch)
-		for _, w := range winners {
-			payments[w] = paymentFor(ins, scaled, w, opts, scratch)
-		}
-		paymentScratchPool.Put(scratch)
-		return
-	}
-	results := make([]float64, len(winners))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scratch := paymentScratchPool.Get().(*paymentScratch)
-			defer paymentScratchPool.Put(scratch)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(winners) {
-					return
-				}
-				results[i] = paymentFor(ins, scaled, winners[i], opts, scratch)
-			}
-		}()
-	}
-	wg.Wait()
-	for i, w := range winners {
-		payments[w] = results[i]
-	}
-}
-
-// paymentFor computes the remuneration of winning bid w under the
-// configured payment rule, using scratch for all per-replay state.
-//
-// Under CriticalValue it computes the Myerson threshold price — the
-// supremum report at which bid w still wins — by replaying the greedy
-// WITHOUT any bid from w's bidder (Lemma 3's "exclude (i',j') from the
-// candidate set" made exact): at every state E_s of that counterfactual
-// run, bid w would preempt the counterfactual choice iff its unit price is
-// at most the chosen score θ_s, i.e. iff its report is at most
-// U_w(E_s)·θ_s; the critical value is the maximum over s. The
-// counterfactual is independent of the winner's report, which is what
-// makes the rule truthful. If the demand is uncoverable without the
-// bidder (it is pivotal), the reserve applies.
-func paymentFor(ins *Instance, scaled []float64, w int, opts Options, scratch *paymentScratch) float64 {
-	if opts.payment() == FirstPrice {
-		return scaled[w]
-	}
-	winner := &ins.Bids[w]
-	if cap(scratch.active) < len(ins.Bids) {
-		scratch.active = make([]bool, len(ins.Bids))
-	}
-	active := scratch.active[:len(ins.Bids)]
-	for i := range ins.Bids {
-		active[i] = ins.Bids[i].Bidder != winner.Bidder
-	}
-	cs := &scratch.cs
-	cs.reset(ins.Demand)
-	metric := opts.metric()
-
-	best := 0.0
-	for !cs.satisfied() {
-		// What the winner's bid could earn by preempting this iteration.
-		if m := cs.marginal(winner); m > 0 {
-			idx, score, _ := selectBest(ins, scaled, active, cs, metric)
-			if idx < 0 {
-				// Pivotal: without this bidder the remaining demand is
-				// uncoverable, so any report up to the reserve wins.
-				return reservePayment(ins, scaled, w, opts)
-			}
-			if v := float64(m) * score; v > best {
-				best = v
-			}
-			// Counterfactually select idx and continue.
-			for i := range ins.Bids {
-				if ins.Bids[i].Bidder == ins.Bids[idx].Bidder {
-					active[i] = false
-				}
-			}
-			cs.applyOnly(&ins.Bids[idx])
-			continue
-		}
-		// The winner's bid can no longer contribute: later iterations
-		// cannot be preempted by it, so the threshold is settled.
-		break
-	}
-	if best < scaled[w] {
-		// Numeric guard: the winner beat the truthful-run competition, so
-		// its critical value is at least its own report.
-		best = scaled[w]
-	}
-	return best
 }
 
 // reservePayment is the payment to a pivotal winner (no competing coverage
@@ -538,9 +276,19 @@ func (cb *certBuilder) finish(out *Outcome) *DualCertificate {
 			zB[b.Bidder] = excess
 		}
 	}
+	// Subtract the bidder slack in sorted-key order: float64 addition is not
+	// associative, and map iteration order is randomized per run, so summing
+	// in map order would make DualObjective differ in its last bits between
+	// two runs on the same instance. The certificate must be deterministic
+	// (the differential tests compare it bit for bit).
 	objB := scaleB * demandDotY
-	for _, z := range zB {
-		objB -= z
+	bidders := make([]int, 0, len(zB))
+	for b := range zB {
+		bidders = append(bidders, b)
+	}
+	sort.Ints(bidders)
+	for _, b := range bidders {
+		objB -= zB[b]
 	}
 
 	scale, z, obj := scaleA, map[int]float64{}, objA

@@ -207,6 +207,86 @@ type Outcome struct {
 	Dual *DualCertificate
 }
 
+// Equal reports whether o and other are EXACTLY the same outcome: identical
+// winner sequences, bit-identical costs and payments, and (when present)
+// bit-identical dual certificates. No epsilon is applied anywhere — the
+// optimized kernel is held to bit-identical float64 operation sequences
+// against the reference implementation, and the differential tests compare
+// through this method.
+func (o *Outcome) Equal(other *Outcome) bool {
+	if o == nil || other == nil {
+		return o == other
+	}
+	if len(o.Winners) != len(other.Winners) {
+		return false
+	}
+	for i := range o.Winners {
+		if o.Winners[i] != other.Winners[i] {
+			return false
+		}
+	}
+	if o.SocialCost != other.SocialCost || o.ScaledCost != other.ScaledCost {
+		return false
+	}
+	if len(o.Payments) != len(other.Payments) {
+		return false
+	}
+	for w, p := range o.Payments {
+		q, ok := other.Payments[w]
+		if !ok || p != q {
+			return false
+		}
+	}
+	return o.Dual.equal(other.Dual)
+}
+
+// equal is the exact comparison over dual certificates backing Outcome.Equal.
+func (c *DualCertificate) equal(other *DualCertificate) bool {
+	if c == nil || other == nil {
+		return c == other
+	}
+	if c.W != other.W || c.Xi != other.Xi ||
+		c.Primal != other.Primal || c.DualObjective != other.DualObjective {
+		return false
+	}
+	if len(c.UnitPrices) != len(other.UnitPrices) || len(c.UnitTimes) != len(other.UnitTimes) ||
+		len(c.Y) != len(other.Y) || len(c.Z) != len(other.Z) {
+		return false
+	}
+	for k := range c.UnitPrices {
+		if len(c.UnitPrices[k]) != len(other.UnitPrices[k]) {
+			return false
+		}
+		for u := range c.UnitPrices[k] {
+			if c.UnitPrices[k][u] != other.UnitPrices[k][u] {
+				return false
+			}
+		}
+	}
+	for k := range c.UnitTimes {
+		if len(c.UnitTimes[k]) != len(other.UnitTimes[k]) {
+			return false
+		}
+		for u := range c.UnitTimes[k] {
+			if c.UnitTimes[k][u] != other.UnitTimes[k][u] {
+				return false
+			}
+		}
+	}
+	for k := range c.Y {
+		if c.Y[k] != other.Y[k] {
+			return false
+		}
+	}
+	for b, z := range c.Z {
+		zo, ok := other.Z[b]
+		if !ok || z != zo {
+			return false
+		}
+	}
+	return true
+}
+
 // TotalPayment sums the payments to all winners.
 func (o *Outcome) TotalPayment() float64 {
 	var total float64

@@ -10,14 +10,21 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the per-PR verification gate: static analysis plus the full test
-# suite under the race detector (the platform tests exercise real TCP
-# concurrency, and the parallel payment phase and sweep runner exercise
-# their scratch state), then a quick bench-repro smoke run proving the
-# end-to-end figure pipeline and its wall-clock report still work.
+# check is the per-PR verification gate: formatting and static analysis,
+# the full test suite under the race detector (the platform tests exercise
+# real TCP concurrency, and the parallel payment phase and sweep runner
+# exercise their scratch state), a bounded run of the reference/optimized
+# SSAM differential fuzzer (its seed corpus also runs as plain tests, so
+# the kernel equivalence is a standing gate), then a quick bench-repro
+# smoke run proving the end-to-end figure pipeline and its wall-clock
+# report still work.
 check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz '^FuzzSSAMDifferential$$' -fuzztime 10s \
+		./internal/core
 	$(GO) run ./cmd/repro -fig all -quick -opt-time 300ms \
 		-bench-json /tmp/BENCH_repro_smoke.json >/dev/null
 

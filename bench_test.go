@@ -390,6 +390,24 @@ func BenchmarkCriticalValuePayments(b *testing.B) {
 			name := fmt.Sprintf("bids=1000/winners=%d/parallelism=%d", winners, par)
 			b.Run(name, func(b *testing.B) {
 				opts := core.Options{SkipCertificate: true, Parallelism: par}
+				if par == 1 {
+					// The serial SkipCertificate path allocates only O(1)
+					// per call (result assembly: scaled slice, Outcome,
+					// winner copy, payments map) — nothing per iteration
+					// and nothing per winner. The bound is intentionally
+					// below the winner count: a regression to per-winner
+					// allocation (e.g. the certificate gains slice leaking
+					// back into the selection loop) trips it immediately.
+					allocs := testing.AllocsPerRun(10, func() {
+						if _, err := core.SSAM(ins, opts); err != nil {
+							b.Fatal(err)
+						}
+					})
+					if allocs > 16 {
+						b.Fatalf("serial SkipCertificate path allocates %v/op, want ≤ 16 (O(1), not O(winners))", allocs)
+					}
+				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					out, err := core.SSAM(ins, opts)

@@ -153,7 +153,10 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 	res := &RoundResult{T: r.T, Scaled: make([]float64, len(ins.Bids))}
 
 	// Build the candidate set and scaled prices (Algorithm 2, lines 4-8).
-	filtered := &Instance{Demand: ins.Demand}
+	filtered := &Instance{
+		Demand: ins.Demand,
+		Bids:   make([]Bid, 0, len(ins.Bids)),
+	}
 	mapping := make([]int, 0, len(ins.Bids)) // filtered idx -> original idx
 	for i := range ins.Bids {
 		b := &ins.Bids[i]
@@ -188,6 +191,7 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 
 	// Re-index the outcome to the original bid indices.
 	remapped := &Outcome{
+		Winners:    make([]int, 0, len(out.Winners)),
 		Payments:   make(map[int]float64, len(out.Payments)),
 		SocialCost: out.SocialCost,
 		ScaledCost: out.ScaledCost,

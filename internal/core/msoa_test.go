@@ -253,6 +253,48 @@ func TestVariantsBuild(t *testing.T) {
 	}
 }
 
+// TestVariantsPreserveConfigFields is a regression test for the RC/OA
+// config derivation: it built a fresh MSOAConfig naming fields one by one
+// and silently dropped DefaultCapacitySet (turning an explicit zero default
+// capacity into "unlimited") and CapacityExemptFrom (capacity-limiting the
+// platform's exempt fallback supply). Every non-capacity field must survive
+// the variant transform verbatim.
+func TestVariantsPreserveConfigFields(t *testing.T) {
+	cfg := MSOAConfig{
+		DefaultCapacity:    0,
+		DefaultCapacitySet: true,
+		CapacityExemptFrom: 1000,
+		Capacity:           map[int]int{1: 2},
+		Windows:            map[int]BidderWindow{1: {Arrive: 1, Depart: 3}},
+		Alpha:              1.5,
+		DisableScaledPrice: true,
+		Options:            Options{SkipCertificate: true, Parallelism: 2},
+	}
+	trueRounds := []Round{simpleRound(1, 2, 10, 20)}
+	estRounds := []Round{simpleRound(1, 1, 10, 20)}
+	for _, v := range []Variant{VariantRC, VariantOA} {
+		_, vcfg := BuildVariant(v, VariantParams{}, trueRounds, estRounds, cfg)
+		if !vcfg.DefaultCapacitySet {
+			t.Fatalf("%v: DefaultCapacitySet dropped — explicit zero default capacity became unlimited", v)
+		}
+		if vcfg.CapacityExemptFrom != 1000 {
+			t.Fatalf("%v: CapacityExemptFrom = %d, want 1000", v, vcfg.CapacityExemptFrom)
+		}
+		if vcfg.Alpha != 1.5 || !vcfg.DisableScaledPrice || !vcfg.Options.SkipCertificate || vcfg.Options.Parallelism != 2 {
+			t.Fatalf("%v: non-capacity fields not preserved: %+v", v, vcfg)
+		}
+		if vcfg.Windows[1] != cfg.Windows[1] {
+			t.Fatalf("%v: windows not preserved", v)
+		}
+		if vcfg.Capacity[1] != 4 {
+			t.Fatalf("%v: capacity not scaled, got %d want 4", v, vcfg.Capacity[1])
+		}
+		if vcfg.DefaultCapacity != 0 {
+			t.Fatalf("%v: explicit zero default capacity must stay zero, got %d", v, vcfg.DefaultCapacity)
+		}
+	}
+}
+
 func TestVariantString(t *testing.T) {
 	for v, want := range map[Variant]string{
 		VariantBase: "MSOA", VariantDA: "MSOA-DA", VariantRC: "MSOA-RC",

@@ -337,3 +337,144 @@ func TestReserveSetExplicitZero(t *testing.T) {
 		t.Fatalf("explicit-zero-reserve pivotal payment = %v, want own price 5", got)
 	}
 }
+
+// TestSelectBestExactTieLowestIndex locks the tie-break: with three bids at
+// EXACTLY equal price-per-coverage score, the lowest bid index must win —
+// on the optimized kernel (whose swap-delete candidate list is scanned in
+// permuted order and needs an explicit tie-break) and on the reference
+// (whose ascending strict-improvement scan IS the tie-break).
+func TestSelectBestExactTieLowestIndex(t *testing.T) {
+	ins := &Instance{
+		Demand: []int{2},
+		Bids: []Bid{
+			{Bidder: 1, Price: 20, Covers: []int{0}, Units: 2}, // score 20/2 = 10
+			{Bidder: 2, Price: 10, Covers: []int{0}, Units: 1}, // score 10/1 = 10
+			{Bidder: 3, Price: 10, Covers: []int{0}, Units: 1}, // score 10/1 = 10
+		},
+	}
+	for name, run := range map[string]func(*Instance, Options) (*Outcome, error){
+		"kernel":    SSAM,
+		"reference": referenceSSAM,
+	} {
+		out, err := run(ins, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Bid 0 covers the whole demand in one iteration; the exact tie with
+		// bids 1 and 2 must resolve to the lowest index.
+		if len(out.Winners) != 1 || out.Winners[0] != 0 {
+			t.Fatalf("%s: winners = %v, want [0] (lowest-index tie-break)", name, out.Winners)
+		}
+	}
+
+	// Ties within one iteration AND across successive iterations: four unit
+	// bids at the same price must win in ascending index order.
+	flat := &Instance{
+		Demand: []int{2, 2},
+		Bids: []Bid{
+			{Bidder: 1, Price: 7, Covers: []int{0, 1}, Units: 1},
+			{Bidder: 2, Price: 7, Covers: []int{0, 1}, Units: 1},
+			{Bidder: 3, Price: 7, Covers: []int{0, 1}, Units: 1},
+			{Bidder: 4, Price: 7, Covers: []int{0, 1}, Units: 1},
+		},
+	}
+	out, err := SSAM(flat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1} // two iterations cover demand 2+2; ties resolve upward
+	if len(out.Winners) != len(want) {
+		t.Fatalf("winners = %v, want %v", out.Winners, want)
+	}
+	for i := range want {
+		if out.Winners[i] != want[i] {
+			t.Fatalf("winners = %v, want %v (ascending tie-break order)", out.Winners, want)
+		}
+	}
+}
+
+// TestReservePaymentScaledDomain pins the pivotal-winner reserve semantics
+// in MSOA's ψ-scaled price domain: the auto-derived reserve must come from
+// the competitors' SCALED prices, an explicit ReserveSet zero stays binding
+// (floored at the winner's own SCALED report), and an explicit reserve
+// below the winner's own scaled report is raised to that report.
+func TestReservePaymentScaledDomain(t *testing.T) {
+	// Bidder 1 is the only bidder able to cover needy 1, so it is pivotal
+	// in every counterfactual. Bidder 2 competes only on needy 0.
+	ins := &Instance{
+		Demand: []int{1, 1},
+		Bids: []Bid{
+			{Bidder: 1, Price: 5, Covers: []int{0, 1}, Units: 1},
+			{Bidder: 2, Price: 30, Covers: []int{0}, Units: 1},
+		},
+	}
+	const psi = 2.0
+	scaled := []float64{5 * psi, 30 * psi}
+
+	// Auto-derive: the reserve is the best competing SCALED price (60), not
+	// the raw competitor price (30).
+	out, err := ssamScaled(ins, scaled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) != 1 || out.Winners[0] != 0 {
+		t.Fatalf("winners = %v, want [0]", out.Winners)
+	}
+	if got := out.Payments[0]; got != 60 {
+		t.Fatalf("auto-derived scaled-domain reserve payment = %v, want 60", got)
+	}
+
+	// Explicit zero reserve: binding, so the pivotal winner is paid its own
+	// SCALED report (10), not its raw price (5).
+	out, err = ssamScaled(ins, scaled, Options{ReserveSet: true, Reserve: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Payments[0]; got != 10 {
+		t.Fatalf("explicit-zero scaled-domain reserve payment = %v, want own scaled report 10", got)
+	}
+
+	// Explicit reserve below the winner's own scaled report: individual
+	// rationality floors the payment at the scaled report.
+	out, err = ssamScaled(ins, scaled, Options{Reserve: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Payments[0]; got != 10 {
+		t.Fatalf("below-report reserve payment = %v, want own scaled report 10", got)
+	}
+}
+
+// TestReservePaymentSingleBidder pins the degenerate single-bidder auction:
+// no competitors exist to derive a reserve from, so the pivotal winner is
+// paid its own (scaled) report under every reserve configuration except an
+// explicit higher reserve.
+func TestReservePaymentSingleBidder(t *testing.T) {
+	ins := &Instance{
+		Demand: []int{2},
+		Bids: []Bid{
+			{Bidder: 1, Price: 8, Covers: []int{0}, Units: 2},
+		},
+	}
+	cases := []struct {
+		name string
+		opts Options
+		want float64
+	}{
+		{"auto-derive finds no competitor", Options{}, 8},
+		{"explicit zero reserve", Options{ReserveSet: true, Reserve: 0}, 8},
+		{"reserve below own report", Options{Reserve: 2}, 8},
+		{"reserve above own report", Options{Reserve: 50}, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := SSAM(ins, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := out.Payments[0]; got != tc.want {
+				t.Fatalf("payment = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -62,13 +62,14 @@ func BuildVariant(v Variant, params VariantParams, trueRounds, estimatedRounds [
 	}
 	if v == VariantRC || v == VariantOA {
 		factor := params.capacityFactor()
-		scaled := MSOAConfig{
-			DefaultCapacity:    int(float64(cfg.DefaultCapacity) * factor),
-			Windows:            cfg.Windows,
-			Alpha:              cfg.Alpha,
-			DisableScaledPrice: cfg.DisableScaledPrice,
-			Options:            cfg.Options,
-		}
+		// Copy the config wholesale and override only the capacity fields:
+		// a field-by-field literal silently drops any setting it does not
+		// name (this previously lost DefaultCapacitySet and
+		// CapacityExemptFrom, turning an explicit zero default capacity
+		// into "unlimited" and capacity-limiting the platform's exempt
+		// fallback supply under RC/OA).
+		scaled := cfg
+		scaled.DefaultCapacity = int(float64(cfg.DefaultCapacity) * factor)
 		if cfg.Capacity != nil {
 			scaled.Capacity = make(map[int]int, len(cfg.Capacity))
 			for bidder, theta := range cfg.Capacity {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-core bench-repro repro
+.PHONY: all build test check bench bench-core bench-guard bench-repro repro
 
 all: build
 
@@ -11,17 +11,20 @@ test:
 	$(GO) test ./...
 
 # check is the per-PR verification gate: formatting and static analysis,
-# the full test suite under the race detector (the platform tests exercise
-# real TCP concurrency, and the parallel payment phase and sweep runner
-# exercise their scratch state), a bounded run of the reference/optimized
-# SSAM differential fuzzer (its seed corpus also runs as plain tests, so
-# the kernel equivalence is a standing gate), then a quick bench-repro
-# smoke run proving the end-to-end figure pipeline and its wall-clock
-# report still work.
+# the facade-coverage rule (every internal type reachable from the public
+# surface must be re-exported — run first and by name so a facade hole
+# fails loudly before the long race run), the full test suite under the
+# race detector (the platform tests exercise real TCP concurrency, and the
+# parallel payment phase and sweep runner exercise their scratch state), a
+# bounded run of the reference/optimized SSAM differential fuzzer (its
+# seed corpus also runs as plain tests, so the kernel equivalence is a
+# standing gate), then a quick bench-repro smoke run proving the
+# end-to-end figure pipeline and its wall-clock report still work.
 check:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) test -run '^TestFacadeCoverage$$' -count=1 .
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz '^FuzzSSAMDifferential$$' -fuzztime 10s \
 		./internal/core
@@ -41,6 +44,15 @@ bench-core:
 	$(GO) test -run '^TestBenchCoreJSON$$' -count=1 \
 		-bench-core-json results/BENCH_core.json \
 		-bench-core-label $(BENCH_CORE_LABEL) .
+
+# bench-guard re-runs the nil-tracer SSAMPayments/MSOARound hot paths and
+# fails if they regress more than BENCH_GUARD_TOL (fraction) against the
+# committed "optimized" run in results/BENCH_core.json, or allocate more
+# per op. This is the observability layer's zero-cost-when-disabled gate.
+BENCH_GUARD_TOL ?= 0.05
+bench-guard:
+	$(GO) test -run '^TestBenchCoreGuard$$' -count=1 -v \
+		-bench-guard -bench-guard-tolerance $(BENCH_GUARD_TOL) .
 
 # bench-repro records the end-to-end wall clock of every figure at paper
 # scale into results/BENCH_repro.json (per-figure millis, seed, trial

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -595,6 +596,79 @@ func TestBenchCoreJSON(t *testing.T) {
 	}
 	if err := os.WriteFile(*benchCoreJSON, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+var (
+	benchGuard = flag.Bool("bench-guard", false,
+		"compare the nil-tracer kernel hot paths against the recorded bench-core baseline (used by `make bench-guard`)")
+	benchGuardTolerance = flag.Float64("bench-guard-tolerance", 0.05,
+		"allowed ns/op regression fraction for the bench guard")
+)
+
+// TestBenchCoreGuard enforces the zero-cost-when-disabled contract of the
+// observability layer: with no tracer configured, the SSAMPayments and
+// MSOARound hot paths must stay within -bench-guard-tolerance of the
+// committed "optimized" baseline in results/BENCH_core.json, and must not
+// allocate more per op. Each spec takes the best of three runs so a
+// scheduler hiccup cannot fail the guard; only regressions fail (being
+// faster than the recording is fine). Skipped unless -bench-guard is set;
+// `make bench-guard` is the entry point.
+func TestBenchCoreGuard(t *testing.T) {
+	if !*benchGuard {
+		t.Skip("enable with -bench-guard (see `make bench-guard`)")
+	}
+	data, err := os.ReadFile("results/BENCH_core.json")
+	if err != nil {
+		t.Fatalf("no committed baseline: %v (run `make bench-core` first)", err)
+	}
+	var runs []coreBenchRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]coreBenchResult{}
+	for _, run := range runs {
+		if run.Label != "optimized" {
+			continue
+		}
+		for _, r := range run.Benchmarks {
+			base[r.Name] = r
+		}
+	}
+	if len(base) == 0 {
+		t.Fatal(`results/BENCH_core.json has no "optimized" run`)
+	}
+
+	for _, spec := range coreBenchSpecs() {
+		if !strings.HasPrefix(spec.name, "SSAMPayments/") && !strings.HasPrefix(spec.name, "MSOARound/") {
+			continue
+		}
+		want, ok := base[spec.name]
+		if !ok {
+			t.Errorf("baseline has no entry for %s — rerun `make bench-core`", spec.name)
+			continue
+		}
+		bestNs := math.Inf(1)
+		var bestAllocs int64
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(spec.run)
+			if r.N == 0 {
+				t.Fatalf("benchmark %s did not run", spec.name)
+			}
+			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < bestNs {
+				bestNs, bestAllocs = ns, r.AllocsPerOp()
+			}
+		}
+		t.Logf("%-45s %12.0f ns/op (baseline %12.0f, %+5.1f%%), %d allocs/op (baseline %d)",
+			spec.name, bestNs, want.NsPerOp, 100*(bestNs/want.NsPerOp-1), bestAllocs, want.AllocsPerOp)
+		if bestNs > want.NsPerOp*(1+*benchGuardTolerance) {
+			t.Errorf("%s: %0.f ns/op is %+.1f%% vs baseline %0.f — the nil-tracer path must stay within %.0f%%",
+				spec.name, bestNs, 100*(bestNs/want.NsPerOp-1), want.NsPerOp, 100**benchGuardTolerance)
+		}
+		if bestAllocs > want.AllocsPerOp {
+			t.Errorf("%s: %d allocs/op vs baseline %d — the nil-tracer path must not allocate",
+				spec.name, bestAllocs, want.AllocsPerOp)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"edgeauction/internal/core"
+	"edgeauction/internal/obs"
 	"edgeauction/internal/sim"
 )
 
@@ -34,6 +35,7 @@ func run(args []string) error {
 	capacity := fs.Int("capacity", 12, "per-bidder lifetime sharing capacity (coverage slots)")
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	verbose := fs.Bool("v", false, "print per-microservice indicators each round")
+	traceOut := fs.String("trace-out", "", "append a JSONL observability event per auction step to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,10 +58,27 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("build bridge: %w", err)
 	}
+	var tracer obs.Tracer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace log: %w", err)
+		}
+		jl := obs.NewJSONL(f)
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "edgesim: trace log:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "edgesim: close trace log:", err)
+			}
+		}()
+		tracer = jl
+	}
 	auction := core.NewMSOA(core.MSOAConfig{
 		DefaultCapacity:    *capacity,
 		CapacityExemptFrom: sim.ReserveBidderID,
-		Options:            core.Options{Parallelism: *parallelism},
+		Options:            core.Options{Parallelism: *parallelism, Tracer: tracer},
 	})
 
 	topo := simulator.Topology()

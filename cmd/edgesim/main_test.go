@@ -1,8 +1,11 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
+	"edgeauction/internal/obs"
 	"edgeauction/internal/sim"
 )
 
@@ -31,6 +34,31 @@ func TestParseWorkDist(t *testing.T) {
 func TestRunTinySimulation(t *testing.T) {
 	if err := run([]string{"-services", "10", "-rounds", "2", "-workmean", "600"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-services", "10", "-rounds", "3", "-trace-out", traceFile}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		seen[rec.Kind] = true
+	}
+	for _, kind := range []string{obs.KindRoundOpen, obs.KindRoundClose} {
+		if !seen[kind] {
+			t.Errorf("trace has no %q events (kinds: %v)", kind, seen)
+		}
 	}
 }
 

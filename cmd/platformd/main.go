@@ -10,14 +10,22 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"edgeauction/internal/obs"
 	"edgeauction/internal/platform"
 	"edgeauction/internal/workload"
 )
@@ -42,6 +50,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "demand generator seed")
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	auditPath := fs.String("audit", "", "append a JSONL audit record per round to this file")
+	traceOut := fs.String("trace-out", "", "append a JSONL observability event per auction step to this file")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, expvar /debug/vars and pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +77,23 @@ func run(args []string) error {
 		}()
 		scfg.Audit = platform.NewAudit(f)
 	}
+	var trace *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace log: %w", err)
+		}
+		trace = obs.NewJSONL(f)
+		defer func() {
+			if err := trace.Err(); err != nil {
+				logger.Printf("trace log: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				logger.Printf("close trace log: %v", err)
+			}
+		}()
+		scfg.Tracer = trace
+	}
 	srv, err := platform.NewServer(*listen, scfg)
 	if err != nil {
 		return err
@@ -78,8 +105,30 @@ func run(args []string) error {
 	}()
 	fmt.Printf("auctioneer listening on %s (round period %v)\n", srv.Addr(), *period)
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		dsrv := &http.Server{Handler: debugMux(srv)}
+		go func() {
+			if err := dsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug server: %v", err)
+			}
+		}()
+		defer func() {
+			if err := dsrv.Close(); err != nil {
+				logger.Printf("close debug server: %v", err)
+			}
+		}()
+		fmt.Printf("debug server listening on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", dln.Addr())
+	}
+
+	// A signal cancels ctx, which both breaks the wait between rounds and
+	// aborts a round that is mid-gather (RunRoundContext returns the
+	// wrapped context error, treated as a graceful stop below).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
 
@@ -87,8 +136,8 @@ func run(args []string) error {
 	done := 0
 	for {
 		select {
-		case sig := <-sigCh:
-			fmt.Printf("\nreceived %v, shutting down\n", sig)
+		case <-ctx.Done():
+			fmt.Println("\nreceived signal, shutting down")
 			printSummary(srv)
 			return nil
 		case <-ticker.C:
@@ -102,7 +151,12 @@ func run(args []string) error {
 		for k := range demand {
 			demand[k] = rng.UniformInt(*demandLo, *demandHi)
 		}
-		out, err := srv.RunRound(demand, nil)
+		out, err := srv.RunRoundContext(ctx, demand, nil)
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("\nround aborted by signal, shutting down")
+			printSummary(srv)
+			return nil
+		}
 		if err != nil {
 			return fmt.Errorf("round: %w", err)
 		}
@@ -118,6 +172,27 @@ func run(args []string) error {
 			return nil
 		}
 	}
+}
+
+// debugMux builds the observability endpoint: the server's live metrics
+// snapshot as JSON, the process expvars, and the pprof profiles. A
+// dedicated mux (rather than http.DefaultServeMux) keeps the endpoint
+// self-contained and testable.
+func debugMux(srv *platform.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(srv.Metrics().Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func printSummary(srv *platform.Server) {

@@ -23,6 +23,7 @@ import (
 	"edgeauction/internal/core"
 	"edgeauction/internal/experiments"
 	"edgeauction/internal/metrics"
+	"edgeauction/internal/obs"
 )
 
 func main() {
@@ -133,6 +134,7 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	trialParallelism := fs.Int("trial-parallelism", 0, "sweep-cell worker goroutines (0 = GOMAXPROCS, 1 = serial; rendered tables identical)")
 	benchJSON := fs.String("bench-json", "", "file to write per-figure wall-clock timings as JSON")
+	traceOut := fs.String("trace-out", "", "append a JSONL sweep event per completed experiment grid to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +142,22 @@ func run(args []string) error {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Quick: *quick,
 		Parallelism: *parallelism, TrialParallelism: *trialParallelism,
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace log: %w", err)
+		}
+		jl := obs.NewJSONL(f)
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: trace log:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: close trace log:", err)
+			}
+		}()
+		cfg.Tracer = jl
 	}
 	// Only an -opt-time the user actually typed overrides the defaults;
 	// otherwise the zero value lets withDefaults pick 2s (500ms in Quick

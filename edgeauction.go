@@ -35,12 +35,36 @@
 package edgeauction
 
 import (
+	"context"
+	"io"
+
+	"edgeauction/internal/baseline"
 	"edgeauction/internal/core"
 	"edgeauction/internal/demand"
+	"edgeauction/internal/obs"
 	"edgeauction/internal/optimal"
 	"edgeauction/internal/platform"
 	"edgeauction/internal/sim"
+	"edgeauction/internal/topology"
 	"edgeauction/internal/workload"
+)
+
+// Error sentinels. Test these with errors.Is; they are the same values the
+// implementation packages return, so wrapped errors match.
+var (
+	// ErrInfeasible reports that the submitted bids cannot cover the
+	// residual demand (returned by RunAuction and per-round by MSOA).
+	ErrInfeasible = core.ErrInfeasible
+	// ErrProtocol reports a platform wire-protocol violation.
+	ErrProtocol = platform.ErrProtocol
+	// ErrOptimalInfeasible reports an infeasible exact offline solve.
+	ErrOptimalInfeasible = optimal.ErrInfeasible
+	// ErrBadInstance reports a malformed instance file.
+	ErrBadInstance = workload.ErrBadInstance
+	// ErrBadTrace reports a malformed trace file.
+	ErrBadTrace = workload.ErrBadTrace
+	// ErrUncovered reports a baseline mechanism leaving demand uncovered.
+	ErrUncovered = baseline.ErrUncovered
 )
 
 // Mechanism types (see internal/core for full documentation).
@@ -67,6 +91,17 @@ type (
 	DualCertificate = core.DualCertificate
 	// Variant identifies the MSOA flavours of §V (DA/RC/OA).
 	Variant = core.Variant
+	// VariantParams controls how variants transform a base scenario.
+	VariantParams = core.VariantParams
+	// RoundResult couples one online round's outcome with its scaled
+	// prices and exclusions (returned by MSOA.RunRound and Results).
+	RoundResult = core.RoundResult
+	// BudgetedOutcome extends Outcome with budget accounting.
+	BudgetedOutcome = core.BudgetedOutcome
+	// GreedyMetric selects the bid-ranking rule of the greedy loop.
+	GreedyMetric = core.GreedyMetric
+	// PaymentRule selects how winners are remunerated.
+	PaymentRule = core.PaymentRule
 )
 
 // Re-exported mechanism constants.
@@ -79,6 +114,15 @@ const (
 	VariantRC = core.VariantRC
 	// VariantOA combines oracle demand and relaxed capacities.
 	VariantOA = core.VariantOA
+
+	// PricePerCoverage ranks bids by scaled price per marginal coverage
+	// (the paper's rule); LowestPrice ignores coverage (ablation).
+	PricePerCoverage = core.PricePerCoverage
+	LowestPrice      = core.LowestPrice
+	// CriticalValue pays winners their critical value (the paper's
+	// truthful rule); FirstPrice pays the bid price (ablation).
+	CriticalValue = core.CriticalValue
+	FirstPrice    = core.FirstPrice
 )
 
 // Workload and simulation types.
@@ -99,6 +143,53 @@ type (
 	DemandConfig = demand.Config
 	// Indicators is one round's observation of a microservice.
 	Indicators = demand.Indicators
+	// Weights are the AHP-derived indicator weights of §III.
+	Weights = demand.Weights
+	// Comparisons is the pairwise AHP comparison matrix.
+	Comparisons = demand.Comparisons
+	// AHPResult carries derived weights plus the consistency ratio.
+	AHPResult = demand.AHPResult
+	// Criterion indexes the three §III demand indicators.
+	Criterion = demand.Criterion
+	// Class distinguishes delay-sensitive from delay-tolerant services.
+	Class = workload.Class
+	// WorkDist selects the simulator's per-request work distribution.
+	WorkDist = sim.WorkDist
+	// Microservice is one simulated microservice's static description.
+	Microservice = sim.Microservice
+	// RoundReport is one simulated round's observed system state.
+	RoundReport = sim.RoundReport
+	// Bridge converts simulator reports into auction rounds.
+	Bridge = sim.Bridge
+	// BridgeConfig parameterizes the bridge.
+	BridgeConfig = sim.BridgeConfig
+	// AuctionRound is a simulator-derived auction round with estimates.
+	AuctionRound = sim.AuctionRound
+	// Topology is the simulated edge-cloud network.
+	Topology = topology.Topology
+	// TopologyConfig parameterizes topology generation.
+	TopologyConfig = topology.Config
+	// EdgeCloud is one edge cloud site.
+	EdgeCloud = topology.EdgeCloud
+	// User is one mobile user attached to an edge cloud.
+	User = topology.User
+	// Link is one backhaul link between edge clouds.
+	Link = topology.Link
+)
+
+// Workload and simulation constants.
+const (
+	// DelaySensitive/DelayTolerant are the §V-A microservice classes.
+	DelaySensitive = workload.DelaySensitive
+	DelayTolerant  = workload.DelayTolerant
+	// Work distributions for SimConfig.Work.
+	WorkExponential   = sim.WorkExponential
+	WorkPareto        = sim.WorkPareto
+	WorkUniform       = sim.WorkUniform
+	WorkDeterministic = sim.WorkDeterministic
+	// ReserveBidderID is the first bidder id the simulator reserves for
+	// the platform's own reserve supply.
+	ReserveBidderID = sim.ReserveBidderID
 )
 
 // Platform types (distributed auctioneer/agents).
@@ -117,6 +208,68 @@ type (
 	AnnounceMsg = platform.AnnounceMsg
 	// WireBid is one alternative bid on the wire.
 	WireBid = platform.WireBid
+	// WireAward is one award as broadcast in a round result.
+	WireAward = platform.WireAward
+	// Award records a payment received by an agent.
+	Award = platform.Award
+	// RoundOutcome is the platform-visible result of one cleared round.
+	RoundOutcome = platform.RoundOutcome
+	// Audit appends one JSON line per cleared round to a writer.
+	Audit = platform.Audit
+	// AuditRecord is one round's audit entry.
+	AuditRecord = platform.AuditRecord
+	// AuditBid is one collected bid inside an audit record.
+	AuditBid = platform.AuditBid
+)
+
+// Platform timeout defaults, applied when the corresponding
+// PlatformServerConfig field is zero.
+const (
+	// DefaultBidDeadline is the bid-gathering deadline default (500ms).
+	DefaultBidDeadline = platform.DefaultBidDeadline
+	// DefaultWriteTimeout is the per-send timeout default (2s).
+	DefaultWriteTimeout = platform.DefaultWriteTimeout
+)
+
+// Observability types (see internal/obs). A Tracer receives typed events
+// from every layer: the greedy selection and payment replays of SSAM, the
+// round lifecycle and ψ updates of MSOA, and the platform's agent
+// join/drop/timeout and bid round-trips. Tracing is off (and free) when
+// no tracer is configured; tracers must be safe for concurrent use.
+type (
+	// Tracer receives auction observability events.
+	Tracer = obs.Tracer
+	// Event is the interface all trace events implement.
+	Event = obs.Event
+	// JSONLTracer writes one JSON line per event to a writer.
+	JSONLTracer = obs.JSONL
+	// TraceRecord is one decoded JSONL trace line.
+	TraceRecord = obs.JSONLRecord
+	// MultiTracer fans events out to several tracers.
+	MultiTracer = obs.Multi
+	// TraceRecorder is an in-memory tracer for tests and tools.
+	TraceRecorder = obs.Recorder
+	// Registry is a concurrency-safe set of named counters/histograms.
+	Registry = obs.Registry
+	// Counter is a monotonically increasing atomic counter.
+	Counter = obs.Counter
+	// LatencyHistogram is a bounded-bucket latency histogram.
+	LatencyHistogram = obs.LatencyHistogram
+
+	// Trace event payloads, one type per event kind.
+	EventRoundOpen     = obs.RoundOpen
+	EventRoundClose    = obs.RoundClose
+	EventRoundAbort    = obs.RoundAbort
+	EventGreedyPick    = obs.GreedyPick
+	EventPaymentReplay = obs.PaymentReplay
+	EventPsiUpdate     = obs.PsiUpdate
+	EventCertificate   = obs.Certificate
+	EventAgentJoin     = obs.AgentJoin
+	EventAgentDrop     = obs.AgentDrop
+	EventAgentTimeout  = obs.AgentTimeout
+	EventBidReceived   = obs.BidReceived
+	EventConfigDefault = obs.ConfigDefault
+	EventSweep         = obs.Sweep
 )
 
 // RunAuction runs the single-stage auction mechanism SSAM (Algorithm 1) on
@@ -177,6 +330,109 @@ func StartPlatform(addr string, cfg PlatformServerConfig) (*PlatformServer, erro
 // auctioneer at addr.
 func DialPlatform(addr string, cfg AgentConfig) (*Agent, error) {
 	return platform.Dial(addr, cfg)
+}
+
+// Trace event kinds (JSONL "kind" field) and cause strings.
+const (
+	KindRoundOpen     = obs.KindRoundOpen
+	KindRoundClose    = obs.KindRoundClose
+	KindRoundAbort    = obs.KindRoundAbort
+	KindGreedyPick    = obs.KindGreedyPick
+	KindPaymentReplay = obs.KindPaymentReplay
+	KindPsiUpdate     = obs.KindPsiUpdate
+	KindCertificate   = obs.KindCertificate
+	KindAgentJoin     = obs.KindAgentJoin
+	KindAgentDrop     = obs.KindAgentDrop
+	KindAgentTimeout  = obs.KindAgentTimeout
+	KindBidReceived   = obs.KindBidReceived
+	KindConfigDefault = obs.KindConfigDefault
+	KindSweep         = obs.KindSweep
+
+	// Scopes distinguishing the platform round lifecycle from the
+	// embedded mechanism's in round_open/round_close events.
+	ScopeMSOA     = obs.ScopeMSOA
+	ScopePlatform = obs.ScopePlatform
+
+	// Agent drop causes.
+	DropReadError     = obs.DropReadError
+	DropWriteTimeout  = obs.DropWriteTimeout
+	DropWelcomeFailed = obs.DropWelcomeFailed
+	// Agent timeout causes.
+	TimeoutDeadline  = obs.TimeoutDeadline
+	TimeoutCancelled = obs.TimeoutCancelled
+)
+
+// WithTracer returns a copy of opts with the tracer installed; auctions
+// run with the returned options emit greedy-pick, payment-replay, and
+// certificate events to t. A nil t disables tracing.
+func WithTracer(opts Options, t Tracer) Options {
+	opts.Tracer = t
+	return opts
+}
+
+// NewJSONLTracer builds a tracer appending one JSON line per event to w.
+// Emit is safe for concurrent use; check Err after the run for write
+// failures. Decode the stream with ReadTrace.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return obs.NewJSONL(w)
+}
+
+// ReadTrace decodes a JSONL trace stream written by a JSONLTracer.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	return obs.ReadJSONL(r)
+}
+
+// NewTracerRegistry builds an empty counter/histogram registry.
+func NewTracerRegistry() *Registry {
+	return obs.NewRegistry()
+}
+
+// RunBudgetedAuction runs the single-stage auction under a hard payment
+// budget W (§IV's stopping rule): winners are accepted greedily while
+// their critical-value payments fit the remaining budget. The outcome
+// reports budget spent, uncovered demand, and budget-rejected bids.
+func RunBudgetedAuction(ins *Instance, budget float64, opts Options) (*BudgetedOutcome, error) {
+	return core.BudgetedSSAM(ins, budget, opts)
+}
+
+// RunOnlineAuction is a convenience loop: it builds an MSOA and feeds it
+// every round of the scenario, returning the mechanism for inspection.
+func RunOnlineAuction(cfg MSOAConfig, rounds []Round) *MSOA {
+	m := core.NewMSOA(cfg)
+	for _, r := range rounds {
+		m.RunRound(r)
+	}
+	return m
+}
+
+// VerifyCertificate checks an outcome's primal–dual approximation
+// certificate against the instance (Theorem 4). scaled may be nil for a
+// single-stage run (raw prices are used).
+func VerifyCertificate(ins *Instance, out *Outcome, scaled []float64) error {
+	return core.VerifyCertificate(ins, out, scaled)
+}
+
+// DialPlatformContext is DialPlatform honoring ctx during the connection
+// attempt and the registration handshake.
+func DialPlatformContext(ctx context.Context, addr string, cfg AgentConfig) (*Agent, error) {
+	return platform.DialContext(ctx, addr, cfg)
+}
+
+// NewAudit builds a round audit log appending JSON lines to w.
+func NewAudit(w io.Writer) *Audit {
+	return platform.NewAudit(w)
+}
+
+// ReadAuditLog decodes an audit stream written via
+// PlatformServerConfig.Audit.
+func ReadAuditLog(r io.Reader) ([]*AuditRecord, error) {
+	return platform.ReadAudit(r)
+}
+
+// NewBridge builds the simulator→auction bridge that converts round
+// reports into auction rounds using the §III demand estimator.
+func NewBridge(s *Simulator, cfg BridgeConfig) (*Bridge, error) {
+	return sim.NewBridge(s, cfg)
 }
 
 // VerifyOutcome checks an outcome against the paper's proved properties:

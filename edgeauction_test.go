@@ -112,3 +112,64 @@ func TestFacadeVariantsExported(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeTracing runs a traced single-stage auction through the facade
+// and checks (a) the tracer saw the selection, payments, and certificate,
+// (b) tracing did not change the outcome, and (c) the JSONL round-trip
+// through NewJSONLTracer/ReadTrace preserves the events.
+func TestFacadeTracing(t *testing.T) {
+	ins := GenerateInstance(42, InstanceConfig{Bidders: 15})
+	plain, err := RunAuction(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &TraceRecorder{}
+	var buf strings.Builder
+	jl := NewJSONLTracer(&buf)
+	traced, err := RunAuction(ins, WithTracer(Options{}, MultiTracer{rec, jl}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.SocialCost != plain.SocialCost || len(traced.Winners) != len(plain.Winners) {
+		t.Fatalf("tracing changed the outcome: %v vs %v", traced, plain)
+	}
+	if got := rec.Count(KindGreedyPick); got != len(traced.Winners) {
+		t.Fatalf("greedy picks traced = %d, want %d", got, len(traced.Winners))
+	}
+	if got := rec.Count(KindPaymentReplay); got != len(traced.Winners) {
+		t.Fatalf("payment replays traced = %d, want %d", got, len(traced.Winners))
+	}
+	if rec.Count(KindCertificate) != 1 {
+		t.Fatalf("certificate events = %d, want 1", rec.Count(KindCertificate))
+	}
+	if err := jl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(rec.Events()) {
+		t.Fatalf("JSONL has %d records, recorder saw %d events", len(recs), len(rec.Events()))
+	}
+}
+
+// TestFacadeBudgetedAuction exercises the budget-capped entry point.
+func TestFacadeBudgetedAuction(t *testing.T) {
+	ins := GenerateInstance(7, InstanceConfig{Bidders: 15})
+	out, err := RunBudgetedAuction(ins, 1e9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UncoveredDemand != 0 || out.BudgetSpent <= 0 {
+		t.Fatalf("non-binding budget should fully cover: %+v", out)
+	}
+	tight, err := RunBudgetedAuction(ins, out.BudgetSpent/4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.BudgetSpent > out.BudgetSpent/4 {
+		t.Fatalf("budget overspent: %v > %v", tight.BudgetSpent, out.BudgetSpent/4)
+	}
+}

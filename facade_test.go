@@ -1,0 +1,355 @@
+package edgeauction
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFacadeCoverage enforces the facade rule: every exported internal
+// type reachable from the facade's public surface — through re-exported
+// type aliases, their exported fields, their exported methods' signatures,
+// and so on transitively — must itself be re-exported here. Without this,
+// callers end up holding values of types they cannot name ("dead ends").
+// As a corollary, every exported Err* sentinel of a package that
+// contributes reachable types must be re-exported too, so callers can
+// errors.Is against it.
+//
+// The check is pure syntax (go/parser over the repo's own source), so it
+// needs no build cache or network and runs everywhere `go test` does.
+func TestFacadeCoverage(t *testing.T) {
+	fset := token.NewFileSet()
+	facade := parseDir(t, fset, ".")
+
+	// Facade surface: alias name -> internal type, plus re-exported Err vars.
+	aliased := map[string]bool{}    // "internal/core.Bid"
+	errAliased := map[string]bool{} // "internal/core.ErrInfeasible"
+	for _, pf := range facade {
+		imports := importMap(pf.file)
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			switch spec := n.(type) {
+			case *ast.TypeSpec:
+				if spec.Assign == 0 {
+					return true
+				}
+				if q, ok := qualify(spec.Type, imports); ok {
+					aliased[q] = true
+				}
+			case *ast.ValueSpec:
+				for _, v := range spec.Values {
+					if q, ok := qualify(v, imports); ok && strings.HasPrefix(path.base(q), "Err") {
+						errAliased[q] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(aliased) == 0 {
+		t.Fatal("no type aliases found in the facade — parser broken?")
+	}
+
+	pkgs := map[string]*internalPkg{} // key: "internal/core"
+	load := func(rel string) *internalPkg {
+		if p, ok := pkgs[rel]; ok {
+			return p
+		}
+		p := loadInternal(t, fset, rel)
+		pkgs[rel] = p
+		return p
+	}
+
+	// Closure over reachable exported internal types.
+	var missing []string
+	seen := map[string]bool{}
+	queue := make([]string, 0, len(aliased))
+	for q := range aliased {
+		queue = append(queue, q)
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		if !aliased[q] {
+			missing = append(missing, q)
+		}
+		rel, name := path.split(q)
+		pkg := load(rel)
+		decl, ok := pkg.types[name]
+		if !ok {
+			t.Errorf("facade references %s but no such exported type exists", q)
+			continue
+		}
+		for _, ref := range pkg.refs(decl, name) {
+			if !seen[ref] {
+				queue = append(queue, ref)
+			}
+		}
+	}
+
+	sort.Strings(missing)
+	if testing.Verbose() {
+		all := make([]string, 0, len(seen))
+		for q := range seen {
+			all = append(all, q)
+		}
+		sort.Strings(all)
+		t.Logf("closure: %d types: %v", len(all), all)
+	}
+	for _, q := range missing {
+		t.Errorf("exported internal type %s is reachable from the facade but has no alias in edgeauction.go — add `type X = %s` (facade rule: no dead-end types)", q, importName(q))
+	}
+
+	// Error sentinels of contributing packages.
+	for rel, pkg := range pkgs {
+		for _, errName := range pkg.errVars {
+			q := rel + "." + errName
+			if !errAliased[q] {
+				t.Errorf("error sentinel %s belongs to a package with facade-reachable types but is not re-exported — add a `var X = %s`", q, importName(q))
+			}
+		}
+	}
+}
+
+// internalPkg is the parsed syntax of one internal package.
+type internalPkg struct {
+	rel     string               // "internal/core"
+	types   map[string]*typeDecl // exported type name -> decl
+	methods map[string][]*funcDecl
+	errVars []string // exported package-level Err* var names
+}
+
+type typeDecl struct {
+	spec    *ast.TypeSpec
+	imports map[string]string // local name -> internal rel path
+}
+
+type funcDecl struct {
+	decl    *ast.FuncDecl
+	imports map[string]string
+}
+
+type parsedFile struct {
+	path string
+	file *ast.File
+}
+
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []parsedFile {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []parsedFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		p := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, p, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		out = append(out, parsedFile{path: p, file: f})
+	}
+	return out
+}
+
+func loadInternal(t *testing.T, fset *token.FileSet, rel string) *internalPkg {
+	t.Helper()
+	pkg := &internalPkg{
+		rel:     rel,
+		types:   map[string]*typeDecl{},
+		methods: map[string][]*funcDecl{},
+	}
+	for _, pf := range parseDir(t, fset, filepath.FromSlash(rel)) {
+		imports := importMap(pf.file)
+		for _, d := range pf.file.Decls {
+			switch decl := d.(type) {
+			case *ast.GenDecl:
+				for _, s := range decl.Specs {
+					switch spec := s.(type) {
+					case *ast.TypeSpec:
+						if spec.Name.IsExported() {
+							pkg.types[spec.Name.Name] = &typeDecl{spec: spec, imports: imports}
+						}
+					case *ast.ValueSpec:
+						if decl.Tok != token.VAR {
+							continue
+						}
+						for _, n := range spec.Names {
+							if n.IsExported() && strings.HasPrefix(n.Name, "Err") {
+								pkg.errVars = append(pkg.errVars, n.Name)
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Recv == nil || !decl.Name.IsExported() {
+					continue
+				}
+				recv := receiverBase(decl.Recv)
+				if recv == "" {
+					continue
+				}
+				pkg.methods[recv] = append(pkg.methods[recv], &funcDecl{decl: decl, imports: imports})
+			}
+		}
+	}
+	return pkg
+}
+
+// refs returns the qualified exported internal types referenced by the
+// public surface of one type: its exported struct fields, its interface
+// method set, its underlying for other kinds, plus every exported
+// method's parameter and result types.
+func (p *internalPkg) refs(d *typeDecl, name string) []string {
+	var exprs []exprCtx
+	switch tt := d.spec.Type.(type) {
+	case *ast.StructType:
+		for _, f := range tt.Fields.List {
+			if len(f.Names) == 0 {
+				exprs = append(exprs, exprCtx{f.Type, d.imports}) // embedded
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					exprs = append(exprs, exprCtx{f.Type, d.imports})
+					break
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range tt.Methods.List {
+			exprs = append(exprs, exprCtx{m.Type, d.imports})
+		}
+	default:
+		exprs = append(exprs, exprCtx{d.spec.Type, d.imports})
+	}
+	for _, m := range p.methods[name] {
+		ft := m.decl.Type
+		if ft.Params != nil {
+			for _, f := range ft.Params.List {
+				exprs = append(exprs, exprCtx{f.Type, m.imports})
+			}
+		}
+		if ft.Results != nil {
+			for _, f := range ft.Results.List {
+				exprs = append(exprs, exprCtx{f.Type, m.imports})
+			}
+		}
+	}
+
+	var out []string
+	for _, ec := range exprs {
+		ast.Inspect(ec.expr, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if q, ok := qualifySel(e, ec.imports); ok {
+					out = append(out, q)
+				}
+				return false // don't re-visit Sel as a bare ident
+			case *ast.Ident:
+				if e.IsExported() {
+					if _, isType := p.types[e.Name]; isType {
+						out = append(out, p.rel+"."+e.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type exprCtx struct {
+	expr    ast.Expr
+	imports map[string]string
+}
+
+// importMap maps local import names to internal package rel paths
+// ("internal/core"); non-module imports are omitted.
+func importMap(f *ast.File) map[string]string {
+	const prefix = "edgeauction/"
+	m := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		rel := strings.TrimPrefix(path, prefix)
+		name := rel[strings.LastIndex(rel, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		m[name] = rel
+	}
+	return m
+}
+
+// qualify resolves an expression of the form pkg.Name against imports.
+func qualify(e ast.Expr, imports map[string]string) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return qualifySel(sel, imports)
+}
+
+func qualifySel(sel *ast.SelectorExpr, imports map[string]string) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	rel, ok := imports[id.Name]
+	if !ok || !sel.Sel.IsExported() {
+		return "", false
+	}
+	return rel + "." + sel.Sel.Name, true
+}
+
+func receiverBase(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// path helpers for "internal/core.Bid"-style qualified names.
+var path qualPath
+
+type qualPath struct{}
+
+func (qualPath) split(q string) (rel, name string) {
+	i := strings.LastIndex(q, ".")
+	return q[:i], q[i+1:]
+}
+
+func (qualPath) base(q string) string {
+	_, name := path.split(q)
+	return name
+}
+
+// importName renders a qualified name the way facade source spells it.
+func importName(q string) string {
+	rel, name := path.split(q)
+	return fmt.Sprintf("%s.%s", rel[strings.LastIndex(rel, "/")+1:], name)
+}

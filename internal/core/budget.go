@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"edgeauction/internal/obs"
 )
 
 // This file implements the budgeted variant of the single-stage auction
@@ -69,7 +71,7 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 	defer replayScratchPool.Put(rs)
 
 	for kn.deficit > 0 {
-		best, _, _ := kn.selectBestIn(&kn.cand, kn.theta)
+		best, score, marginal := kn.selectBestIn(&kn.cand, kn.theta)
 		if best < 0 {
 			break // market exhausted; remaining demand stays uncovered
 		}
@@ -90,6 +92,13 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 			continue
 		}
 
+		if kn.tracer != nil {
+			kn.tracer.Emit(obs.GreedyPick{
+				Iteration: len(out.Winners), Bid: int(best),
+				Bidder: winner.Bidder, Alt: winner.Alt,
+				Score: score, Marginal: marginal, ScaledPrice: scaled[best],
+			})
+		}
 		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
 		kn.applyTo(kn.theta, &kn.deficit, best)
 		out.Winners = append(out.Winners, int(best))

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"edgeauction/internal/obs"
 )
 
 // This file is the optimized SSAM selection/payment engine. It produces
@@ -129,6 +131,11 @@ type kernel struct {
 	ckCandStart []int
 
 	gains []int // certificate per-winner gains scratch (aligned with Covers)
+
+	// tracer is Options.Tracer for the duration of one run (nil when
+	// tracing is disabled); cleared on release so a pooled kernel never
+	// leaks a sink into the next run.
+	tracer obs.Tracer
 }
 
 var kernelPool = sync.Pool{New: func() any { return new(kernel) }}
@@ -146,6 +153,7 @@ func (kn *kernel) build(ins *Instance, scaled []float64, opts Options) error {
 	kn.nb, kn.nk = nb, nk
 	kn.scaled = scaled
 	kn.metric = opts.metric()
+	kn.tracer = opts.Tracer
 
 	kn.demand = resizeInt32(kn.demand, nk)
 	kn.totalDemand = 0
@@ -241,6 +249,7 @@ func (kn *kernel) build(ins *Instance, scaled []float64, opts Options) error {
 // the pool. All payment workers must have been joined by the caller.
 func (kn *kernel) release() {
 	kn.scaled = nil
+	kn.tracer = nil
 	kernelPool.Put(kn)
 }
 
@@ -363,6 +372,13 @@ func (kn *kernel) selectWinners(ins *Instance, opts Options, out *Outcome, cert 
 		}
 		if checkpoints {
 			kn.checkpoint(score)
+		}
+		if kn.tracer != nil {
+			kn.tracer.Emit(obs.GreedyPick{
+				Iteration: len(kn.winners), Bid: int(best),
+				Bidder: ins.Bids[best].Bidder, Alt: ins.Bids[best].Alt,
+				Score: score, Marginal: marginal, ScaledPrice: kn.scaled[best],
+			})
 		}
 		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
 		if cert != nil {
@@ -487,13 +503,19 @@ func (kn *kernel) criticalValue(ins *Instance, w int32, s int, opts Options, rs 
 	}
 	rs.loadCheckpoint(kn, s, kn.groupOf[w])
 	best, pivotal := kn.replayFrom(rs, w, best)
-	if pivotal {
-		return reservePayment(ins, kn.scaled, int(w), opts)
-	}
-	if best < kn.scaled[w] {
+	switch {
+	case pivotal:
+		best = reservePayment(ins, kn.scaled, int(w), opts)
+	case best < kn.scaled[w]:
 		// Numeric guard: the winner beat the truthful-run competition, so
 		// its critical value is at least its own report.
 		best = kn.scaled[w]
+	}
+	if kn.tracer != nil {
+		kn.tracer.Emit(obs.PaymentReplay{
+			Winner: int(w), Bidder: ins.Bids[w].Bidder, Payment: best,
+			Checkpoint: s, CheckpointHit: true, Pivotal: pivotal,
+		})
 	}
 	return best
 }
@@ -508,11 +530,19 @@ func (kn *kernel) fullCounterfactual(ins *Instance, w int32, opts Options, rs *r
 	}
 	rs.loadInitial(kn, kn.groupOf[w])
 	best, pivotal := kn.replayFrom(rs, w, 0)
-	if pivotal {
-		return reservePayment(ins, kn.scaled, int(w), opts)
-	}
-	if best < kn.scaled[w] {
+	switch {
+	case pivotal:
+		best = reservePayment(ins, kn.scaled, int(w), opts)
+	case best < kn.scaled[w]:
 		best = kn.scaled[w]
+	}
+	if kn.tracer != nil {
+		// Checkpoint miss by design: the budgeted selection path diverges
+		// from the truthful run, so this replay started from scratch.
+		kn.tracer.Emit(obs.PaymentReplay{
+			Winner: int(w), Bidder: ins.Bids[w].Bidder, Payment: best,
+			CheckpointHit: false, Pivotal: pivotal,
+		})
 	}
 	return best
 }

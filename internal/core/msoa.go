@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"edgeauction/internal/obs"
 )
 
 // Round is the input to one stage of the online auction: the needy demands
@@ -151,6 +154,11 @@ func (m *MSOA) Results() []*RoundResult { return m.results }
 func (m *MSOA) RunRound(r Round) *RoundResult {
 	ins := r.Instance
 	res := &RoundResult{T: r.T, Scaled: make([]float64, len(ins.Bids))}
+	tr := m.cfg.Options.Tracer
+	var started time.Time
+	if tr != nil {
+		started = time.Now()
+	}
 
 	// Build the candidate set and scaled prices (Algorithm 2, lines 4-8).
 	filtered := &Instance{
@@ -181,11 +189,25 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 	for fi, oi := range mapping {
 		scaledFiltered[fi] = res.Scaled[oi]
 	}
+	if tr != nil {
+		tr.Emit(obs.RoundOpen{
+			Scope: obs.ScopeMSOA, T: r.T,
+			Needy: ins.NumNeedy(), TotalDemand: ins.TotalDemand(),
+			Bids: len(filtered.Bids), Excluded: len(res.Excluded),
+		})
+	}
 
 	out, err := ssamScaled(filtered, scaledFiltered, m.cfg.Options)
 	if err != nil {
 		res.Err = fmt.Errorf("core: round %d: %w", r.T, err)
 		m.results = append(m.results, res)
+		if tr != nil {
+			tr.Emit(obs.RoundClose{
+				Scope: obs.ScopeMSOA, T: r.T, Bids: len(filtered.Bids),
+				Infeasible:     true,
+				DurationMicros: time.Since(started).Microseconds(),
+			})
+		}
 		return res
 	}
 
@@ -222,11 +244,25 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 			s := float64(len(b.Covers))
 			th := float64(theta)
 			m.psi[b.Bidder] = m.psi[b.Bidder]*(1+s/(alpha*th)) + b.Price*s/(alpha*th*th)
+			if tr != nil {
+				tr.Emit(obs.PsiUpdate{
+					T: r.T, Bidder: b.Bidder,
+					Psi: m.psi[b.Bidder], Chi: m.chi[b.Bidder] + len(b.Covers),
+				})
+			}
 		}
 		m.chi[b.Bidder] += len(b.Covers)
 	}
 
 	m.results = append(m.results, res)
+	if tr != nil {
+		tr.Emit(obs.RoundClose{
+			Scope: obs.ScopeMSOA, T: r.T, Bids: len(filtered.Bids),
+			Winners:    len(remapped.Winners),
+			SocialCost: remapped.SocialCost, TotalPayment: remapped.TotalPayment(),
+			DurationMicros: time.Since(started).Microseconds(),
+		})
+	}
 	return res
 }
 

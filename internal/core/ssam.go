@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 	"sort"
+
+	"edgeauction/internal/obs"
 )
 
 // GreedyMetric selects the bid-ranking rule used by the greedy winner
@@ -67,6 +69,15 @@ type Options struct {
 	// bounded pool with bit-identical results at every level. Zero means
 	// runtime.GOMAXPROCS(0); 1 forces the serial path.
 	Parallelism int
+	// Tracer receives the auction's observability events: one GreedyPick
+	// per winning iteration, one PaymentReplay per critical-value
+	// counterfactual, and one Certificate per run (when certificates are
+	// on). Nil disables tracing — every hook site guards with a nil check,
+	// so the disabled path costs one predictable branch and never
+	// allocates. Implementations must be safe for concurrent use: the
+	// parallel payment phase emits from its worker goroutines. Tracing
+	// never changes outcomes.
+	Tracer obs.Tracer
 }
 
 func (o Options) metric() GreedyMetric {
@@ -139,6 +150,14 @@ func ssamScaled(ins *Instance, scaled []float64, opts Options) (*Outcome, error)
 
 	if cert != nil {
 		out.Dual = cert.finish(out)
+		if opts.Tracer != nil {
+			opts.Tracer.Emit(obs.Certificate{
+				Ratio:            out.Dual.Ratio(),
+				TheoreticalRatio: out.Dual.TheoreticalRatio(),
+				Primal:           out.Dual.Primal,
+				DualObjective:    out.Dual.DualObjective,
+			})
+		}
 	}
 	return out, nil
 }

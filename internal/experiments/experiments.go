@@ -18,6 +18,7 @@ import (
 
 	"edgeauction/internal/core"
 	"edgeauction/internal/metrics"
+	"edgeauction/internal/obs"
 	"edgeauction/internal/optimal"
 	"edgeauction/internal/workload"
 )
@@ -48,6 +49,13 @@ type Config struct {
 	// DeriveSeed-derived RNG stream, so rendered results are byte-identical
 	// at every level for a fixed seed.
 	TrialParallelism int
+	// Tracer, when non-nil, receives one obs.Sweep event per completed
+	// (points × trials) grid with the driver tag, cell count, wall-clock,
+	// and worker count. It is deliberately NOT forwarded to the auctions
+	// inside the cells: per-pick tracing across thousands of cells would
+	// swamp any sink, and cells run concurrently. Wire core.Options.Tracer
+	// yourself for single-auction deep traces.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"edgeauction/internal/obs"
 	"edgeauction/internal/workload"
 )
 
@@ -54,6 +56,10 @@ func runGrid[T any](c Config, tag string, points, trials int, body func(rng *wor
 	if total == 0 {
 		return out, nil
 	}
+	var started time.Time
+	if c.Tracer != nil {
+		started = time.Now()
+	}
 	flat := make([]T, total)
 	for p := range out {
 		out[p] = flat[p*trials : (p+1)*trials]
@@ -63,18 +69,25 @@ func runGrid[T any](c Config, tag string, points, trials int, body func(rng *wor
 		return body(workload.NewDerived(c.Seed, tag, p, tr), p, tr)
 	}
 
-	if workers := min(c.trialWorkers(), total); workers > 1 {
+	workers := min(c.trialWorkers(), total)
+	if workers > 1 {
 		if err := fanOut(workers, total, flat, cell); err != nil {
 			return nil, err
 		}
-		return out, nil
-	}
-	for i := range flat {
-		v, err := cell(i)
-		if err != nil {
-			return nil, err
+	} else {
+		for i := range flat {
+			v, err := cell(i)
+			if err != nil {
+				return nil, err
+			}
+			flat[i] = v
 		}
-		flat[i] = v
+	}
+	if c.Tracer != nil {
+		c.Tracer.Emit(obs.Sweep{
+			Tag: tag, Points: points, Trials: trials, Cells: total,
+			DurationMicros: time.Since(started).Microseconds(), Workers: workers,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"edgeauction/internal/metrics"
+)
+
+// Counter is a monotonically increasing, concurrency-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// LatencyHistogram is a concurrency-safe fixed-range histogram for latency
+// observations, backed by metrics.Histogram. Out-of-range observations are
+// clamped into the edge buckets and tracked as underflow/overflow, so a
+// mis-sized range degrades visibly instead of silently.
+type LatencyHistogram struct {
+	mu sync.Mutex
+	h  *metrics.Histogram
+}
+
+// Observe records one observation.
+func (l *LatencyHistogram) Observe(x float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h.Add(x)
+}
+
+// Total returns the number of recorded observations.
+func (l *LatencyHistogram) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Total()
+}
+
+// Snapshot returns a JSON-marshalable view of the histogram: total,
+// under/overflow, and the non-empty buckets as "[lo,hi)" -> count.
+func (l *LatencyHistogram) Snapshot() map[string]any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buckets := make(map[string]int64)
+	for i := 0; i < l.h.Buckets(); i++ {
+		if c := l.h.Bucket(i); c > 0 {
+			lo, hi := l.h.BucketBounds(i)
+			buckets[bucketLabel(lo, hi)] = c
+		}
+	}
+	out := map[string]any{
+		"total":   l.h.Total(),
+		"buckets": buckets,
+	}
+	if u := l.h.Underflow(); u > 0 {
+		out["underflow"] = u
+	}
+	if o := l.h.Overflow(); o > 0 {
+		out["overflow"] = o
+	}
+	return out
+}
+
+func bucketLabel(lo, hi float64) string {
+	return "[" + strconv.FormatFloat(lo, 'g', -1, 64) + "," +
+		strconv.FormatFloat(hi, 'g', -1, 64) + ")"
+}
+
+// Registry is a named collection of counters and latency histograms.
+// Lookups are get-or-create, so hook sites can resolve their instruments
+// once and hold the pointer. A Registry snapshot is JSON-marshalable,
+// which is how cmd/platformd publishes it through expvar.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*LatencyHistogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*LatencyHistogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named latency histogram, creating it with the
+// given range and bucket count on first use. The range of an existing
+// histogram is not re-checked: the first caller fixes it.
+func (r *Registry) Histogram(name string, lo, hi float64, buckets int) *LatencyHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &LatencyHistogram{h: metrics.NewHistogram(lo, hi, buckets)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns the full registry state as a JSON-marshalable map:
+// counter name -> int64, histogram name -> histogram snapshot. Names are
+// namespaced as-is; key order is irrelevant to JSON consumers, but the
+// counters sub-map is rebuilt on every call so callers may mutate it.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	hists := make(map[string]*LatencyHistogram, len(r.hists))
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	out := make(map[string]any, len(counters)+len(hists))
+	for _, name := range names {
+		out[name] = counters[name].Value()
+	}
+	for name, h := range hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}

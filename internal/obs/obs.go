@@ -1,0 +1,446 @@
+// Package obs is the auction observability layer: a zero-dependency,
+// zero-cost-when-disabled instrumentation spine shared by the mechanism
+// core, the TCP platform, and the experiment harness.
+//
+// The contract has three parts:
+//
+//   - Tracer is a sink for typed auction events (round lifecycle, greedy
+//     picks, payment replays, ψ updates, certificate ratios, agent
+//     join/drop/timeout, experiment sweeps). Every hook site in the
+//     producing packages guards with a plain nil check — a nil Tracer is
+//     the disabled state and costs one predictable branch, no interface
+//     call, no allocation. The nil-tracer benchmark guard in the root
+//     package holds this to the committed results/BENCH_core.json numbers.
+//   - Registry aggregates counters and latency histograms (reusing
+//     internal/metrics.Histogram) for pull-style exposure: cmd/platformd
+//     publishes a Registry snapshot via expvar on its debug address.
+//   - Sinks: JSONL (one JSON object per line, replayable offline with
+//     ReadJSONL), Multi (fan-out), and Recorder (in-memory, for tests).
+//
+// Emit may be called from multiple goroutines concurrently (the parallel
+// payment phase fans replays out across workers); every Tracer
+// implementation in this package is safe for concurrent use, and custom
+// implementations must be too.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer receives auction events. Implementations must be safe for
+// concurrent use and must not retain the event beyond the call unless they
+// copy it. A nil Tracer disables tracing: producers guard every hook site
+// with a nil check and emit nothing.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// Event is one typed auction event. Concrete events are plain structs with
+// JSON tags so any sink can serialize them without reflection games.
+type Event interface {
+	// EventKind returns the stable kind tag of the event (e.g.
+	// "round_open"); it keys the JSONL stream and the test recorders.
+	EventKind() string
+}
+
+// Event kind tags, one per concrete event type.
+const (
+	KindRoundOpen     = "round_open"
+	KindRoundClose    = "round_close"
+	KindRoundAbort    = "round_abort"
+	KindGreedyPick    = "greedy_pick"
+	KindPaymentReplay = "payment_replay"
+	KindPsiUpdate     = "psi_update"
+	KindCertificate   = "certificate"
+	KindAgentJoin     = "agent_join"
+	KindAgentDrop     = "agent_drop"
+	KindAgentTimeout  = "agent_timeout"
+	KindBidReceived   = "bid_received"
+	KindConfigDefault = "config_default"
+	KindSweep         = "sweep"
+)
+
+// Round lifecycle scopes: the same open/close events are emitted by the
+// online mechanism (one MSOA stage) and by the platform server (one
+// networked bidding round); Scope tells them apart in a merged stream.
+const (
+	ScopeMSOA     = "msoa"
+	ScopePlatform = "platform"
+)
+
+// Agent drop causes (AgentDrop.Cause). The taxonomy is part of the
+// observability contract: the platform fault-path tests assert these exact
+// strings.
+const (
+	// DropReadError: the agent's connection read failed (EOF, TCP reset,
+	// malformed frame) and the agent was deregistered.
+	DropReadError = "read-error"
+	// DropWriteTimeout: a send to the agent exceeded the server's write
+	// timeout (slow or stuck reader); the connection is closed and the
+	// agent deregistered.
+	DropWriteTimeout = "write-timeout"
+	// DropWelcomeFailed: the registration acknowledgement could not be
+	// delivered.
+	DropWelcomeFailed = "welcome-failed"
+)
+
+// Bid-wait causes (AgentTimeout.Cause).
+const (
+	// TimeoutDeadline: the round's bid deadline fired with the agent
+	// still pending.
+	TimeoutDeadline = "deadline"
+	// TimeoutCancelled: the round was aborted by context cancellation
+	// while the agent was still pending.
+	TimeoutCancelled = "cancelled"
+)
+
+// RoundOpen marks the start of one auction round.
+type RoundOpen struct {
+	Scope string `json:"scope"`
+	T     int    `json:"t"`
+	// Needy is the number of needy microservices; TotalDemand the sum of
+	// their residual demands.
+	Needy       int `json:"needy"`
+	TotalDemand int `json:"total_demand"`
+	// Bids is the number of candidate bids (MSOA scope; 0 at platform
+	// open, where bids are not collected yet).
+	Bids int `json:"bids,omitempty"`
+	// Excluded counts bids dropped by capacity/window filtering (MSOA).
+	Excluded int `json:"excluded,omitempty"`
+	// Agents is the number of registered agents announced to (platform).
+	Agents int `json:"agents,omitempty"`
+}
+
+func (RoundOpen) EventKind() string { return KindRoundOpen }
+
+// RoundClose marks the end of one auction round.
+type RoundClose struct {
+	Scope string `json:"scope"`
+	T     int    `json:"t"`
+	// Bids is the number of bids the mechanism ran on.
+	Bids       int     `json:"bids"`
+	Winners    int     `json:"winners"`
+	SocialCost float64 `json:"social_cost"`
+	// TotalPayment is the platform's remuneration outlay this round; the
+	// payment spread TotalPayment−SocialCost is the overpayment signal
+	// operators watch.
+	TotalPayment float64 `json:"total_payment"`
+	Infeasible   bool    `json:"infeasible,omitempty"`
+	// DurationMicros is the round's wall-clock latency in microseconds.
+	DurationMicros int64 `json:"duration_us"`
+}
+
+func (RoundClose) EventKind() string { return KindRoundClose }
+
+// RoundAbort marks a platform round aborted before clearing (context
+// cancellation or deadline exceeded mid-gather).
+type RoundAbort struct {
+	T int `json:"t"`
+	// Err is the abort reason (context.Canceled / DeadlineExceeded text).
+	Err string `json:"err"`
+	// Pending is how many announced agents had not answered yet.
+	Pending int `json:"pending"`
+}
+
+func (RoundAbort) EventKind() string { return KindRoundAbort }
+
+// GreedyPick is one winning iteration of the greedy selection loop
+// (Algorithm 1, line 4): the arg-min bid, its score and marginal coverage.
+type GreedyPick struct {
+	// Iteration is the 0-based winning iteration within the round.
+	Iteration int `json:"iter"`
+	// Bid is the selected bid's index into the instance; Bidder/Alt its
+	// identity.
+	Bid    int `json:"bid"`
+	Bidder int `json:"bidder"`
+	Alt    int `json:"alt"`
+	// Score is the greedy metric value (scaled price / marginal for
+	// PricePerCoverage); Marginal the coverage the pick contributes.
+	Score    float64 `json:"score"`
+	Marginal int     `json:"marginal"`
+	// ScaledPrice is the pick's ∇_ij.
+	ScaledPrice float64 `json:"scaled_price"`
+}
+
+func (GreedyPick) EventKind() string { return KindGreedyPick }
+
+// PaymentReplay is one critical-value counterfactual replay.
+type PaymentReplay struct {
+	// Winner is the paid bid's index; Bidder its owner.
+	Winner int `json:"winner"`
+	Bidder int `json:"bidder"`
+	// Payment is the computed remuneration (scaled-price domain).
+	Payment float64 `json:"payment"`
+	// Checkpoint is the winner's position in the selection sequence — the
+	// truthful-run checkpoint the replay resumed from (0 when the replay
+	// ran from scratch).
+	Checkpoint int `json:"checkpoint"`
+	// CheckpointHit reports whether the replay reused a truthful-run
+	// checkpoint (plain SSAM) or had to run from scratch (hit=false:
+	// BudgetedSSAM's report-independent thresholds).
+	CheckpointHit bool `json:"checkpoint_hit"`
+	// Pivotal reports that no competing coverage existed and the reserve
+	// payment applied.
+	Pivotal bool `json:"pivotal,omitempty"`
+}
+
+func (PaymentReplay) EventKind() string { return KindPaymentReplay }
+
+// PsiUpdate is one per-bidder dual update after a winning round
+// (Algorithm 2, lines 10-12). Monotone ψ drift across rounds is the
+// online-auction degradation signal.
+type PsiUpdate struct {
+	T      int     `json:"t"`
+	Bidder int     `json:"bidder"`
+	Psi    float64 `json:"psi"`
+	// Chi is the bidder's cumulative coverage slots consumed (χ_i).
+	Chi int `json:"chi"`
+}
+
+func (PsiUpdate) EventKind() string { return KindPsiUpdate }
+
+// Certificate reports one round's primal–dual approximation certificate.
+type Certificate struct {
+	// Ratio is the certified instance ratio Primal/DualObjective;
+	// TheoreticalRatio the closed-form W·Ξ bound.
+	Ratio            float64 `json:"ratio"`
+	TheoreticalRatio float64 `json:"theoretical_ratio"`
+	Primal           float64 `json:"primal"`
+	DualObjective    float64 `json:"dual_objective"`
+}
+
+func (Certificate) EventKind() string { return KindCertificate }
+
+// AgentJoin marks a successful agent registration with the platform.
+type AgentJoin struct {
+	ID       int `json:"id"`
+	Capacity int `json:"capacity"`
+	Arrive   int `json:"arrive,omitempty"`
+	Depart   int `json:"depart,omitempty"`
+}
+
+func (AgentJoin) EventKind() string { return KindAgentJoin }
+
+// AgentDrop marks an agent deregistration with its cause (see the Drop*
+// constants).
+type AgentDrop struct {
+	ID    int    `json:"id"`
+	Cause string `json:"cause"`
+	// Detail carries the underlying error text, when any.
+	Detail string `json:"detail,omitempty"`
+}
+
+func (AgentDrop) EventKind() string { return KindAgentDrop }
+
+// AgentTimeout marks an agent that was announced to but had not answered
+// when the round ended (see the Timeout* constants for Cause). The agent
+// stays registered; only its chance to bid this round lapsed.
+type AgentTimeout struct {
+	T     int    `json:"t"`
+	ID    int    `json:"id"`
+	Cause string `json:"cause"`
+}
+
+func (AgentTimeout) EventKind() string { return KindAgentTimeout }
+
+// BidReceived marks one agent's bid submission reaching the platform, with
+// the announce-to-bid round-trip time.
+type BidReceived struct {
+	T  int `json:"t"`
+	ID int `json:"id"`
+	// Bids is the number of alternative bids in the submission.
+	Bids int `json:"bids"`
+	// RTTMicros is the time from round announce to bid arrival.
+	RTTMicros int64 `json:"rtt_us"`
+}
+
+func (BidReceived) EventKind() string { return KindBidReceived }
+
+// ConfigDefault marks a zero-valued configuration field falling back to
+// its documented default, so operators can tell an implicit default from
+// an explicit choice when reading a trace.
+type ConfigDefault struct {
+	// Component names the configured subsystem (e.g. "platform.server");
+	// Field the config field; Value the applied default, rendered.
+	Component string `json:"component"`
+	Field     string `json:"field"`
+	Value     string `json:"value"`
+}
+
+func (ConfigDefault) EventKind() string { return KindConfigDefault }
+
+// Sweep reports one completed experiment sweep grid: the per-figure
+// wall-clock and cell counts of the harness.
+type Sweep struct {
+	// Tag is the driver's sweep tag (e.g. "fig3a").
+	Tag string `json:"tag"`
+	// Points × Trials is the grid; Cells the number of executed cells.
+	Points int `json:"points"`
+	Trials int `json:"trials"`
+	Cells  int `json:"cells"`
+	// DurationMicros is the grid's wall-clock, all workers inclusive.
+	DurationMicros int64 `json:"duration_us"`
+	// Workers is the trial-parallelism level the grid ran at.
+	Workers int `json:"workers"`
+}
+
+func (Sweep) EventKind() string { return KindSweep }
+
+// --- Sinks ---------------------------------------------------------------
+
+// JSONL is a Tracer writing one JSON object per event line:
+// {"kind":..., "unix_us":..., "ev":{...}}. Writes are serialized; any
+// io.Writer works. Errors are retained (first only) rather than returned
+// per event — check Err after the run, mirroring how the audit log
+// surfaces its faults.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+	// now is stubbed by tests; nil means time.Now.
+	now func() time.Time
+}
+
+// NewJSONL wraps w as a JSONL event sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// jsonlRecord is the on-disk framing of one event.
+type jsonlRecord struct {
+	Kind    string `json:"kind"`
+	UnixUS  int64  `json:"unix_us"`
+	Payload Event  `json:"ev"`
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now
+	if j.now != nil {
+		now = j.now
+	}
+	rec := jsonlRecord{Kind: e.EventKind(), UnixUS: now().UnixMicro(), Payload: e}
+	if err := j.enc.Encode(rec); err != nil && j.err == nil {
+		j.err = fmt.Errorf("obs: write JSONL event: %w", err)
+	}
+}
+
+// Err returns the first write error observed, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// JSONLRecord is one parsed line of a JSONL event stream. The payload is
+// kept raw: callers that care about a specific kind unmarshal Ev into the
+// matching event struct.
+type JSONLRecord struct {
+	Kind   string          `json:"kind"`
+	UnixUS int64           `json:"unix_us"`
+	Ev     json.RawMessage `json:"ev"`
+}
+
+// ReadJSONL parses a JSONL event stream back into records.
+func ReadJSONL(r io.Reader) ([]JSONLRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []JSONLRecord
+	for {
+		var rec JSONLRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("obs: parse JSONL record %d: %w", len(out), err)
+		}
+		if rec.Kind == "" {
+			return nil, fmt.Errorf("obs: JSONL record %d has no kind", len(out))
+		}
+		out = append(out, rec)
+	}
+}
+
+// Multi fans every event out to several tracers, in order.
+type Multi []Tracer
+
+// NewMulti combines tracers, dropping nils; it returns nil (tracing
+// disabled) when none remain, so callers can pass the result straight to a
+// config field.
+func NewMulti(tracers ...Tracer) Tracer {
+	var live Multi
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// Emit implements Tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Recorder is an in-memory Tracer for tests: it retains every event in
+// emission order.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Kinds returns the recorded event kinds, in order.
+func (r *Recorder) Kinds() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.EventKind()
+	}
+	return out
+}
+
+// ByKind returns the recorded events of one kind, in order.
+func (r *Recorder) ByKind(kind string) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.EventKind() == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of the kind were recorded.
+func (r *Recorder) Count(kind string) int {
+	return len(r.ByKind(kind))
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJSONLRoundTrip writes a representative event of several kinds and
+// parses the stream back, checking kind tags and one payload in detail.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	tr.now = func() time.Time { return time.UnixMicro(42) }
+
+	events := []Event{
+		RoundOpen{Scope: ScopeMSOA, T: 1, Needy: 3, TotalDemand: 17, Bids: 12},
+		GreedyPick{Iteration: 0, Bid: 4, Bidder: 2, Alt: 1, Score: 1.5, Marginal: 4, ScaledPrice: 6},
+		PaymentReplay{Winner: 4, Bidder: 2, Payment: 9.5, Checkpoint: 0, CheckpointHit: true},
+		PsiUpdate{T: 1, Bidder: 2, Psi: 0.25, Chi: 3},
+		Certificate{Ratio: 1.2, TheoreticalRatio: 2.9, Primal: 30, DualObjective: 25},
+		AgentDrop{ID: 7, Cause: DropWriteTimeout, Detail: "i/o timeout"},
+		RoundClose{Scope: ScopeMSOA, T: 1, Bids: 12, Winners: 3, SocialCost: 30, TotalPayment: 41, DurationMicros: 120},
+	}
+	for _, e := range events {
+		tr.Emit(e)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(events) {
+		t.Fatalf("got %d records, want %d", len(recs), len(events))
+	}
+	for i, rec := range recs {
+		if rec.Kind != events[i].EventKind() {
+			t.Errorf("record %d kind %q, want %q", i, rec.Kind, events[i].EventKind())
+		}
+		if rec.UnixUS != 42 {
+			t.Errorf("record %d unix_us %d, want 42", i, rec.UnixUS)
+		}
+	}
+	var pay PaymentReplay
+	if err := json.Unmarshal(recs[2].Ev, &pay); err != nil {
+		t.Fatal(err)
+	}
+	if pay != (PaymentReplay{Winner: 4, Bidder: 2, Payment: 9.5, CheckpointHit: true}) {
+		t.Fatalf("payment replay round-trip mismatch: %+v", pay)
+	}
+}
+
+// TestJSONLConcurrentEmit hammers one sink from several goroutines (the
+// parallel payment phase does exactly this) and checks every line parses.
+func TestJSONLConcurrentEmit(t *testing.T) {
+	var buf syncBuffer
+	tr := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(PaymentReplay{Winner: g*1000 + i, Payment: float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != goroutines*per {
+		t.Fatalf("got %d records, want %d", len(recs), goroutines*per)
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Read(p)
+}
+
+// TestMulti checks fan-out and the nil-collapsing constructor.
+func TestMulti(t *testing.T) {
+	if got := NewMulti(nil, nil); got != nil {
+		t.Fatalf("NewMulti(nil, nil) = %v, want nil", got)
+	}
+	one := &Recorder{}
+	if got := NewMulti(nil, one); got != Tracer(one) {
+		t.Fatalf("NewMulti with one live tracer should return it directly")
+	}
+	two := &Recorder{}
+	multi := NewMulti(one, two)
+	multi.Emit(RoundOpen{T: 5})
+	for i, r := range []*Recorder{one, two} {
+		if r.Count(KindRoundOpen) != 1 {
+			t.Fatalf("recorder %d did not receive the event", i)
+		}
+	}
+}
+
+// TestRecorder checks kind filtering and ordering.
+func TestRecorder(t *testing.T) {
+	r := &Recorder{}
+	r.Emit(RoundOpen{T: 1})
+	r.Emit(GreedyPick{Bid: 3})
+	r.Emit(RoundClose{T: 1})
+	if kinds := r.Kinds(); len(kinds) != 3 || kinds[0] != KindRoundOpen || kinds[2] != KindRoundClose {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	picks := r.ByKind(KindGreedyPick)
+	if len(picks) != 1 || picks[0].(GreedyPick).Bid != 3 {
+		t.Fatalf("ByKind(greedy_pick) = %v", picks)
+	}
+}
+
+// TestRegistry checks get-or-create identity, counters, histogram
+// clamping, and the JSON-marshalable snapshot.
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("rounds_total")
+	c.Inc()
+	c.Add(2)
+	if reg.Counter("rounds_total") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	h := reg.Histogram("round_ms", 0, 100, 10)
+	if reg.Histogram("round_ms", 0, 1, 1) != h {
+		t.Fatal("Histogram is not get-or-create")
+	}
+	h.Observe(5)
+	h.Observe(95)
+	h.Observe(1000) // overflow clamps into last bucket
+	if h.Total() != 3 {
+		t.Fatalf("total = %d, want 3", h.Total())
+	}
+
+	snap := reg.Snapshot()
+	if snap["rounds_total"] != int64(3) {
+		t.Fatalf("counter snapshot = %v", snap["rounds_total"])
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	hist, ok := back["round_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram snapshot = %v", back["round_ms"])
+	}
+	if hist["total"].(float64) != 3 || hist["overflow"].(float64) != 1 {
+		t.Fatalf("histogram snapshot = %v", hist)
+	}
+}
+
+// TestRegistryConcurrent exercises the registry under the race detector.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				reg.Counter("c").Inc()
+				reg.Histogram("h", 0, 10, 5).Observe(float64(i % 10))
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+}

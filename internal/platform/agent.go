@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -68,24 +69,44 @@ type Agent struct {
 // Dial connects and registers an agent with the platform at addr, then
 // starts its receive loop.
 func Dial(addr string, cfg AgentConfig) (*Agent, error) {
+	return DialContext(context.Background(), addr, cfg)
+}
+
+// DialContext is Dial honoring ctx during the connection attempt and the
+// registration handshake. The effective connect deadline is the earlier
+// of ctx's deadline and cfg.DialTimeout; a cancellation that arrives
+// mid-handshake closes the connection and returns the context error.
+func DialContext(ctx context.Context, addr string, cfg AgentConfig) (*Agent, error) {
 	if cfg.ID <= 0 {
 		return nil, fmt.Errorf("platform: agent id must be positive, got %d", cfg.ID)
 	}
-	raw, err := net.DialTimeout("tcp", addr, cfg.dialTimeout())
+	dialer := net.Dialer{Timeout: cfg.dialTimeout()}
+	raw, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("platform: dial %s: %w", addr, err)
 	}
+	// Propagate a cancellation that lands between connect and welcome by
+	// closing the socket out from under the handshake reads/writes; the
+	// surfaced "use of closed connection" is rewritten to ctx.Err().
+	stop := context.AfterFunc(ctx, func() { _ = raw.Close() })
+	defer stop()
 	a := &Agent{cfg: cfg, c: newConn(raw), done: make(chan struct{})}
 	hello := &Envelope{Type: TypeHello, Hello: &HelloMsg{
 		AgentID: cfg.ID, Capacity: cfg.Capacity, Arrive: cfg.Arrive, Depart: cfg.Depart,
 	}}
 	if err := a.c.send(hello, cfg.writeTimeout()); err != nil {
 		_ = a.c.close()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("platform: dial %s: %w", addr, ctx.Err())
+		}
 		return nil, err
 	}
 	env, err := a.c.recv(cfg.dialTimeout())
 	if err != nil {
 		_ = a.c.close()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("platform: dial %s: %w", addr, ctx.Err())
+		}
 		return nil, fmt.Errorf("platform: agent %d registration: %w", cfg.ID, err)
 	}
 	switch env.Type {
@@ -96,6 +117,12 @@ func Dial(addr string, cfg AgentConfig) (*Agent, error) {
 	default:
 		_ = a.c.close()
 		return nil, fmt.Errorf("%w: expected welcome, got %q", ErrProtocol, env.Type)
+	}
+	if !stop() {
+		// The cancel fired after the welcome and the socket is closing;
+		// the agent would be dead on arrival.
+		_ = a.c.close()
+		return nil, fmt.Errorf("platform: dial %s: %w", addr, ctx.Err())
 	}
 
 	a.wg.Add(1)

@@ -12,14 +12,28 @@ import (
 	"time"
 
 	"edgeauction/internal/core"
+	"edgeauction/internal/obs"
+)
+
+// Default timeouts applied when the corresponding ServerConfig field is
+// left at its zero value. Applying a default emits an obs.ConfigDefault
+// event when a Tracer is configured.
+const (
+	// DefaultBidDeadline is how long a round stays open for bids when
+	// ServerConfig.BidDeadline is zero.
+	DefaultBidDeadline = 500 * time.Millisecond
+	// DefaultWriteTimeout bounds individual sends when
+	// ServerConfig.WriteTimeout is zero.
+	DefaultWriteTimeout = 2 * time.Second
 )
 
 // ServerConfig parameterizes the auctioneer daemon.
 type ServerConfig struct {
 	// BidDeadline is how long a round stays open for bids; zero means
-	// 500ms.
+	// DefaultBidDeadline (500ms).
 	BidDeadline time.Duration
-	// WriteTimeout bounds individual sends; zero means 2s.
+	// WriteTimeout bounds individual sends; zero means DefaultWriteTimeout
+	// (2s).
 	WriteTimeout time.Duration
 	// Auction configures the embedded online mechanism. Capacity and
 	// Windows are learned from agent registrations and merged in.
@@ -29,18 +43,25 @@ type ServerConfig struct {
 	// Audit, when non-nil, receives one JSON line per cleared round with
 	// the full collected instance and awards (see Audit/ReadAudit).
 	Audit *Audit
+	// Tracer receives platform lifecycle events: round open/close/abort,
+	// agent join/drop/timeout with cause strings, per-agent bid receipt
+	// with round-trip latency, and config-default notices. Nil disables
+	// tracing. If Auction.Options.Tracer is nil it inherits this tracer,
+	// so the mechanism's greedy-pick/payment/ψ events land in the same
+	// stream. Tracers must be safe for concurrent use.
+	Tracer obs.Tracer
 }
 
 func (c ServerConfig) bidDeadline() time.Duration {
 	if c.BidDeadline == 0 {
-		return 500 * time.Millisecond
+		return DefaultBidDeadline
 	}
 	return c.BidDeadline
 }
 
 func (c ServerConfig) writeTimeout() time.Duration {
 	if c.WriteTimeout == 0 {
-		return 2 * time.Second
+		return DefaultWriteTimeout
 	}
 	return c.WriteTimeout
 }
@@ -51,6 +72,8 @@ type Server struct {
 	cfg      ServerConfig
 	listener net.Listener
 	logger   *log.Logger
+	tracer   obs.Tracer
+	metrics  *obs.Registry
 
 	mu       sync.Mutex
 	agents   map[int]*agentConn
@@ -93,10 +116,20 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		listener: ln,
 		logger:   logger,
+		tracer:   cfg.Tracer,
+		metrics:  obs.NewRegistry(),
 		agents:   make(map[int]*agentConn),
 		capacity: make(map[int]int),
 		windows:  make(map[int]core.BidderWindow),
 		cancel:   cancel,
+	}
+	if s.tracer != nil {
+		if cfg.BidDeadline == 0 {
+			s.tracer.Emit(obs.ConfigDefault{Component: "platform", Field: "BidDeadline", Value: DefaultBidDeadline.String()})
+		}
+		if cfg.WriteTimeout == 0 {
+			s.tracer.Emit(obs.ConfigDefault{Component: "platform", Field: "WriteTimeout", Value: DefaultWriteTimeout.String()})
+		}
 	}
 	s.wg.Add(1)
 	go func() {
@@ -108,6 +141,12 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Metrics returns the server's always-on counter/histogram registry:
+// rounds cleared, bids collected, agents dropped, per-bid round-trip
+// latency, and round wall-clock. Snapshot() is JSON-marshalable and is
+// what platformd publishes on its debug endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // AgentCount returns the number of registered agents.
 func (s *Server) AgentCount() int {
@@ -178,10 +217,13 @@ func (s *Server) handle(ctx context.Context, c *conn) {
 
 	if err := agent.send(&Envelope{Type: TypeWelcome, Welcome: &WelcomeMsg{AgentID: hello.AgentID, Round: nextRound}}, s.cfg.writeTimeout()); err != nil {
 		s.logger.Printf("welcome agent %d: %v", hello.AgentID, err)
-		s.dropAgent(hello.AgentID)
+		s.dropAgent(hello.AgentID, obs.DropWelcomeFailed, err.Error())
 		return
 	}
 	s.logger.Printf("agent %d registered (capacity %d)", hello.AgentID, hello.Capacity)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.AgentJoin{ID: hello.AgentID, Capacity: hello.Capacity, Arrive: hello.Arrive, Depart: hello.Depart})
+	}
 
 	for {
 		env, err := c.recv(0)
@@ -189,7 +231,7 @@ func (s *Server) handle(ctx context.Context, c *conn) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
 				s.logger.Printf("agent %d read: %v", hello.AgentID, err)
 			}
-			s.dropAgent(hello.AgentID)
+			s.dropAgent(hello.AgentID, obs.DropReadError, err.Error())
 			return
 		}
 		switch env.Type {
@@ -209,10 +251,23 @@ func (s *Server) handle(ctx context.Context, c *conn) {
 	}
 }
 
-func (s *Server) dropAgent(id int) {
+// dropAgent deregisters an agent and closes its connection. It is
+// idempotent: only the call that actually removes the agent emits the
+// AgentDrop event and bumps the drop counter, so the read loop's
+// follow-up (the closed connection makes its recv fail) stays silent.
+func (s *Server) dropAgent(id int, cause, detail string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	a, present := s.agents[id]
 	delete(s.agents, id)
+	s.mu.Unlock()
+	if !present {
+		return
+	}
+	_ = a.c.close()
+	s.metrics.Counter("platform_agent_drops_total").Inc()
+	if s.tracer != nil {
+		s.tracer.Emit(obs.AgentDrop{ID: id, Cause: cause, Detail: detail})
+	}
 }
 
 // RoundOutcome is the platform-visible result of one cleared round.
@@ -230,6 +285,15 @@ type RoundOutcome struct {
 // mechanism, and broadcasts the result. needyIDs (optional) names the
 // needy microservices for the agents' benefit.
 func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
+	return s.RunRoundContext(context.Background(), demand, needyIDs)
+}
+
+// RunRoundContext is RunRound honoring ctx: if the context is cancelled
+// while bids are being gathered the round aborts — no mechanism runs, no
+// result is broadcast, pending agents stay connected — and the wrapped
+// context error is returned. The round number is still consumed.
+func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []int) (*RoundOutcome, error) {
+	started := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -245,6 +309,9 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 		if cfg.Windows == nil {
 			cfg.Windows = s.windows
 		}
+		if cfg.Options.Tracer == nil {
+			cfg.Options.Tracer = s.tracer
+		}
 		s.msoa = core.NewMSOA(cfg)
 	}
 	agents := make([]*agentConn, 0, len(s.agents))
@@ -255,9 +322,20 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 	sort.Slice(agents, func(i, j int) bool { return agents[i].id < agents[j].id })
 
 	deadline := s.cfg.bidDeadline()
+	if s.tracer != nil {
+		total := 0
+		for _, d := range demand {
+			total += d
+		}
+		s.tracer.Emit(obs.RoundOpen{
+			Scope: obs.ScopePlatform, T: t, Needy: len(needyIDs),
+			TotalDemand: total, Agents: len(agents),
+		})
+	}
 	announce := &Envelope{Type: TypeAnnounce, Announce: &AnnounceMsg{
 		T: t, Demand: demand, NeedyIDs: needyIDs, DeadlineMillis: deadline.Milliseconds(),
 	}}
+	announced := agents[:0]
 	for _, a := range agents {
 		// Drain any stale bid from a previous round.
 		select {
@@ -266,8 +344,16 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 		}
 		if err := a.send(announce, s.cfg.writeTimeout()); err != nil {
 			s.logger.Printf("announce to agent %d: %v", a.id, err)
+			// A write failure here means the agent cannot hear the round;
+			// it would only pin the gather phase at the full deadline, so
+			// deregister it now rather than wait for its read loop to fail.
+			s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
+			continue
 		}
+		announced = append(announced, a)
 	}
+	agents = announced
+	announcedAt := time.Now()
 
 	// Gather bids until the deadline, event-driven: per-agent forwarder
 	// goroutines feed one fan-in channel, so the collection select wakes
@@ -343,9 +429,33 @@ gather:
 					TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
 				})
 			}
+			rtt := time.Since(announcedAt)
+			s.metrics.Counter("platform_bids_total").Add(int64(len(in.msg.Bids)))
+			s.metrics.Histogram("platform_bid_rtt_us", 0, 1e6, 20).Observe(float64(rtt.Microseconds()))
+			if s.tracer != nil {
+				s.tracer.Emit(obs.BidReceived{T: t, ID: in.id, Bids: len(in.msg.Bids), RTTMicros: rtt.Microseconds()})
+			}
 			pending--
 		case <-timer.C:
+			if s.tracer != nil {
+				for _, a := range agents {
+					if !answered[a.id] {
+						s.tracer.Emit(obs.AgentTimeout{T: t, ID: a.id, Cause: obs.TimeoutDeadline})
+					}
+				}
+			}
 			break gather
+		case <-ctx.Done():
+			if s.tracer != nil {
+				for _, a := range agents {
+					if !answered[a.id] {
+						s.tracer.Emit(obs.AgentTimeout{T: t, ID: a.id, Cause: obs.TimeoutCancelled})
+					}
+				}
+				s.tracer.Emit(obs.RoundAbort{T: t, Err: ctx.Err().Error(), Pending: pending})
+			}
+			s.metrics.Counter("platform_rounds_aborted_total").Inc()
+			return nil, fmt.Errorf("platform: round %d aborted: %w", t, ctx.Err())
 		}
 	}
 	// Stable bid order: fan-in delivery order follows bid arrival, not
@@ -382,7 +492,26 @@ gather:
 	for _, a := range agents {
 		if err := a.send(env, s.cfg.writeTimeout()); err != nil {
 			s.logger.Printf("result to agent %d: %v", a.id, err)
+			// A peer that cannot take the result within the write timeout
+			// (stalled reader, dead connection) would stall every future
+			// broadcast too; deregister it.
+			s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
 		}
+	}
+
+	s.metrics.Counter("platform_rounds_total").Inc()
+	s.metrics.Histogram("platform_round_us", 0, 5e6, 20).Observe(float64(time.Since(started).Microseconds()))
+	if s.tracer != nil {
+		totalPay := 0.0
+		for _, aw := range outcome.Awards {
+			totalPay += aw.Payment
+		}
+		s.tracer.Emit(obs.RoundClose{
+			Scope: obs.ScopePlatform, T: t, Bids: len(ins.Bids),
+			Winners: len(outcome.Awards), SocialCost: outcome.SocialCost,
+			TotalPayment: totalPay, Infeasible: outcome.Infeasible,
+			DurationMicros: time.Since(started).Microseconds(),
+		})
 	}
 
 	if s.cfg.Audit != nil {

@@ -167,20 +167,41 @@ func TestPlatformdDebugAndTrace(t *testing.T) {
 		}
 	}
 	// Both the platform round lifecycle and the embedded mechanism's
-	// must be present, distinguished by scope.
-	scopes := map[string]bool{}
+	// must be present, distinguished by scope — and the trace must be
+	// COMPLETE: the SIGINT path flushes the buffered writer after the
+	// server's final events, so every opened round must have its close
+	// (or, platform scope only, its abort) in the file. A truncated tail
+	// here means the flush ran before srv.Close or not at all.
+	opens := map[string]int{}
+	closes := map[string]int{}
+	aborts := 0
 	for _, rec := range recs {
-		if rec.Kind != obs.KindRoundOpen {
-			continue
+		switch rec.Kind {
+		case obs.KindRoundOpen:
+			var ev obs.RoundOpen
+			if err := json.Unmarshal(rec.Ev, &ev); err != nil {
+				t.Fatal(err)
+			}
+			opens[ev.Scope]++
+		case obs.KindRoundClose:
+			var ev obs.RoundClose
+			if err := json.Unmarshal(rec.Ev, &ev); err != nil {
+				t.Fatal(err)
+			}
+			closes[ev.Scope]++
+		case obs.KindRoundAbort:
+			aborts++
 		}
-		var ev obs.RoundOpen
-		if err := json.Unmarshal(rec.Ev, &ev); err != nil {
-			t.Fatal(err)
-		}
-		scopes[ev.Scope] = true
 	}
-	if !scopes[obs.ScopePlatform] || !scopes[obs.ScopeMSOA] {
-		t.Errorf("round_open scopes = %v, want both %q and %q", scopes, obs.ScopePlatform, obs.ScopeMSOA)
+	if opens[obs.ScopePlatform] == 0 || opens[obs.ScopeMSOA] == 0 {
+		t.Errorf("round_open scopes = %v, want both %q and %q", opens, obs.ScopePlatform, obs.ScopeMSOA)
+	}
+	if got, want := closes[obs.ScopePlatform]+aborts, opens[obs.ScopePlatform]; got != want {
+		t.Errorf("platform rounds: %d opened but only %d closed+aborted — trace truncated on SIGINT",
+			want, got)
+	}
+	if got, want := closes[obs.ScopeMSOA], opens[obs.ScopeMSOA]; got != want {
+		t.Errorf("msoa rounds: %d opened but only %d closed — trace truncated on SIGINT", want, got)
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -83,10 +84,18 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("open trace log: %w", err)
 		}
-		trace = obs.NewJSONL(f)
+		// Buffer the event stream so a hot round isn't a syscall per
+		// event. The deferred flush runs after srv.Close (defers are
+		// LIFO), i.e. after the server has emitted its final events, so
+		// the file is complete on every exit path including SIGINT.
+		bw := bufio.NewWriter(f)
+		trace = obs.NewJSONL(bw)
 		defer func() {
 			if err := trace.Err(); err != nil {
 				logger.Printf("trace log: %v", err)
+			}
+			if err := bw.Flush(); err != nil {
+				logger.Printf("flush trace log: %v", err)
 			}
 			if err := f.Close(); err != nil {
 				logger.Printf("close trace log: %v", err)
@@ -117,8 +126,13 @@ func run(args []string) error {
 			}
 		}()
 		defer func() {
-			if err := dsrv.Close(); err != nil {
-				logger.Printf("close debug server: %v", err)
+			// Graceful shutdown lets an in-flight /metrics or pprof
+			// scrape finish; the bound keeps a stuck profile stream
+			// from wedging SIGINT handling.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := dsrv.Shutdown(sctx); err != nil {
+				logger.Printf("shutdown debug server: %v", err)
 			}
 		}()
 		fmt.Printf("debug server listening on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", dln.Addr())

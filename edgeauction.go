@@ -220,6 +220,9 @@ type (
 	AuditRecord = platform.AuditRecord
 	// AuditBid is one collected bid inside an audit record.
 	AuditBid = platform.AuditBid
+	// FaultInjection injects deterministic send/award faults into the
+	// platform for tests and the chaos harness; zero value disables.
+	FaultInjection = platform.FaultInjection
 )
 
 // Platform timeout defaults, applied when the corresponding
@@ -249,6 +252,8 @@ type (
 	MultiTracer = obs.Multi
 	// TraceRecorder is an in-memory tracer for tests and tools.
 	TraceRecorder = obs.Recorder
+	// RoundSink batches trace events into per-round slices for auditing.
+	RoundSink = obs.RoundSink
 	// Registry is a concurrency-safe set of named counters/histograms.
 	Registry = obs.Registry
 	// Counter is a monotonically increasing atomic counter.
@@ -412,6 +417,14 @@ func VerifyCertificate(ins *Instance, out *Outcome, scaled []float64) error {
 	return core.VerifyCertificate(ins, out, scaled)
 }
 
+// SpotCheckCriticalValue independently re-derives the critical-value
+// payment properties of one winning bid (consistency, pivotality/IR,
+// report independence, and — for single-bid bidders — the exact
+// threshold) by replaying the auction, returning the first violation.
+func SpotCheckCriticalValue(ins *Instance, scaled []float64, opts Options, w int, payment float64) error {
+	return core.SpotCheckCriticalValue(ins, scaled, opts, w, payment)
+}
+
 // DialPlatformContext is DialPlatform honoring ctx during the connection
 // attempt and the registration handshake.
 func DialPlatformContext(ctx context.Context, addr string, cfg AgentConfig) (*Agent, error) {
@@ -421,6 +434,20 @@ func DialPlatformContext(ctx context.Context, addr string, cfg AgentConfig) (*Ag
 // NewAudit builds a round audit log appending JSON lines to w.
 func NewAudit(w io.Writer) *Audit {
 	return platform.NewAudit(w)
+}
+
+// NewAuditSink builds a round audit log delivering each record to fn
+// synchronously on the round goroutine (after the round's trace events),
+// for online auditors.
+func NewAuditSink(fn func(*AuditRecord) error) *Audit {
+	return platform.NewAuditSink(fn)
+}
+
+// NewRoundSink builds a tracer that batches the merged trace stream into
+// per-platform-round event slices and hands each completed batch to
+// flush. Pair with NewAuditSink to audit every round online.
+func NewRoundSink(flush func(t int, events []Event)) *RoundSink {
+	return obs.NewRoundSink(flush)
 }
 
 // ReadAuditLog decodes an audit stream written via

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builtin returns the named built-in scenario (a fresh copy, safe to
+// mutate) or an error naming the alternatives.
+func Builtin(name string) (*Scenario, error) {
+	if build, ok := builtins[name]; ok {
+		return build(), nil
+	}
+	return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, BuiltinNames())
+}
+
+// BuiltinNames lists the built-in scenarios in sorted order.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var builtins = map[string]func() *Scenario{
+	"churn":      churnScenario,
+	"faults":     faultsScenario,
+	"capacity":   capacityScenario,
+	"federation": federationScenario,
+}
+
+// churnScenario is the soak gate: 250 rounds of light randomized churn
+// over eight capacity-limited agents, periodic demand spikes, and a few
+// scripted kills — enough traffic to exercise every fault path while the
+// overwhelming majority of rounds still clear.
+func churnScenario() *Scenario {
+	return New("churn").
+		WithSeed(42).
+		WithRounds(250).
+		WithDeadline(40).
+		WithAgents(8, 900).
+		WithChurn(ChurnSpec{
+			CrashProb: 0.01, DelayProb: 0.02, SlowProb: 0.01, AbstainProb: 0.02,
+			RejoinAfter: 2,
+		}).
+		WithDemand(DemandSpec{SpikeEvery: 50, SpikeFactor: 3}).
+		On(30, 3, ActReset).
+		On(90, 5, ActLeave).
+		On(120, 5, ActJoin).
+		On(150, 1, ActCrash).
+		SpikeAt(200, 4)
+}
+
+// faultsScenario leans hard on the fault paths: every round has an
+// expected casualty, and scripted events pile several faults into the
+// same rounds.
+func faultsScenario() *Scenario {
+	return New("faults").
+		WithSeed(7).
+		WithRounds(120).
+		WithDeadline(40).
+		WithAgents(10, 0).
+		WithChurn(ChurnSpec{
+			CrashProb: 0.03, DelayProb: 0.05, SlowProb: 0.03, AbstainProb: 0.04,
+			RejoinAfter: 1,
+		}).
+		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 5, DemandLo: 1, DemandHi: 4}).
+		On(10, 1, ActCrash).
+		On(10, 2, ActDelay).
+		On(10, 3, ActSlow).
+		On(40, 4, ActReset).
+		On(40, 5, ActAbstain).
+		On(80, 6, ActLeave).
+		On(100, 6, ActJoin)
+}
+
+// capacityScenario starves the market: tiny lifetime capacities Θ and
+// recurring demand spikes drive ψ updates, capacity-based exclusions,
+// and eventually infeasible rounds — the auditor must track the dual
+// state through all of it.
+func capacityScenario() *Scenario {
+	return New("capacity").
+		WithSeed(3).
+		WithRounds(80).
+		WithDeadline(40).
+		WithAgents(6, 24).
+		WithAgent(AgentSpec{ID: 7, Capacity: 0, Join: 40}).
+		WithChurn(ChurnSpec{AbstainProb: 0.05}).
+		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 3, DemandLo: 1, DemandHi: 2, SpikeEvery: 20, SpikeFactor: 2})
+}
+
+// federationScenario interleaves a three-cloud federated round after
+// every tenth platform round, with the first cloud chronically
+// under-supplied so cross-cloud borrowing actually happens.
+func federationScenario() *Scenario {
+	return New("federation").
+		WithSeed(11).
+		WithRounds(150).
+		WithDeadline(40).
+		WithAgents(8, 600).
+		WithChurn(ChurnSpec{CrashProb: 0.01, DelayProb: 0.01, AbstainProb: 0.02, RejoinAfter: 2}).
+		WithDemand(DemandSpec{}).
+		WithFederation(10, 3)
+}

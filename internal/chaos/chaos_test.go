@@ -1,0 +1,257 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickScenario is a compressed churn scenario sized for unit tests:
+// high enough fault probabilities that 30 rounds exercise every action,
+// short enough deadlines that the test stays fast.
+func quickScenario() *Scenario {
+	return New("quick").
+		WithSeed(5).
+		WithRounds(30).
+		WithDeadline(25).
+		WithAgents(6, 300).
+		WithChurn(ChurnSpec{CrashProb: 0.03, DelayProb: 0.06, SlowProb: 0.03, AbstainProb: 0.05, RejoinAfter: 1}).
+		WithDemand(DemandSpec{SpikeEvery: 10, SpikeFactor: 2}).
+		On(8, 2, ActReset).
+		On(15, 3, ActDelay).
+		On(20, 4, ActCrash)
+}
+
+// TestRunDeterministic runs the same scenario twice and requires
+// byte-identical audit logs, zero violations, and evidence that the fault
+// paths actually fired.
+func TestRunDeterministic(t *testing.T) {
+	var logs [2]bytes.Buffer
+	var results [2]*Result
+	for i := range logs {
+		res, err := Run(Config{Scenario: quickScenario(), AuditLog: &logs[i]})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		results[i] = res
+	}
+	for i, res := range results {
+		if len(res.Violations) != 0 {
+			t.Fatalf("run %d: unexpected violations: %v", i, res.Violations)
+		}
+		if res.Rounds != 30 {
+			t.Fatalf("run %d audited %d rounds, want 30", i, res.Rounds)
+		}
+		if res.Checks == 0 {
+			t.Fatalf("run %d performed no checks", i)
+		}
+		for _, act := range []string{ActBid, ActCrash, ActDelay, ActSlow, ActAbstain} {
+			if res.Actions[act] == 0 {
+				t.Errorf("run %d never exercised %q (actions %v)", i, act, res.Actions)
+			}
+		}
+	}
+	if logs[0].Len() == 0 {
+		t.Fatal("empty audit log")
+	}
+	if !bytes.Equal(logs[0].Bytes(), logs[1].Bytes()) {
+		t.Fatalf("audit logs differ between identical runs:\n--- run 0 ---\n%s\n--- run 1 ---\n%s",
+			firstDiff(logs[0].String(), logs[1].String()), "")
+	}
+}
+
+// firstDiff returns the first differing line pair for the failure message.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\n  vs " + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+// TestBrokenPaymentsCaught enables the deliberately corrupt payment rule
+// and requires the auditor to flag it in the very first round that grants
+// an award, dumping the evidence file for repro.
+func TestBrokenPaymentsCaught(t *testing.T) {
+	dir := t.TempDir()
+	// Demand is kept trivially coverable so round 1 is guaranteed to grant
+	// awards — the corruption must then be flagged in round 1 itself.
+	sc := New("broken").
+		WithSeed(9).
+		WithRounds(10).
+		WithDeadline(25).
+		WithAgents(5, 0).
+		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 2, DemandLo: 1, DemandHi: 1})
+	res, err := Run(Config{Scenario: sc, BreakPayments: true, DumpDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("corrupt payments went unnoticed")
+	}
+	v := res.Violations[0]
+	if v.Invariant != "payment" {
+		t.Fatalf("first violation is %q, want payment: %v", v.Invariant, v)
+	}
+	if v.Round != 1 {
+		t.Fatalf("corruption caught in round %d, want round 1 (within one round of the fault)", v.Round)
+	}
+	if res.Rounds >= 10 {
+		t.Fatalf("run did not stop at the violation budget: audited %d rounds", res.Rounds)
+	}
+	if len(res.Dumps) != 1 {
+		t.Fatalf("expected one evidence dump, got %v", res.Dumps)
+	}
+	data, err := os.ReadFile(res.Dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scenario": "broken"`, `"round": 1`, `"invariant": "payment"`, `"kind": "round_close"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("dump %s missing %s", res.Dumps[0], want)
+		}
+	}
+}
+
+// TestCapacityScenario exhausts tiny lifetime capacities: the auditor
+// must track ψ/χ through exclusions and (eventually) infeasible rounds
+// without a single violation.
+func TestCapacityScenario(t *testing.T) {
+	sc, err := Builtin("capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Rounds = 40
+	sc.BidDeadlineMS = 25
+	var log bytes.Buffer
+	res, err := Run(Config{Scenario: sc, AuditLog: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if !strings.Contains(log.String(), `"psi"`) {
+		t.Error("capacity scenario never produced a ψ update")
+	}
+	if res.Summary == nil || res.Summary.Rounds != 40 {
+		t.Fatalf("summary = %+v, want 40 rounds", res.Summary)
+	}
+}
+
+// TestFederationScenario interleaves federated rounds and audits them.
+func TestFederationScenario(t *testing.T) {
+	sc, err := Builtin("federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Rounds = 20
+	sc.Federation.Every = 5
+	sc.BidDeadlineMS = 25
+	var logA, logB bytes.Buffer
+	resA, err := Run(Config{Scenario: cloneScenario(t, sc), AuditLog: &logA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Run(Config{Scenario: cloneScenario(t, sc), AuditLog: &logB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Violations) != 0 {
+		t.Fatalf("violations: %v", resA.Violations)
+	}
+	if resA.FedRounds != 4 {
+		t.Fatalf("fed rounds = %d, want 4", resA.FedRounds)
+	}
+	if !strings.Contains(logA.String(), `"kind":"federation"`) {
+		t.Error("audit log has no federation lines")
+	}
+	if !bytes.Equal(logA.Bytes(), logB.Bytes()) {
+		t.Error("federated audit logs differ between identical runs")
+	}
+	_ = resB
+}
+
+// cloneScenario round-trips through JSON so repeated runs cannot share
+// mutable state through the scenario value.
+func cloneScenario(t *testing.T, sc *Scenario) *Scenario {
+	t.Helper()
+	data, err := sc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestScenarioValidation exercises the scenario schema guards.
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"no name", func(s *Scenario) { s.Name = "" }, "no name"},
+		{"no rounds", func(s *Scenario) { s.Rounds = 0 }, "rounds"},
+		{"no agents", func(s *Scenario) { s.Agents = nil }, "no agents"},
+		{"dup agent", func(s *Scenario) { s.Agents = append(s.Agents, AgentSpec{ID: 1}) }, "duplicate"},
+		{"bad id", func(s *Scenario) { s.Agents[0].ID = -1 }, "positive"},
+		{"probs", func(s *Scenario) { s.Churn.CrashProb = 0.9; s.Churn.DelayProb = 0.9 }, "sum"},
+		{"event round", func(s *Scenario) { s.Events = []EventSpec{{Round: 99, Agent: 1, Action: ActCrash}} }, "outside"},
+		{"event agent", func(s *Scenario) { s.Events = []EventSpec{{Round: 1, Agent: 42, Action: ActCrash}} }, "unknown agent"},
+		{"event action", func(s *Scenario) { s.Events = []EventSpec{{Round: 1, Agent: 1, Action: "explode"}} }, "unknown action"},
+		{"federation", func(s *Scenario) { s.Federation = &FederationSpec{Every: 0} }, "interval"},
+	}
+	for _, tc := range cases {
+		sc := New("v").WithRounds(10).WithAgents(3, 0)
+		tc.mut(sc)
+		err := sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := New("ok").WithRounds(5).WithAgents(2, 10).Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestBuiltinScenariosMatchTestdata keeps the committed JSON scenario
+// files in lockstep with the builder definitions: cmd/chaos -scenario
+// path/to/file.json must behave exactly like the named builtin.
+func TestBuiltinScenariosMatchTestdata(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		sc, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("builtin %s invalid: %v", name, err)
+		}
+		want, err := sc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", "scenarios", name+".json")
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("builtin %s has no committed JSON twin: %v", name, err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+			t.Errorf("%s drifted from builtin definition; regenerate with: go run ./cmd/chaos -scenario %s -print > %s", path, name, path)
+		}
+		loaded, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Name != name {
+			t.Errorf("%s loads as %q", path, loaded.Name)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Metamorphic properties of the SSAM mechanism: seeded transformations of
+// an instance whose effect on the outcome is known a priori. They
+// complement the reference/kernel differential tests — a bug that hits
+// both implementations identically slips past a differential but not past
+// a metamorphic relation.
+
+// winnerKey identifies a winning bid independent of its index.
+type winnerKey struct {
+	bidder, alt int
+}
+
+func winnerSet(ins *Instance, out *Outcome) map[winnerKey]float64 {
+	set := map[winnerKey]float64{}
+	for _, w := range out.Winners {
+		b := ins.Bids[w]
+		set[winnerKey{b.Bidder, b.Alt}] = out.Payments[w]
+	}
+	return set
+}
+
+// TestMetamorphicRaisingLoserNeverWins raises a losing bid's price — a
+// strictly worse offer — and requires it to keep losing, with the winner
+// set unchanged. This is the bid-monotonicity direction truthfulness
+// rests on (Theorem 1's critical-value structure).
+func TestMetamorphicRaisingLoserNeverWins(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	opts := Options{SkipCertificate: true}
+	trials := 0
+	for trials < 40 {
+		ins := randomInstance(rng, 4+rng.Intn(8), 2+rng.Intn(3), 1+rng.Intn(3))
+		out, err := SSAM(ins, opts)
+		if err != nil {
+			continue
+		}
+		loser := -1
+		for i := range ins.Bids {
+			if !out.Won(i) {
+				loser = i
+				break
+			}
+		}
+		if loser < 0 {
+			continue
+		}
+		trials++
+		raised := ins.Clone()
+		factor := 1.1 + rng.Float64()*4
+		raised.Bids[loser].Price *= factor
+		raised.Bids[loser].TrueCost = raised.Bids[loser].Price
+		out2, err := SSAM(raised, opts)
+		if err != nil {
+			t.Fatalf("trial %d: raising a losing bid broke feasibility: %v", trials, err)
+		}
+		if out2.Won(loser) {
+			t.Fatalf("trial %d: bid %d wins after raising its price ×%.2f", trials, loser, factor)
+		}
+		before, after := winnerSet(ins, out), winnerSet(raised, out2)
+		for k := range before {
+			if _, ok := after[k]; !ok {
+				t.Fatalf("trial %d: winner %v unseated by a loser raising its price", trials, k)
+			}
+		}
+		if len(after) != len(before) {
+			t.Fatalf("trial %d: winner count changed %d -> %d", trials, len(before), len(after))
+		}
+	}
+}
+
+// TestMetamorphicDeletingLoserKeepsWinners removes every bid of a bidder
+// that won nothing and requires the winner identities, social cost, and
+// scaled cost to be bit-identical. Payments are deliberately NOT required
+// to be stable: losing bids define the winners' critical values, so
+// deleting a losing bidder can (correctly) raise a payment — e.g. with
+// demand [1] and prices {1, 5, 9}, the 5-bid sets the 1-bid's payment,
+// and deleting it moves the payment to 9.
+func TestMetamorphicDeletingLoserKeepsWinners(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	opts := Options{SkipCertificate: true}
+	trials := 0
+	for trials < 40 {
+		ins := randomInstance(rng, 5+rng.Intn(8), 2+rng.Intn(3), 1+rng.Intn(3))
+		out, err := SSAM(ins, opts)
+		if err != nil {
+			continue
+		}
+		winners := map[int]bool{}
+		for _, w := range out.Winners {
+			winners[ins.Bids[w].Bidder] = true
+		}
+		loserBidder := 0
+		for _, b := range ins.Bids {
+			if !winners[b.Bidder] {
+				loserBidder = b.Bidder
+				break
+			}
+		}
+		if loserBidder == 0 {
+			continue
+		}
+		trials++
+		sub := &Instance{Demand: ins.Demand}
+		for _, b := range ins.Bids {
+			if b.Bidder != loserBidder {
+				sub.Bids = append(sub.Bids, b)
+			}
+		}
+		out2, err := SSAM(sub, opts)
+		if err != nil {
+			t.Fatalf("trial %d: deleting losing bidder %d broke feasibility: %v", trials, loserBidder, err)
+		}
+		before, after := winnerSet(ins, out), winnerSet(sub, out2)
+		if len(before) != len(after) {
+			t.Fatalf("trial %d: deleting losing bidder %d changed winner count %d -> %d",
+				trials, loserBidder, len(before), len(after))
+		}
+		for k := range before {
+			if _, ok := after[k]; !ok {
+				t.Fatalf("trial %d: deleting losing bidder %d unseated winner %v", trials, loserBidder, k)
+			}
+		}
+		if out2.SocialCost != out.SocialCost || out2.ScaledCost != out.ScaledCost {
+			t.Fatalf("trial %d: deleting losing bidder %d moved costs %v/%v -> %v/%v",
+				trials, loserBidder, out.SocialCost, out.ScaledCost, out2.SocialCost, out2.ScaledCost)
+		}
+	}
+}
+
+// TestMetamorphicPermutationInvariance shuffles the bid slice and
+// requires the outcome to be identical modulo the index mapping: same
+// winner identities, bit-equal per-winner payments, bit-equal costs. The
+// mechanism must depend on what was bid, never on arrival order (the
+// platform guarantees a canonical (bidder, alt) sort exactly so this
+// holds end-to-end). Random instances draw continuous prices, so exact
+// metric ties — where selection is legitimately order-dependent — do not
+// occur.
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	opts := Options{SkipCertificate: true}
+	for trial := 0; trial < 40; trial++ {
+		ins := randomInstance(rng, 4+rng.Intn(8), 2+rng.Intn(3), 1+rng.Intn(3))
+		out, err := SSAM(ins, opts)
+		if err != nil {
+			continue
+		}
+		perm := rng.Perm(len(ins.Bids))
+		shuffled := &Instance{Demand: ins.Demand, Bids: make([]Bid, len(ins.Bids))}
+		for i, p := range perm {
+			shuffled.Bids[p] = ins.Bids[i]
+		}
+		out2, err := SSAM(shuffled, opts)
+		if err != nil {
+			t.Fatalf("trial %d: permuted instance infeasible: %v", trial, err)
+		}
+		if out2.SocialCost != out.SocialCost || out2.ScaledCost != out.ScaledCost {
+			t.Fatalf("trial %d: permutation moved costs %v/%v -> %v/%v",
+				trial, out.SocialCost, out.ScaledCost, out2.SocialCost, out2.ScaledCost)
+		}
+		before, after := winnerSet(ins, out), winnerSet(shuffled, out2)
+		if len(before) != len(after) {
+			t.Fatalf("trial %d: permutation changed winner count %d -> %d", trial, len(before), len(after))
+		}
+		for k, pay := range before {
+			pay2, ok := after[k]
+			if !ok {
+				t.Fatalf("trial %d: permutation dropped winner %v", trial, k)
+			}
+			if pay2 != pay {
+				t.Fatalf("trial %d: permutation moved winner %v payment %v -> %v", trial, k, pay, pay2)
+			}
+		}
+	}
+}

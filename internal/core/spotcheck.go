@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SpotCheckCriticalValue independently re-derives the critical-value
+// properties of one winning bid and returns a non-nil error on the first
+// violated property. It is the auditor-side counterpart of the payment
+// phase: given the instance a round actually ran on, its scaled price
+// vector, the mechanism options, a winner index w, and the payment the
+// platform claims to have granted, it replays the auction from scratch
+// (serial, certificates off, untraced — the knobs that can't change
+// outcomes are forced to their cheapest setting) and machine-checks:
+//
+//  1. Consistency: the truthful replay selects w and pays exactly the
+//     claimed payment (bit-equal — the mechanism is deterministic).
+//  2. Pivotality: if removing w's entire bidder makes the round
+//     infeasible, the payment must equal the reserve rule's value;
+//     otherwise the payment must be at least w's scaled report (IR).
+//  3. Report independence: halving w's own scaled report must leave w
+//     winning with a bit-identical payment — the critical value excludes
+//     the whole bidder, so w's report must never move its own price.
+//  4. Threshold (single-bid bidders only, non-pivotal): reporting just
+//     above the payment must make w lose, and reporting just below it
+//     must keep w winning at the same payment. For bidders with several
+//     alternative bids the critical value is not an exact unilateral
+//     threshold, so these two probes are skipped.
+//
+// The checks only apply under the CriticalValue payment rule; any other
+// rule returns an error immediately. Each call costs a handful of full
+// auction runs, so auditors sample winners rather than checking all.
+func SpotCheckCriticalValue(ins *Instance, scaled []float64, opts Options, w int, payment float64) error {
+	if opts.Payment != 0 && opts.Payment != CriticalValue {
+		return fmt.Errorf("core: spot-check requires the critical-value payment rule, got %v", opts.Payment)
+	}
+	if w < 0 || w >= len(ins.Bids) {
+		return fmt.Errorf("core: spot-check winner index %d out of range [0,%d)", w, len(ins.Bids))
+	}
+	if len(scaled) != len(ins.Bids) {
+		return fmt.Errorf("core: spot-check scaled vector has %d entries for %d bids", len(scaled), len(ins.Bids))
+	}
+	opts.SkipCertificate = true
+	opts.Parallelism = 1
+	opts.Tracer = nil
+	const eps = 1e-9
+	bidder := ins.Bids[w].Bidder
+
+	// 1. Truthful replay.
+	truth, err := ssamScaled(ins, scaled, opts)
+	if err != nil {
+		return fmt.Errorf("core: spot-check truthful replay: %w", err)
+	}
+	if !truth.Won(w) {
+		return fmt.Errorf("core: spot-check: bid %d (bidder %d) does not win the truthful replay", w, bidder)
+	}
+	if got := truth.Payments[w]; got != payment {
+		return fmt.Errorf("core: spot-check: truthful replay pays bid %d exactly %v, platform claims %v", w, got, payment)
+	}
+
+	// 2. Counterfactual without w's entire bidder.
+	sub := &Instance{Demand: ins.Demand}
+	var subScaled []float64
+	for i, b := range ins.Bids {
+		if b.Bidder != bidder {
+			sub.Bids = append(sub.Bids, b)
+			subScaled = append(subScaled, scaled[i])
+		}
+	}
+	pivotal := false
+	if _, err := ssamScaled(sub, subScaled, opts); err != nil {
+		if !errors.Is(err, ErrInfeasible) {
+			return fmt.Errorf("core: spot-check counterfactual replay: %w", err)
+		}
+		pivotal = true
+	}
+	if pivotal {
+		if want := reservePayment(ins, scaled, w, opts); payment != want {
+			return fmt.Errorf("core: spot-check: pivotal bid %d paid %v, reserve rule demands %v", w, payment, want)
+		}
+		// The reserve is clamped at the winner's own scaled report, so the
+		// report-independence and threshold probes do not apply.
+		return nil
+	}
+	if payment < scaled[w]-eps {
+		return fmt.Errorf("core: spot-check: bid %d paid %v below its scaled report %v (IR violation)", w, payment, scaled[w])
+	}
+
+	// 3. Report independence: halve w's own scaled report.
+	if scaled[w] > 0 {
+		low := append([]float64(nil), scaled...)
+		low[w] = scaled[w] * 0.5
+		out, err := ssamScaled(ins, low, opts)
+		if err != nil {
+			return fmt.Errorf("core: spot-check lower-report replay: %w", err)
+		}
+		if !out.Won(w) {
+			return fmt.Errorf("core: spot-check: bid %d stops winning when it lowers its report (monotonicity violation)", w)
+		}
+		if got := out.Payments[w]; got != payment {
+			return fmt.Errorf("core: spot-check: lowering bid %d's report moved its payment %v -> %v (report dependence)", w, payment, got)
+		}
+	}
+
+	// 4. Exact-threshold probes, valid only for single-bid bidders.
+	single := true
+	for i, b := range ins.Bids {
+		if i != w && b.Bidder == bidder {
+			single = false
+			break
+		}
+	}
+	if !single || payment <= 0 {
+		return nil
+	}
+	high := append([]float64(nil), scaled...)
+	high[w] = payment * 1.01
+	out, err := ssamScaled(ins, high, opts)
+	if err != nil && !errors.Is(err, ErrInfeasible) {
+		return fmt.Errorf("core: spot-check raised-report replay: %w", err)
+	}
+	if err == nil && out.Won(w) {
+		return fmt.Errorf("core: spot-check: bid %d still wins reporting %v, above its critical value %v", w, high[w], payment)
+	}
+	if near := payment * 0.999; near > scaled[w] {
+		high[w] = near
+		out, err := ssamScaled(ins, high, opts)
+		if err != nil {
+			return fmt.Errorf("core: spot-check near-threshold replay: %w", err)
+		}
+		if !out.Won(w) {
+			return fmt.Errorf("core: spot-check: bid %d loses reporting %v, below its critical value %v", w, near, payment)
+		}
+		if got := out.Payments[w]; got != payment {
+			return fmt.Errorf("core: spot-check: near-threshold report moved bid %d's payment %v -> %v", w, payment, got)
+		}
+	}
+	return nil
+}

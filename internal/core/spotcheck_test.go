@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSpotCheckPassesOnHonestOutcomes replays random and tie-prone
+// instances (raw and ψ-scaled domains, all reserve configurations) and
+// spot-checks every winner of every honest run: no property may trip.
+func TestSpotCheckPassesOnHonestOutcomes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reserves := []Options{{}, {ReserveSet: true, Reserve: 0}, {Reserve: 40}}
+	for trial := 0; trial < 12; trial++ {
+		var ins *Instance
+		if trial%2 == 0 {
+			ins = randomInstance(rng, 3+rng.Intn(6), 2+rng.Intn(3), 1+rng.Intn(3))
+		} else {
+			ins = tieProneInstance(rng, 3+rng.Intn(6), 2+rng.Intn(3), 1+rng.Intn(3))
+		}
+		raw := make([]float64, len(ins.Bids))
+		psi := make([]float64, len(ins.Bids))
+		factor := 1 + rng.Float64()
+		for i, b := range ins.Bids {
+			raw[i] = b.Price
+			psi[i] = b.Price * factor
+		}
+		for _, scaled := range [][]float64{raw, psi} {
+			for ri, res := range reserves {
+				opts := Options{Reserve: res.Reserve, ReserveSet: res.ReserveSet, SkipCertificate: true}
+				out, err := ssamScaled(ins, scaled, opts)
+				if err != nil {
+					t.Fatalf("trial %d reserve %d: %v", trial, ri, err)
+				}
+				for _, w := range out.Winners {
+					if err := SpotCheckCriticalValue(ins, scaled, opts, w, out.Payments[w]); err != nil {
+						t.Fatalf("trial %d reserve %d winner %d: %v", trial, ri, w, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpotCheckCatchesCorruptPayment perturbs an honest payment and
+// expects the consistency check to reject it.
+func TestSpotCheckCatchesCorruptPayment(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ins := randomInstance(rng, 6, 3, 2)
+	scaled := make([]float64, len(ins.Bids))
+	for i, b := range ins.Bids {
+		scaled[i] = b.Price
+	}
+	out, err := ssamScaled(ins, scaled, Options{SkipCertificate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := out.Winners[0]
+	err = SpotCheckCriticalValue(ins, scaled, Options{}, w, out.Payments[w]*0.75)
+	if err == nil || !strings.Contains(err.Error(), "platform claims") {
+		t.Fatalf("corrupt payment not caught: %v", err)
+	}
+}
+
+// TestSpotCheckPivotalWinner builds a round with a single possible
+// supplier: the reserve rule must set its payment, and a misreported
+// payment must be rejected.
+func TestSpotCheckPivotalWinner(t *testing.T) {
+	ins := &Instance{
+		Demand: []int{2},
+		Bids: []Bid{
+			{Bidder: 1, Alt: 0, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 2},
+			{Bidder: 2, Alt: 0, Price: 25, TrueCost: 25, Covers: []int{0}, Units: 1},
+		},
+	}
+	scaled := []float64{10, 25}
+	opts := Options{SkipCertificate: true}
+	out, err := ssamScaled(ins, scaled, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) != 1 || out.Winners[0] != 0 {
+		t.Fatalf("winners = %v, want bid 0 alone", out.Winners)
+	}
+	// Bidder 1 is pivotal (bidder 2 alone covers 1 of 2 units); the
+	// auto-derived reserve is bidder 2's scaled price.
+	if out.Payments[0] != 25 {
+		t.Fatalf("pivotal payment = %v, want reserve 25", out.Payments[0])
+	}
+	if err := SpotCheckCriticalValue(ins, scaled, opts, 0, out.Payments[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpotCheckCriticalValue(ins, scaled, opts, 0, 26); err == nil {
+		t.Fatal("misreported pivotal payment not caught")
+	}
+}
+
+// TestSpotCheckRejectsBadInputs covers the guard paths: non-winner
+// index, out-of-range index, wrong payment rule, bad scaled length.
+func TestSpotCheckRejectsBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ins := randomInstance(rng, 5, 2, 1)
+	scaled := make([]float64, len(ins.Bids))
+	for i, b := range ins.Bids {
+		scaled[i] = b.Price
+	}
+	out, err := ssamScaled(ins, scaled, Options{SkipCertificate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loser := -1
+	for i := range ins.Bids {
+		if !out.Won(i) {
+			loser = i
+			break
+		}
+	}
+	if loser >= 0 {
+		if err := SpotCheckCriticalValue(ins, scaled, Options{}, loser, 5); err == nil {
+			t.Fatal("non-winner accepted")
+		}
+	}
+	if err := SpotCheckCriticalValue(ins, scaled, Options{}, len(ins.Bids), 5); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := SpotCheckCriticalValue(ins, scaled, Options{Payment: FirstPrice}, out.Winners[0], 5); err == nil {
+		t.Fatal("first-price rule accepted")
+	}
+	if err := SpotCheckCriticalValue(ins, scaled[:1], Options{}, 0, 5); err == nil {
+		t.Fatal("short scaled vector accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"edgeauction/internal/core"
+)
+
+// TestEmptyMarketList: a round with no markets is a valid no-op.
+func TestEmptyMarketList(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clouds) != 0 || res.SocialCost != 0 || res.TotalPayment != 0 || res.BorrowedSlots != 0 {
+		t.Fatalf("empty round not empty: %+v", res)
+	}
+}
+
+// TestNoEligibleBids: a cloud with demand but no bids anywhere cannot even
+// assemble a federated market; the per-cloud error names the path and the
+// cleared-market fields stay nil.
+func TestNoEligibleBids(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, []CloudMarket{market(1, []int{2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Clouds[0]
+	if cr.Err == nil || !strings.Contains(cr.Err.Error(), "no eligible bids") {
+		t.Fatalf("err = %v, want no-eligible-bids", cr.Err)
+	}
+	if cr.Outcome != nil || cr.Instance != nil || cr.Federated {
+		t.Fatalf("failed cloud carries outcome state: %+v", cr)
+	}
+}
+
+// TestUncoverableEvenFederated: remote bids exist but the combined market
+// still cannot meet the demand; the error wraps the mechanism's
+// infeasibility and the round continues for other clouds.
+func TestUncoverableEvenFederated(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, []CloudMarket{
+		market(1, []int{5},
+			core.Bid{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1}),
+		market(2, []int{1},
+			core.Bid{Bidder: 2, Price: 8, TrueCost: 8, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 3, Price: 9, TrueCost: 9, Covers: []int{0}, Units: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, cleared *CloudResult
+	for _, cr := range res.Clouds {
+		switch cr.Cloud {
+		case 1:
+			failed = cr
+		case 2:
+			cleared = cr
+		}
+	}
+	if failed.Err == nil || !strings.Contains(failed.Err.Error(), "uncoverable even federated") {
+		t.Fatalf("cloud 1 err = %v, want uncoverable-even-federated", failed.Err)
+	}
+	if failed.Outcome != nil || failed.Instance != nil {
+		t.Fatalf("failed cloud carries outcome state: %+v", failed)
+	}
+	if cleared.Err != nil {
+		t.Fatalf("cloud 2 should clear locally despite cloud 1 failing: %v", cleared.Err)
+	}
+}
+
+// TestPureBidPoolSuppliesBorrowers: a zero-demand cloud contributes its
+// bids to borrowing clouds without clearing anything itself, and the
+// transfer records the pool as origin.
+func TestPureBidPoolSuppliesBorrowers(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t), LatencyPremium: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, []CloudMarket{
+		market(1, []int{2},
+			core.Bid{Bidder: 1, Price: 10, TrueCost: 10, Covers: []int{0}, Units: 1}),
+		market(2, nil,
+			core.Bid{Bidder: 2, Price: 12, TrueCost: 12, Covers: []int{0}, Units: 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var borrower, pool *CloudResult
+	for _, cr := range res.Clouds {
+		switch cr.Cloud {
+		case 1:
+			borrower = cr
+		case 2:
+			pool = cr
+		}
+	}
+	if pool.Err != nil || pool.Federated || len(pool.Transfers) != 0 {
+		t.Fatalf("pool cloud should be inert: %+v", pool)
+	}
+	if pool.Outcome == nil || len(pool.Outcome.Winners) != 0 || pool.Outcome.Payments == nil {
+		t.Fatalf("pool cloud outcome = %+v, want empty cleared market", pool.Outcome)
+	}
+	if pool.Instance == nil || pool.Instance.TotalDemand() != 0 {
+		t.Fatalf("pool cloud instance = %+v, want zero-demand instance", pool.Instance)
+	}
+	if borrower.Err != nil {
+		t.Fatal(borrower.Err)
+	}
+	if !borrower.Federated || len(borrower.Transfers) == 0 {
+		t.Fatalf("borrower did not federate: %+v", borrower)
+	}
+	for _, tr := range borrower.Transfers {
+		if tr.From != 2 || tr.To != 1 || tr.Bidder != 2 {
+			t.Fatalf("transfer = %+v, want pool bidder 2 from cloud 2 to 1", tr)
+		}
+		if tr.Premium <= 0 {
+			t.Fatalf("transfer premium = %v, want positive", tr.Premium)
+		}
+	}
+	if res.BorrowedSlots == 0 {
+		t.Fatal("borrowed slots not accounted")
+	}
+}
+
+// TestCloudResultInstanceMatchesOutcome: the published Instance must be
+// the exact market the winner indices refer to, for both local and
+// federated clears — auditors verify coverage and payments against it.
+func TestCloudResultInstanceMatchesOutcome(t *testing.T) {
+	fed, err := New(Config{Topology: testTopo(t), LatencyPremium: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.RunRound(1, []CloudMarket{
+		market(1, []int{1}), // must borrow everything
+		market(2, []int{1},
+			core.Bid{Bidder: 2, Price: 8, TrueCost: 8, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 3, Price: 9, TrueCost: 9, Covers: []int{0}, Units: 1},
+			core.Bid{Bidder: 4, Price: 20, TrueCost: 20, Covers: []int{0}, Units: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range res.Clouds {
+		if cr.Err != nil {
+			t.Fatalf("cloud %d: %v", cr.Cloud, cr.Err)
+		}
+		if cr.Instance == nil {
+			t.Fatalf("cloud %d has no instance", cr.Cloud)
+		}
+		if err := core.VerifyFeasible(cr.Instance, cr.Outcome); err != nil {
+			t.Fatalf("cloud %d outcome infeasible against its own instance: %v", cr.Cloud, err)
+		}
+		for _, w := range cr.Outcome.Winners {
+			if cr.Outcome.Payments[w] < cr.Instance.Bids[w].Price {
+				t.Fatalf("cloud %d winner %d paid %v below its (premium) price %v",
+					cr.Cloud, w, cr.Outcome.Payments[w], cr.Instance.Bids[w].Price)
+			}
+		}
+	}
+	var borrower *CloudResult
+	for _, cr := range res.Clouds {
+		if cr.Cloud == 1 {
+			borrower = cr
+		}
+	}
+	if !borrower.Federated {
+		t.Fatal("cloud 1 should have federated")
+	}
+	// The federated instance prices include the latency premium, so the
+	// winning price must exceed the bidder's raw local price.
+	w := borrower.Outcome.Winners[0]
+	if borrower.Instance.Bids[w].Price <= 8 {
+		t.Fatalf("federated instance price %v does not include a premium", borrower.Instance.Bids[w].Price)
+	}
+}

@@ -81,6 +81,12 @@ type CloudResult struct {
 	Cloud int
 	// Outcome is the cleared market (nil when even federation failed).
 	Outcome *core.Outcome
+	// Instance is the market the Outcome's winner indices refer to: the
+	// bidder-filtered local instance, or the premium-priced federated one
+	// when Federated is set. Nil when the market never cleared. Auditors
+	// use it to verify coverage and payments without rebuilding the
+	// federation's internal bid rewrites.
+	Instance *core.Instance
 	// Federated reports whether remote bids were needed.
 	Federated bool
 	// Transfers lists cross-cloud borrows (non-empty only when Federated).
@@ -131,6 +137,7 @@ func (f *Federation) RunRound(t int, markets []CloudMarket) (*RoundResult, error
 			// Pure bid pool: nothing to clear locally; its bids remain
 			// available to clouds that need to borrow.
 			cr.Outcome = &core.Outcome{Payments: map[int]float64{}}
+			cr.Instance = &core.Instance{Demand: m.Instance.Demand}
 			continue
 		}
 
@@ -138,6 +145,7 @@ func (f *Federation) RunRound(t int, markets []CloudMarket) (*RoundResult, error
 		out := f.msoa.RunRound(core.Round{T: t, Instance: local})
 		if out.Err == nil {
 			cr.Outcome = out.Outcome
+			cr.Instance = local
 			f.account(res, cr, local, nil)
 			markWinners(local, out.Outcome, wonThisRound)
 			continue
@@ -155,6 +163,7 @@ func (f *Federation) RunRound(t int, markets []CloudMarket) (*RoundResult, error
 			continue
 		}
 		cr.Outcome = out.Outcome
+		cr.Instance = fed
 		cr.Federated = true
 		for _, w := range out.Outcome.Winners {
 			b := &fed.Bids[w]

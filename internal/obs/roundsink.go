@@ -1,0 +1,59 @@
+package obs
+
+import "sync"
+
+// RoundSink groups a merged trace stream into per-round event batches for
+// online auditing. Events accumulate until a PLATFORM-scope RoundClose (or a
+// RoundAbort) arrives; the completed batch — everything emitted since the
+// previous flush, including inter-round agent join/drop events and the
+// embedded mechanism's msoa-scope events — is then handed to the flush
+// callback synchronously on the emitting goroutine.
+//
+// The platform server emits its RoundClose before it writes the round's
+// audit record, and both happen on the RunRound goroutine, so an audit sink
+// installed via platform.NewAuditSink can rely on the flush for round t
+// having completed by the time it sees record t. That ordering is what the
+// chaos auditor builds on.
+type RoundSink struct {
+	mu      sync.Mutex
+	pending []Event
+	flush   func(t int, events []Event)
+}
+
+// NewRoundSink builds a RoundSink delivering batches to flush. A nil flush
+// discards batches (the sink still bounds memory by dropping them per
+// round).
+func NewRoundSink(flush func(t int, events []Event)) *RoundSink {
+	return &RoundSink{flush: flush}
+}
+
+// Emit implements Tracer.
+func (s *RoundSink) Emit(e Event) {
+	var batch []Event
+	t := 0
+	s.mu.Lock()
+	s.pending = append(s.pending, e)
+	switch ev := e.(type) {
+	case RoundClose:
+		if ev.Scope == ScopePlatform {
+			batch, t = s.pending, ev.T
+			s.pending = nil
+		}
+	case RoundAbort:
+		batch, t = s.pending, ev.T
+		s.pending = nil
+	}
+	s.mu.Unlock()
+	if batch != nil && s.flush != nil {
+		s.flush(t, batch)
+	}
+}
+
+// Tail returns (a copy of) the events emitted since the last flush — the
+// partial batch of a round still in flight, or trailing shutdown events
+// after the final round. Auditors use it for completeness checks.
+func (s *RoundSink) Tail() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.pending...)
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRoundSinkBatchesPerPlatformRound(t *testing.T) {
+	type batch struct {
+		t      int
+		events []Event
+	}
+	var got []batch
+	s := NewRoundSink(func(t int, events []Event) {
+		got = append(got, batch{t: t, events: events})
+	})
+
+	// Inter-round join, then a full round with nested msoa-scope lifecycle.
+	s.Emit(AgentJoin{ID: 1, Capacity: 5})
+	s.Emit(RoundOpen{Scope: ScopePlatform, T: 1})
+	s.Emit(BidReceived{T: 1, ID: 1, Bids: 2})
+	s.Emit(RoundOpen{Scope: ScopeMSOA, T: 1})
+	s.Emit(RoundClose{Scope: ScopeMSOA, T: 1}) // must NOT flush
+	s.Emit(RoundClose{Scope: ScopePlatform, T: 1})
+	if len(got) != 1 {
+		t.Fatalf("flushes after round 1 = %d, want 1", len(got))
+	}
+	if got[0].t != 1 || len(got[0].events) != 6 {
+		t.Fatalf("batch 1 = (t=%d, %d events), want (1, 6)", got[0].t, len(got[0].events))
+	}
+	if got[0].events[0].EventKind() != KindAgentJoin {
+		t.Fatalf("batch 1 does not start with the inter-round join: %v", got[0].events[0].EventKind())
+	}
+
+	// An aborted round flushes too.
+	s.Emit(RoundOpen{Scope: ScopePlatform, T: 2})
+	s.Emit(RoundAbort{T: 2, Err: "cancelled"})
+	if len(got) != 2 || got[1].t != 2 || len(got[1].events) != 2 {
+		t.Fatalf("abort batch = %+v", got)
+	}
+
+	// Tail exposes an in-flight partial batch without consuming it.
+	s.Emit(AgentDrop{ID: 1, Cause: DropReadError})
+	if tail := s.Tail(); len(tail) != 1 || tail[0].EventKind() != KindAgentDrop {
+		t.Fatalf("tail = %v", tail)
+	}
+	if tail := s.Tail(); len(tail) != 1 {
+		t.Fatalf("tail consumed the pending events: %v", tail)
+	}
+}
+
+func TestRoundSinkConcurrentEmit(t *testing.T) {
+	// Concurrent emitters (the parallel payment phase) must not race; the
+	// flush count must equal the number of platform closes.
+	var mu sync.Mutex
+	flushes := 0
+	s := NewRoundSink(func(int, []Event) {
+		mu.Lock()
+		flushes++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Emit(PaymentReplay{Winner: i})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Emit(RoundClose{Scope: ScopePlatform, T: 1})
+	mu.Lock()
+	defer mu.Unlock()
+	if flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", flushes)
+	}
+}

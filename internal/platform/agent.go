@@ -58,6 +58,7 @@ type Agent struct {
 	c    *conn
 	done chan struct{}
 	wg   sync.WaitGroup
+	wmu  sync.Mutex // serializes protocol writes (policy sends vs Submit)
 
 	mu       sync.Mutex
 	awards   []Award
@@ -175,9 +176,36 @@ func (a *Agent) onAnnounce(msg *AnnounceMsg) {
 		return
 	}
 	env := &Envelope{Type: TypeBid, Bid: &BidSubmitMsg{T: msg.T, Bids: bids}}
-	if err := a.c.send(env, a.cfg.writeTimeout()); err != nil {
+	a.wmu.Lock()
+	err := a.c.send(env, a.cfg.writeTimeout())
+	a.wmu.Unlock()
+	if err != nil {
 		a.setErr(err)
 	}
+}
+
+// Submit sends a raw round-tagged bid message outside the policy path.
+// The chaos harness uses it to emit deliberately stale or duplicate
+// submissions: the server must discard a wrong round tag (and any bid
+// beyond the first for the current round) without unseating the agent's
+// live bid. Safe to call concurrently with the receive loop.
+func (a *Agent) Submit(t int, bids []WireBid) error {
+	env := &Envelope{Type: TypeBid, Bid: &BidSubmitMsg{T: t, Bids: bids}}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.c.send(env, a.cfg.writeTimeout())
+}
+
+// Abort kills the connection without the graceful close handshake: it
+// arms SO_LINGER(0) so the kernel sends a TCP RST instead of a FIN, then
+// closes the socket. Unlike Close it does not wait for the receive loop
+// to exit, so a BidPolicy — which runs ON the receive goroutine — may
+// call it to simulate the agent crashing mid-bid.
+func (a *Agent) Abort() {
+	if tc, ok := a.c.raw.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = a.c.close()
 }
 
 func (a *Agent) onResult(msg *ResultMsg) {

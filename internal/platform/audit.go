@@ -13,14 +13,25 @@ import (
 // assembled instance in the cmd/wspsolve format). Writers are serialized;
 // any io.Writer works (file, pipe, network).
 type Audit struct {
-	mu  sync.Mutex
-	w   io.Writer
-	enc *json.Encoder
+	mu   sync.Mutex
+	w    io.Writer
+	enc  *json.Encoder
+	sink func(*AuditRecord) error
 }
 
 // NewAudit wraps a writer as an audit sink.
 func NewAudit(w io.Writer) *Audit {
 	return &Audit{w: w, enc: json.NewEncoder(w)}
+}
+
+// NewAuditSink delivers each completed round record to fn instead of a
+// writer. fn runs synchronously on the RunRound goroutine after the
+// round's trace events (including the platform-scope RoundClose) have
+// been emitted, so an online auditor pairing an obs.RoundSink with this
+// sink sees round t's full trace batch before record t. An fn error
+// surfaces from RunRound exactly like an unwritable audit log.
+func NewAuditSink(fn func(*AuditRecord) error) *Audit {
+	return &Audit{sink: fn}
 }
 
 // AuditRecord is one cleared (or failed) round.
@@ -64,8 +75,15 @@ func (a *Audit) record(rec *AuditRecord) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if err := a.enc.Encode(rec); err != nil {
-		return fmt.Errorf("platform: write audit record: %w", err)
+	if a.enc != nil {
+		if err := a.enc.Encode(rec); err != nil {
+			return fmt.Errorf("platform: write audit record: %w", err)
+		}
+	}
+	if a.sink != nil {
+		if err := a.sink(rec); err != nil {
+			return fmt.Errorf("platform: audit sink: %w", err)
+		}
 	}
 	return nil
 }

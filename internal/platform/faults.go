@@ -1,0 +1,25 @@
+package platform
+
+// FaultInjection lets tests and the chaos harness inject deterministic
+// faults into the server's send and award paths. The zero value disables
+// all injection; hooks run on the RunRound goroutine and must be
+// deterministic functions of their arguments if byte-identical replays
+// are wanted.
+type FaultInjection struct {
+	// SendFault, when non-nil, is consulted before every per-agent send
+	// (round announce and result broadcast; msgType is the wire type,
+	// TypeAnnounce or TypeResult). Returning a non-nil error makes the
+	// server treat the send as failed without touching the socket: the
+	// agent is deregistered with the write-timeout drop cause, exactly as
+	// if the peer had stopped reading. This simulates slow or partitioned
+	// writers without real clock-dependent timeouts.
+	SendFault func(t, agentID int, msgType string) error
+
+	// CorruptPayment, when non-nil, maps each winning award's payment to
+	// a possibly different value before it is broadcast and audited. The
+	// mechanism's internal state (ψ, capacity, summary) still advances on
+	// the true critical-value payments, so a corrupted award is exactly
+	// the kind of platform-side defect an external auditor must catch —
+	// this hook exists to prove that it does.
+	CorruptPayment func(t int, award WireAward) float64
+}

@@ -50,6 +50,9 @@ type ServerConfig struct {
 	// so the mechanism's greedy-pick/payment/ψ events land in the same
 	// stream. Tracers must be safe for concurrent use.
 	Tracer obs.Tracer
+	// Fault injects deterministic failures into the send and award paths
+	// for tests and the chaos harness; the zero value disables injection.
+	Fault FaultInjection
 }
 
 func (c ServerConfig) bidDeadline() time.Duration {
@@ -99,6 +102,18 @@ func (a *agentConn) send(env *Envelope, timeout time.Duration) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.c.send(env, timeout)
+}
+
+// sendAgent is the per-round send path: it consults the fault-injection
+// hook first, so an injected fault is indistinguishable from a real
+// write failure to the caller.
+func (s *Server) sendAgent(a *agentConn, t int, env *Envelope) error {
+	if f := s.cfg.Fault.SendFault; f != nil {
+		if err := f(t, a.id, env.Type); err != nil {
+			return err
+		}
+	}
+	return a.send(env, s.cfg.writeTimeout())
 }
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0").
@@ -195,7 +210,11 @@ func (s *Server) handle(ctx context.Context, c *conn) {
 	}
 	hello := env.Hello
 
-	agent := &agentConn{id: hello.AgentID, c: c, bids: make(chan *BidSubmitMsg, 1)}
+	// Capacity 2: a delayed bid for the previous round may still be in
+	// flight when the current round's live bid arrives; both must buffer
+	// so the gather loop's stale-tag check — not socket timing — decides
+	// which one counts.
+	agent := &agentConn{id: hello.AgentID, c: c, bids: make(chan *BidSubmitMsg, 2)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -337,12 +356,16 @@ func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []i
 	}}
 	announced := agents[:0]
 	for _, a := range agents {
-		// Drain any stale bid from a previous round.
-		select {
-		case <-a.bids:
-		default:
+		// Drain stale bids from previous rounds (the buffer holds up to
+		// two, e.g. a delayed resubmission behind an original).
+		for drained := false; !drained; {
+			select {
+			case <-a.bids:
+			default:
+				drained = true
+			}
 		}
-		if err := a.send(announce, s.cfg.writeTimeout()); err != nil {
+		if err := s.sendAgent(a, t, announce); err != nil {
 			s.logger.Printf("announce to agent %d: %v", a.id, err)
 			// A write failure here means the agent cannot hear the round;
 			// it would only pin the gather phase at the full deadline, so
@@ -483,6 +506,9 @@ gather:
 		for _, w := range res.Outcome.Winners {
 			b := ins.Bids[w]
 			award := WireAward{Bidder: b.Bidder, Alt: b.Alt, Payment: res.Outcome.Payments[w]}
+			if f := s.cfg.Fault.CorruptPayment; f != nil {
+				award.Payment = f(t, award)
+			}
 			outcome.Awards = append(outcome.Awards, award)
 			result.Awards = append(result.Awards, award)
 		}
@@ -490,7 +516,7 @@ gather:
 
 	env := &Envelope{Type: TypeResult, Result: result}
 	for _, a := range agents {
-		if err := a.send(env, s.cfg.writeTimeout()); err != nil {
+		if err := s.sendAgent(a, t, env); err != nil {
 			s.logger.Printf("result to agent %d: %v", a.id, err)
 			// A peer that cannot take the result within the write timeout
 			// (stalled reader, dead connection) would stall every future

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check cover fuzz soak soak-quick bench bench-core bench-guard bench-repro repro
+.PHONY: all build test check cover fuzz soak soak-quick soak-crash bench bench-core bench-guard bench-repro repro
 
 all: build
 
@@ -70,8 +70,18 @@ soak-quick:
 		echo "auditor failed to catch the broken payment rule"; exit 1; \
 	else echo "broken payment rule caught as expected"; fi
 
+# soak-crash is the durability gate: the builtin crash scenario kills the
+# platform at every scripted crash point (mid-gather, pre-announce,
+# post-announce), recovers each time from snapshot + WAL-suffix replay,
+# and exits non-zero unless the recovered run is byte-identical to an
+# uninterrupted baseline (same WAL bytes, same ψ-state hash, same
+# OnlineSummary).
+soak-crash:
+	$(GO) build -o /tmp/edgeauction-chaos ./cmd/chaos
+	/tmp/edgeauction-chaos -scenario crash -quiet
+
 # soak runs every builtin chaos scenario, including a long churn run.
-soak: soak-quick
+soak: soak-quick soak-crash
 	/tmp/edgeauction-chaos -scenario churn -rounds 1000 -quiet
 	/tmp/edgeauction-chaos -scenario faults -quiet
 	/tmp/edgeauction-chaos -scenario capacity -quiet

@@ -51,6 +51,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "demand generator seed")
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	auditPath := fs.String("audit", "", "append a JSONL audit record per round to this file")
+	auditWallClock := fs.Bool("audit-wall-clock", false, "stamp audit records with wall-clock time instead of the logical round clock (breaks byte-identical seeded runs)")
+	walPath := fs.String("wal", "", "write-ahead log: append each round's record here BEFORE announcing awards, making state crash-recoverable (see -recover)")
+	snapshotDir := fs.String("snapshot-dir", "", "checkpoint mechanism state into this directory (see -snapshot-every and -recover)")
+	snapshotEvery := fs.Int("snapshot-every", 50, "write a snapshot every N rounds when -snapshot-dir is set (0 disables)")
+	recoverFlag := fs.Bool("recover", false, "recover state from -snapshot-dir + -wal before serving: load the latest snapshot, replay the WAL suffix, and resume the round sequence")
+	fsync := fs.Bool("fsync", false, "fsync the WAL on every append (durable against power loss, not just process death)")
 	traceOut := fs.String("trace-out", "", "append a JSONL observability event per auction step to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, expvar /debug/vars and pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +64,9 @@ func run(args []string) error {
 	}
 	if *needyHi < *needyLo || *demandHi < *demandLo {
 		return fmt.Errorf("invalid demand ranges")
+	}
+	if *recoverFlag && *walPath == "" && *snapshotDir == "" {
+		return fmt.Errorf("-recover needs -wal and/or -snapshot-dir to recover from")
 	}
 
 	logger := log.New(os.Stderr, "platformd: ", log.LstdFlags)
@@ -77,6 +86,32 @@ func run(args []string) error {
 			}
 		}()
 		scfg.Audit = platform.NewAudit(f)
+		if !*auditWallClock {
+			// Logical round clock: identically-seeded runs produce
+			// byte-identical audit logs.
+			scfg.Audit.WithClock(platform.LogicalClock)
+		}
+	}
+	if *recoverFlag {
+		rec, err := platform.Recover(*walPath, *snapshotDir, scfg.Auction)
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		scfg.Resume = rec
+		fmt.Printf("recovered: snapshot round %d, %d WAL records replayed (torn tail: %v), resuming at round %d, state %s\n",
+			rec.SnapshotRound, rec.Replayed, rec.Truncated, rec.NextRound, rec.Hash[:12])
+	}
+	if *walPath != "" {
+		wal, err := platform.CreateWAL(*walPath, *fsync)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := wal.Close(); err != nil {
+				logger.Printf("close WAL: %v", err)
+			}
+		}()
+		scfg.WAL = wal
 	}
 	var trace *obs.JSONL
 	if *traceOut != "" {
@@ -102,6 +137,13 @@ func run(args []string) error {
 			}
 		}()
 		scfg.Tracer = trace
+	}
+	if trace != nil && scfg.Resume != nil {
+		rec := scfg.Resume
+		trace.Emit(obs.Recovery{
+			SnapshotRound: rec.SnapshotRound, Replayed: rec.Replayed,
+			NextRound: rec.NextRound, Hash: rec.Hash, Truncated: rec.Truncated,
+		})
 	}
 	srv, err := platform.NewServer(*listen, scfg)
 	if err != nil {
@@ -146,7 +188,15 @@ func run(args []string) error {
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
 
-	rng := workload.NewRand(*seed)
+	// Demand is drawn from a per-round sub-stream keyed by the round
+	// number, not a sequential generator: a recovered daemon resuming at
+	// round N announces exactly the demand the dead process would have,
+	// so the seeded run (and its audit/WAL bytes) continues unchanged
+	// across crashes.
+	nextRound := 1
+	if scfg.Resume != nil {
+		nextRound = scfg.Resume.NextRound
+	}
 	done := 0
 	for {
 		select {
@@ -160,6 +210,7 @@ func run(args []string) error {
 			fmt.Println("no agents registered; skipping round")
 			continue
 		}
+		rng := workload.NewDerived(*seed, "demand", nextRound, 0)
 		needy := rng.UniformInt(*needyLo, *needyHi)
 		demand := make([]int, needy)
 		for k := range demand {
@@ -179,6 +230,19 @@ func run(args []string) error {
 		} else {
 			fmt.Printf("round %d: demand %v cleared at social cost %.2f, %d winners, %d bids\n",
 				out.T, demand, out.SocialCost, len(out.Awards), out.Bids)
+		}
+		nextRound = out.T + 1
+		if *snapshotDir != "" && *snapshotEvery > 0 && out.T%*snapshotEvery == 0 {
+			round, st := srv.SnapshotState()
+			path, err := platform.WriteSnapshot(*snapshotDir, round, st)
+			if err != nil {
+				logger.Printf("snapshot: %v", err)
+			} else {
+				logger.Printf("snapshot: round %d state checkpointed to %s", round, path)
+				if trace != nil {
+					trace.Emit(obs.Snapshot{T: round, Hash: st.Hash(), Bidders: len(st.Bidders), Path: path})
+				}
+			}
 		}
 		done++
 		if *rounds > 0 && done >= *rounds {

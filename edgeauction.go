@@ -65,6 +65,13 @@ var (
 	ErrBadTrace = workload.ErrBadTrace
 	// ErrUncovered reports a baseline mechanism leaving demand uncovered.
 	ErrUncovered = baseline.ErrUncovered
+	// ErrTruncated reports a torn trailing record in a JSONL trace, audit
+	// log, or WAL — the crash cut. Readers return every complete preceding
+	// record alongside it, so crash-cut logs stay usable.
+	ErrTruncated = obs.ErrTruncated
+	// ErrCrashed reports a scripted platform crash fired by
+	// FaultInjection.Crash (chaos/crash-recovery harnesses).
+	ErrCrashed = platform.ErrCrashed
 )
 
 // Mechanism types (see internal/core for full documentation).
@@ -102,6 +109,12 @@ type (
 	GreedyMetric = core.GreedyMetric
 	// PaymentRule selects how winners are remunerated.
 	PaymentRule = core.PaymentRule
+	// MSOAState is a serializable checkpoint of an MSOA's persistent
+	// state (ψ/χ per bidder plus the summary baseline); see MSOA.Snapshot
+	// and RestoreOnlineAuction.
+	MSOAState = core.MSOAState
+	// PsiEntry is one bidder's dual state inside an MSOAState.
+	PsiEntry = core.PsiEntry
 )
 
 // Re-exported mechanism constants.
@@ -223,6 +236,15 @@ type (
 	// FaultInjection injects deterministic send/award faults into the
 	// platform for tests and the chaos harness; zero value disables.
 	FaultInjection = platform.FaultInjection
+	// WAL is the platform's write-ahead log: each round's audit record is
+	// appended and flushed BEFORE awards are announced, so a crashed
+	// platform can be recovered exactly (see Recover).
+	WAL = platform.WAL
+	// RecoveredState is the result of Recover: restored mechanism state
+	// plus where the round sequence resumes.
+	RecoveredState = platform.RecoveredState
+	// SnapshotFile is one on-disk state checkpoint (see WriteSnapshot).
+	SnapshotFile = platform.SnapshotFile
 )
 
 // Platform timeout defaults, applied when the corresponding
@@ -232,6 +254,17 @@ const (
 	DefaultBidDeadline = platform.DefaultBidDeadline
 	// DefaultWriteTimeout is the per-send timeout default (2s).
 	DefaultWriteTimeout = platform.DefaultWriteTimeout
+
+	// AuditKind/SnapshotKind tag audit-or-WAL records and snapshot files.
+	AuditKind    = platform.AuditKind
+	SnapshotKind = platform.SnapshotKind
+
+	// Scripted platform crash points for FaultInjection.Crash: after bids
+	// are gathered (nothing persisted), after the WAL append but before
+	// awards are announced, and after awards are announced.
+	CrashMidGather    = platform.CrashMidGather
+	CrashPreAnnounce  = platform.CrashPreAnnounce
+	CrashPostAnnounce = platform.CrashPostAnnounce
 )
 
 // Observability types (see internal/obs). A Tracer receives typed events
@@ -275,6 +308,8 @@ type (
 	EventBidReceived   = obs.BidReceived
 	EventConfigDefault = obs.ConfigDefault
 	EventSweep         = obs.Sweep
+	EventSnapshot      = obs.Snapshot
+	EventRecovery      = obs.Recovery
 )
 
 // RunAuction runs the single-stage auction mechanism SSAM (Algorithm 1) on
@@ -352,6 +387,8 @@ const (
 	KindBidReceived   = obs.KindBidReceived
 	KindConfigDefault = obs.KindConfigDefault
 	KindSweep         = obs.KindSweep
+	KindSnapshot      = obs.KindSnapshot
+	KindRecovery      = obs.KindRecovery
 
 	// Scopes distinguishing the platform round lifecycle from the
 	// embedded mechanism's in round_open/round_close events.
@@ -460,6 +497,56 @@ func ReadAuditLog(r io.Reader) ([]*AuditRecord, error) {
 // reports into auction rounds using the §III demand estimator.
 func NewBridge(s *Simulator, cfg BridgeConfig) (*Bridge, error) {
 	return sim.NewBridge(s, cfg)
+}
+
+// RestoreOnlineAuction rebuilds an MSOA from a checkpoint taken with
+// MSOA.Snapshot, so an online auction can continue across process
+// restarts. A nil state is a fresh mechanism.
+func RestoreOnlineAuction(cfg MSOAConfig, st *MSOAState) *MSOA {
+	return core.RestoreMSOA(cfg, st)
+}
+
+// CreateWAL opens (appending) a write-ahead log at path. Wire it into
+// PlatformServerConfig.WAL and every round is persisted before its awards
+// are announced; fsync additionally syncs the file per append.
+func CreateWAL(path string, fsync bool) (*WAL, error) {
+	return platform.CreateWAL(path, fsync)
+}
+
+// Recover rebuilds platform state after a crash: it loads the newest
+// valid snapshot under snapshotDir (either argument may be empty), replays
+// the WAL records after it, asserts each record's state hash, and returns
+// the state to resume from via PlatformServerConfig.Resume. A missing or
+// empty WAL and no snapshot is a fresh start at round 1.
+func Recover(walPath, snapshotDir string, cfg MSOAConfig) (*RecoveredState, error) {
+	return platform.Recover(walPath, snapshotDir, cfg)
+}
+
+// WriteSnapshot atomically checkpoints mechanism state into dir, returning
+// the snapshot file path. Pair with PlatformServer.SnapshotState.
+func WriteSnapshot(dir string, round int, st *MSOAState) (string, error) {
+	return platform.WriteSnapshot(dir, round, st)
+}
+
+// LoadLatestSnapshot returns the newest hash-valid snapshot in dir, or
+// nil when none exists; corrupt snapshots are skipped in favor of older
+// valid ones.
+func LoadLatestSnapshot(dir string) (*SnapshotFile, error) {
+	return platform.LoadLatestSnapshot(dir)
+}
+
+// LogicalClock stamps audit records with the round number instead of
+// wall-clock time (Audit.WithClock), making seeded runs byte-identical.
+func LogicalClock(t int) int64 {
+	return platform.LogicalClock(t)
+}
+
+// ReplayRecord re-runs one audited round against a mechanism, first
+// swapping in the capacity/window maps the record carries (WAL records
+// carry them; plain audit records leave the caller's maps in force). Both
+// WAL recovery and the chaos auditor's shadow mechanism use this.
+func ReplayRecord(m *MSOA, rec *AuditRecord, capacity map[int]int, windows map[int]BidderWindow) *RoundResult {
+	return platform.ReplayRecord(m, rec, capacity, windows)
 }
 
 // VerifyOutcome checks an outcome against the paper's proved properties:

@@ -208,25 +208,25 @@ func (a *auditor) auditRound(rec *platform.AuditRecord) error {
 	checkf("bid-count", bidsReceived == len(rec.Bids),
 		"BidReceived events account for %d bids, audit record holds %d", bidsReceived, len(rec.Bids))
 
-	// Rebuild the instance the platform says it ran on.
-	ins := &core.Instance{Demand: rec.Demand}
-	for i, b := range rec.Bids {
-		if i > 0 {
-			prev := rec.Bids[i-1]
-			if b.Bidder < prev.Bidder || (b.Bidder == prev.Bidder && b.Alt <= prev.Alt) {
-				checkf("bid-order", false, "bid %d (%d/%d) out of (bidder, alt) order after (%d/%d)",
-					i, b.Bidder, b.Alt, prev.Bidder, prev.Alt)
-			}
+	// Rebuild the instance the platform says it ran on — the same
+	// AuditRecord.Instance reconstruction WAL recovery replays from — and
+	// check the record's bid ordering on the way.
+	for i := 1; i < len(rec.Bids); i++ {
+		b, prev := rec.Bids[i], rec.Bids[i-1]
+		if b.Bidder < prev.Bidder || (b.Bidder == prev.Bidder && b.Alt <= prev.Alt) {
+			checkf("bid-order", false, "bid %d (%d/%d) out of (bidder, alt) order after (%d/%d)",
+				i, b.Bidder, b.Alt, prev.Bidder, prev.Alt)
 		}
-		ins.Bids = append(ins.Bids, core.Bid{
-			Bidder: b.Bidder, Alt: b.Alt, Price: b.Price,
-			TrueCost: b.Price, Covers: b.Covers, Units: b.Units,
-		})
 	}
+	ins := rec.Instance()
 
-	// Independent shadow replay. Serial payments are bit-identical to the
-	// server's parallel ones, so every comparison below is exact.
-	res := a.shadow.RunRound(core.Round{T: rec.T, Instance: ins})
+	// Independent shadow replay through the same platform.ReplayRecord the
+	// WAL recovery path uses. Serial payments are bit-identical to the
+	// server's parallel ones, so every comparison below is exact. (The
+	// engine's records carry no capacity/window maps — the shadow learns
+	// those from AgentJoin events above — so ReplayRecord leaves
+	// a.capacity alone.)
+	res := platform.ReplayRecord(a.shadow, rec, a.capacity, nil)
 
 	line := auditLine{Kind: "round", T: rec.T, Demand: rec.Demand, Bids: len(rec.Bids)}
 	checkf("consistency", rec.Infeasible == (res.Err != nil),

@@ -3,6 +3,8 @@ package chaos
 import (
 	"fmt"
 	"sort"
+
+	"edgeauction/internal/platform"
 )
 
 // Builtin returns the named built-in scenario (a fresh copy, safe to
@@ -29,6 +31,7 @@ var builtins = map[string]func() *Scenario{
 	"faults":     faultsScenario,
 	"capacity":   capacityScenario,
 	"federation": federationScenario,
+	"crash":      crashScenario,
 }
 
 // churnScenario is the soak gate: 250 rounds of light randomized churn
@@ -89,6 +92,28 @@ func capacityScenario() *Scenario {
 		WithAgent(AgentSpec{ID: 7, Capacity: 0, Join: 40}).
 		WithChurn(ChurnSpec{AbstainProb: 0.05}).
 		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 3, DemandLo: 1, DemandHi: 2, SpikeEvery: 20, SpikeFactor: 2})
+}
+
+// crashScenario is the soak-crash gate: 60 rounds over six
+// capacity-limited agents with the PLATFORM process killed at every
+// scripted crash point — mid-gather (round lost before logging),
+// pre-announce (logged but unannounced), post-announce (announced and
+// logged) — several times each, recovering through snapshot + WAL-suffix
+// replay. Capacities are tight enough that ψ is non-trivial when the
+// crashes hit, so recovery must reproduce real dual state, not zeros.
+func crashScenario() *Scenario {
+	return New("crash").
+		WithSeed(19).
+		WithRounds(60).
+		WithDeadline(40).
+		WithAgents(6, 60).
+		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 3, DemandLo: 1, DemandHi: 2, SpikeEvery: 15, SpikeFactor: 2}).
+		CrashPlatformAt(5, platform.CrashMidGather).
+		CrashPlatformAt(12, platform.CrashPreAnnounce).
+		CrashPlatformAt(23, platform.CrashPostAnnounce).
+		CrashPlatformAt(24, platform.CrashMidGather).
+		CrashPlatformAt(41, platform.CrashPreAnnounce).
+		CrashPlatformAt(60, platform.CrashPostAnnounce)
 }
 
 // federationScenario interleaves a three-cloud federated round after

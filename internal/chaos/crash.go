@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/platform"
+)
+
+// CrashConfig parameterizes one platform kill/restart run (RunCrash).
+type CrashConfig struct {
+	// Scenario declares the run; PlatformCrashes scripts the kills. The
+	// crash harness drives a simplified agent population — every declared
+	// agent is connected for the whole run and always bids — because the
+	// churn engine's in-flight state (parked stale bids, pending rejoins,
+	// auditor batches) cannot span a process restart; what matters here is
+	// that the baseline and crashed passes see identical workloads, which
+	// scenarioDemand/scenarioBids guarantee by construction.
+	Scenario *Scenario
+	// Dir is the working directory for the two WALs and the snapshot
+	// directory (required; the caller owns cleanup).
+	Dir string
+	// SnapshotEvery checkpoints the crashed pass every N rounds so
+	// recovery exercises snapshot + WAL-SUFFIX replay, not just full-log
+	// replay; 0 disables snapshots.
+	SnapshotEvery int
+	// Fsync forces the WALs to stable storage on every append.
+	Fsync bool
+	// Logger receives operational progress; nil discards it.
+	Logger *log.Logger
+}
+
+// CrashResult is the outcome of one kill/restart run: an uninterrupted
+// baseline pass and a crashed-and-recovered pass over the same scenario,
+// compared byte-for-byte.
+type CrashResult struct {
+	Scenario string
+	Seed     int64
+	// Rounds is the scenario length; Crashes counts scripted kills that
+	// fired; Recoveries counts snapshot+replay restarts (equal unless the
+	// run ended on a crash in the final round); Replayed totals WAL
+	// records re-run through the shadow mechanism across recoveries;
+	// Snapshots counts checkpoints written.
+	Rounds     int
+	Crashes    int
+	Recoveries int
+	Replayed   int
+	Snapshots  int
+	// BaselineHash/RecoveredHash fingerprint the final mechanism state
+	// (core.MSOAState.Hash) of each pass.
+	BaselineHash  string
+	RecoveredHash string
+	// BaselineSummary/RecoveredSummary are each pass's aggregate outcome.
+	BaselineSummary  *core.OnlineSummary
+	RecoveredSummary *core.OnlineSummary
+	// WALMatch reports the two write-ahead logs are byte-identical — the
+	// strongest statement: recovery not only reached the same state, it
+	// logged the exact bytes an uninterrupted platform would have.
+	WALMatch bool
+	// Match is the overall verdict: state hashes, summaries, and WAL
+	// bytes all agree.
+	Match bool
+}
+
+// crashKey identifies one scripted kill so it fires exactly once — the
+// re-run of a mid-gather-crashed round must not crash again, mirroring a
+// real one-off process death.
+type crashKey struct {
+	round int
+	point string
+}
+
+// RunCrash executes the platform kill/restart scenario: a baseline pass
+// (WAL on, no kills) and a crashed pass in which the platform dies at
+// every scripted point and is restarted from platform.Recover (latest
+// snapshot + WAL-suffix replay through the shadow mechanism). The final
+// ψ/χ state hash, the OnlineSummary, and the raw WAL bytes of the two
+// passes must agree; Match reports whether they do.
+func RunCrash(cfg CrashConfig) (*CrashResult, error) {
+	sc := cfg.Scenario
+	if sc == nil {
+		return nil, fmt.Errorf("chaos: no scenario")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: crash run needs a working dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chaos: crash dir: %w", err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+
+	res := &CrashResult{Scenario: sc.Name, Seed: sc.Seed, Rounds: sc.Rounds}
+
+	basePath := filepath.Join(cfg.Dir, "baseline.wal")
+	base, err := crashPass(sc, cfg, basePath, "", nil, logger)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: baseline pass: %w", err)
+	}
+	res.BaselineHash = base.hash
+	res.BaselineSummary = base.summary
+
+	script := map[crashKey]bool{}
+	for _, c := range sc.PlatformCrashes {
+		script[crashKey{round: c.Round, point: c.Point}] = false
+	}
+	crashedPath := filepath.Join(cfg.Dir, "crashed.wal")
+	crashed, err := crashPass(sc, cfg, crashedPath, filepath.Join(cfg.Dir, "snapshots"), script, logger)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: crashed pass: %w", err)
+	}
+	res.RecoveredHash = crashed.hash
+	res.RecoveredSummary = crashed.summary
+	res.Crashes = crashed.crashes
+	res.Recoveries = crashed.recoveries
+	res.Replayed = crashed.replayed
+	res.Snapshots = crashed.snapshots
+
+	baseWAL, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read baseline WAL: %w", err)
+	}
+	crashedWAL, err := os.ReadFile(crashedPath)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read crashed WAL: %w", err)
+	}
+	res.WALMatch = bytes.Equal(baseWAL, crashedWAL)
+	res.Match = res.WALMatch &&
+		res.BaselineHash == res.RecoveredHash &&
+		res.BaselineSummary != nil && res.RecoveredSummary != nil &&
+		*res.BaselineSummary == *res.RecoveredSummary
+	return res, nil
+}
+
+// passResult is one pass's outcome.
+type passResult struct {
+	hash       string
+	summary    *core.OnlineSummary
+	crashes    int
+	recoveries int
+	replayed   int
+	snapshots  int
+}
+
+// crashPass runs the scenario once. With a nil script it is the
+// uninterrupted baseline; with a script it kills the platform at each
+// scripted (round, point) once and restarts it through platform.Recover.
+func crashPass(sc *Scenario, cfg CrashConfig, walPath, snapDir string, script map[crashKey]bool, logger *log.Logger) (*passResult, error) {
+	auction := core.MSOAConfig{Options: core.Options{Parallelism: 1}}
+	pr := &passResult{}
+	var resume *platform.RecoveredState
+	next := 1
+
+	for next <= sc.Rounds {
+		wal, err := platform.CreateWAL(walPath, cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		srvCfg := platform.ServerConfig{
+			BidDeadline:  time.Duration(sc.BidDeadlineMS) * time.Millisecond,
+			WriteTimeout: 250 * time.Millisecond,
+			Auction:      auction,
+			WAL:          wal,
+			Resume:       resume,
+		}
+		if script != nil {
+			srvCfg.Fault.Crash = func(t int, point string) error {
+				k := crashKey{round: t, point: point}
+				if fired, scripted := script[k]; scripted && !fired {
+					script[k] = true
+					return platform.ErrCrashed
+				}
+				return nil
+			}
+		}
+		srv, err := platform.NewServer("127.0.0.1:0", srvCfg)
+		if err != nil {
+			_ = wal.Close()
+			return nil, err
+		}
+		agents, err := dialAll(srv, sc)
+		if err != nil {
+			_ = srv.Close()
+			_ = wal.Close()
+			return nil, err
+		}
+
+		crashed := false
+		var roundErr error
+		for t := next; t <= sc.Rounds; t++ {
+			demand := scenarioDemand(sc, t)
+			if _, err := srv.RunRound(demand, nil); err != nil {
+				if errors.Is(err, platform.ErrCrashed) {
+					logger.Printf("chaos: %v", err)
+					pr.crashes++
+					crashed = true
+				} else {
+					roundErr = fmt.Errorf("chaos: round %d: %w", t, err)
+				}
+				break
+			}
+			next = t + 1
+			if snapDir != "" && cfg.SnapshotEvery > 0 && t%cfg.SnapshotEvery == 0 {
+				round, st := srv.SnapshotState()
+				if _, err := platform.WriteSnapshot(snapDir, round, st); err != nil {
+					roundErr = err
+					break
+				}
+				pr.snapshots++
+			}
+		}
+		if !crashed && roundErr == nil {
+			// Capture the final state before tearing the server down.
+			_, st := srv.SnapshotState()
+			if st == nil {
+				st = &core.MSOAState{}
+			}
+			pr.hash = st.Hash()
+			pr.summary = srv.Summary()
+		}
+		for _, ag := range agents {
+			_ = ag.Close()
+		}
+		_ = srv.Close()
+		_ = wal.Close()
+		if roundErr != nil {
+			return nil, roundErr
+		}
+		if !crashed {
+			return pr, nil
+		}
+
+		// The process is "dead": everything in memory is gone. Rebuild from
+		// the durable artifacts alone.
+		rec, err := platform.Recover(walPath, snapDir, auction)
+		if err != nil {
+			return nil, err
+		}
+		pr.recoveries++
+		pr.replayed += rec.Replayed
+		logger.Printf("chaos: recovered: snapshot round %d, %d records replayed, resuming at round %d (state %s)",
+			rec.SnapshotRound, rec.Replayed, rec.NextRound, rec.Hash[:12])
+		resume = rec
+		next = rec.NextRound
+		if next > sc.Rounds {
+			// The crash hit the final round after its WAL append; the
+			// recovered state IS the pass result.
+			pr.hash = rec.Hash
+			sum := rec.State.Summary
+			pr.summary = &sum
+			return pr, nil
+		}
+	}
+	return pr, nil
+}
+
+// dialAll connects one always-bidding agent per scenario spec and waits
+// until the platform's registration table sees them all.
+func dialAll(srv *platform.Server, sc *Scenario) ([]*platform.Agent, error) {
+	agents := make([]*platform.Agent, 0, len(sc.Agents))
+	for _, spec := range sc.Agents {
+		spec := spec
+		ag, err := platform.Dial(srv.Addr(), platform.AgentConfig{
+			ID: spec.ID, Capacity: spec.Capacity,
+			Policy: func(msg *platform.AnnounceMsg) []platform.WireBid {
+				return scenarioBids(sc, spec, msg.T, len(msg.Demand))
+			},
+			DialTimeout: 2 * time.Second, WriteTimeout: 250 * time.Millisecond,
+		})
+		if err != nil {
+			for _, a := range agents {
+				_ = a.Close()
+			}
+			return nil, fmt.Errorf("chaos: agent %d join: %w", spec.ID, err)
+		}
+		agents = append(agents, ag)
+	}
+	if !waitFor(2*time.Second, func() bool { return srv.AgentCount() == len(agents) }) {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+		return nil, fmt.Errorf("chaos: server sees %d agents, want %d", srv.AgentCount(), len(agents))
+	}
+	return agents, nil
+}

@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/obs"
+	"edgeauction/internal/platform"
+)
+
+// crashTestScenario is a small, tight-capacity scenario whose ψ state is
+// non-trivial by mid-run, so recovery has real dual state to reproduce.
+func crashTestScenario(name string) *Scenario {
+	return New(name).
+		WithSeed(19).
+		WithRounds(14).
+		WithDeadline(40).
+		WithAgents(4, 30).
+		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 3, DemandLo: 1, DemandHi: 2, SpikeEvery: 5, SpikeFactor: 2})
+}
+
+// TestCrashPointMatrix kills the platform at each scripted crash site in
+// turn and asserts the recovered run is byte-identical to an
+// uninterrupted one: same final ψ/χ state hash, same OnlineSummary, same
+// WAL bytes.
+func TestCrashPointMatrix(t *testing.T) {
+	t.Parallel()
+	points := []string{platform.CrashMidGather, platform.CrashPreAnnounce, platform.CrashPostAnnounce}
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			t.Parallel()
+			sc := crashTestScenario("matrix-"+point).CrashPlatformAt(7, point)
+			res, err := RunCrash(CrashConfig{Scenario: sc, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatalf("RunCrash: %v", err)
+			}
+			if res.Crashes != 1 || res.Recoveries != 1 {
+				t.Errorf("crashes=%d recoveries=%d, want 1/1", res.Crashes, res.Recoveries)
+			}
+			assertCrashMatch(t, res)
+		})
+	}
+}
+
+// TestCrashFinalRound kills the platform in the very last round after the
+// WAL append: the recovered state alone (no further rounds) must match
+// the baseline.
+func TestCrashFinalRound(t *testing.T) {
+	t.Parallel()
+	sc := crashTestScenario("final").CrashPlatformAt(14, platform.CrashPostAnnounce)
+	res, err := RunCrash(CrashConfig{Scenario: sc, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	assertCrashMatch(t, res)
+}
+
+// TestCrashWithSnapshots checkpoints every 4 rounds, so the second
+// crash's recovery replays only a WAL suffix — and still lands on the
+// exact state.
+func TestCrashWithSnapshots(t *testing.T) {
+	t.Parallel()
+	sc := crashTestScenario("snap").
+		CrashPlatformAt(6, platform.CrashPreAnnounce).
+		CrashPlatformAt(11, platform.CrashMidGather)
+	res, err := RunCrash(CrashConfig{Scenario: sc, Dir: t.TempDir(), SnapshotEvery: 4})
+	if err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	if res.Snapshots == 0 {
+		t.Fatalf("pass wrote no snapshots")
+	}
+	// The round-11 crash recovers from a snapshot at round 8 or later, so
+	// it must NOT have replayed the whole 10-record prefix.
+	if res.Replayed >= 10+5 {
+		t.Errorf("replayed %d records; snapshots should have cut the suffix", res.Replayed)
+	}
+	assertCrashMatch(t, res)
+}
+
+func assertCrashMatch(t *testing.T, res *CrashResult) {
+	t.Helper()
+	if !res.WALMatch {
+		t.Errorf("WALs differ between baseline and crashed pass")
+	}
+	if res.BaselineHash != res.RecoveredHash {
+		t.Errorf("state hash diverged: baseline %s, recovered %s", res.BaselineHash, res.RecoveredHash)
+	}
+	if res.BaselineSummary == nil || res.RecoveredSummary == nil {
+		t.Fatalf("missing summary: baseline %v, recovered %v", res.BaselineSummary, res.RecoveredSummary)
+	}
+	if *res.BaselineSummary != *res.RecoveredSummary {
+		t.Errorf("summary diverged: baseline %+v, recovered %+v", *res.BaselineSummary, *res.RecoveredSummary)
+	}
+	if !res.Match {
+		t.Errorf("overall Match=false: %+v", res)
+	}
+}
+
+// TestRecoverTornTail crash-cuts a WAL mid-record and asserts recovery
+// uses the complete prefix, reports Truncated, and resumes at the right
+// round.
+func TestRecoverTornTail(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	sc := crashTestScenario("torn")
+	walPath := filepath.Join(dir, "run.wal")
+	if _, err := RunCrash(CrashConfig{Scenario: sc, Dir: dir}); err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	// Use the baseline WAL as the donor log.
+	data, err := os.ReadFile(filepath.Join(dir, "baseline.wal"))
+	if err != nil {
+		t.Fatalf("read WAL: %v", err)
+	}
+	recs, err := platform.ReadAudit(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAudit on intact WAL: %v", err)
+	}
+	if len(recs) != sc.Rounds {
+		t.Fatalf("intact WAL has %d records, want %d", len(recs), sc.Rounds)
+	}
+	// Cut the final record in half, as a crash mid-write would.
+	cut := data[:len(data)-40]
+	if err := os.WriteFile(walPath, cut, 0o644); err != nil {
+		t.Fatalf("write torn WAL: %v", err)
+	}
+	rec, err := platform.Recover(walPath, "", core.MSOAConfig{Options: core.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatalf("Recover on torn WAL: %v", err)
+	}
+	if !rec.Truncated {
+		t.Errorf("recovery did not flag the torn tail")
+	}
+	if rec.Replayed != sc.Rounds-1 {
+		t.Errorf("replayed %d records, want %d (complete prefix)", rec.Replayed, sc.Rounds-1)
+	}
+	if rec.NextRound != sc.Rounds {
+		t.Errorf("NextRound %d, want %d (the torn round reruns)", rec.NextRound, sc.Rounds)
+	}
+	// The torn record must have been recovered as ErrTruncated, not a
+	// hard failure, by the underlying reader too.
+	if _, rerr := platform.ReadAudit(bytes.NewReader(cut)); !errors.Is(rerr, obs.ErrTruncated) {
+		t.Errorf("ReadAudit on torn WAL: %v, want ErrTruncated", rerr)
+	}
+}
+
+// TestRecoverEmptyAndMissingWAL: recovery from nothing is a fresh start.
+func TestRecoverEmptyAndMissingWAL(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cfg := core.MSOAConfig{Options: core.Options{Parallelism: 1}}
+
+	rec, err := platform.Recover(filepath.Join(dir, "missing.wal"), "", cfg)
+	if err != nil {
+		t.Fatalf("Recover with missing WAL: %v", err)
+	}
+	if rec.NextRound != 1 || rec.Replayed != 0 || rec.Truncated {
+		t.Errorf("missing WAL: %+v, want fresh start at round 1", rec)
+	}
+
+	empty := filepath.Join(dir, "empty.wal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = platform.Recover(empty, filepath.Join(dir, "nosnaps"), cfg)
+	if err != nil {
+		t.Fatalf("Recover with empty WAL: %v", err)
+	}
+	if rec.NextRound != 1 || rec.Replayed != 0 || rec.Truncated {
+		t.Errorf("empty WAL: %+v, want fresh start at round 1", rec)
+	}
+}
+
+// TestCrashScenarioValidation rejects out-of-range rounds and unknown
+// crash points.
+func TestCrashScenarioValidation(t *testing.T) {
+	t.Parallel()
+	if err := crashTestScenario("bad-round").CrashPlatformAt(99, platform.CrashMidGather).Validate(); err == nil {
+		t.Errorf("crash round beyond scenario length validated")
+	}
+	if err := crashTestScenario("bad-point").CrashPlatformAt(3, "pre-flush").Validate(); err == nil {
+		t.Errorf("unknown crash point validated")
+	}
+	if err := crashTestScenario("ok").CrashPlatformAt(3, platform.CrashPostAnnounce).Validate(); err != nil {
+		t.Errorf("valid crash scenario rejected: %v", err)
+	}
+}

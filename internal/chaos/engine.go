@@ -466,15 +466,25 @@ func (e *engine) prepare(t int) []int {
 
 // demandFor draws round t's residual demand, applying periodic and
 // scripted spikes.
-func (e *engine) demandFor(t int) []int {
-	d := e.sc.Demand
-	rng := workload.NewDerived(e.sc.Seed, "demand", t, 0)
+func (e *engine) demandFor(t int) []int { return scenarioDemand(e.sc, t) }
+
+// bidsFor draws agent id's alternative bids for round t.
+func (e *engine) bidsFor(id, t, needy int) []platform.WireBid {
+	return scenarioBids(e.sc, e.specs[id], t, needy)
+}
+
+// scenarioDemand is round t's residual demand as a pure function of the
+// scenario — shared by the churn engine and the crash harness, whose
+// restarted platform must see exactly the demand the dead one announced.
+func scenarioDemand(sc *Scenario, t int) []int {
+	d := sc.Demand
+	rng := workload.NewDerived(sc.Seed, "demand", t, 0)
 	needy := rng.UniformInt(d.NeedyLo, d.NeedyHi)
 	factor := 1.0
 	if d.SpikeEvery > 0 && t%d.SpikeEvery == 0 {
 		factor = d.SpikeFactor
 	}
-	for _, ev := range e.sc.Events {
+	for _, ev := range sc.Events {
 		if ev.Round == t && ev.Action == ActSpike {
 			factor = ev.Factor
 			if factor == 0 {
@@ -492,10 +502,11 @@ func (e *engine) demandFor(t int) []int {
 	return demand
 }
 
-// bidsFor draws agent id's alternative bids for round t.
-func (e *engine) bidsFor(id, t, needy int) []platform.WireBid {
-	spec := e.specs[id]
-	rng := workload.NewDerived(e.sc.Seed, "bid", id, t)
+// scenarioBids draws one agent's alternative bids for round t as a pure
+// function of (scenario seed, agent, round) — a crashed and re-announced
+// round regenerates bit-identical bids.
+func scenarioBids(sc *Scenario, spec AgentSpec, t, needy int) []platform.WireBid {
+	rng := workload.NewDerived(sc.Seed, "bid", spec.ID, t)
 	bids := make([]platform.WireBid, 0, spec.BidsPer)
 	maxWidth := 2
 	if needy < maxWidth {

@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"edgeauction/internal/platform"
 )
 
 // Scenario actions, used both in scripted events and as the outcome of
@@ -138,6 +140,22 @@ type Scenario struct {
 	Churn         ChurnSpec       `json:"churn"`
 	Events        []EventSpec     `json:"events,omitempty"`
 	Federation    *FederationSpec `json:"federation,omitempty"`
+	// PlatformCrashes scripts kill/restart points for the PLATFORM
+	// process itself (not an agent). A scenario carrying any entry runs
+	// under the crash harness (RunCrash) instead of the churn engine: the
+	// platform is killed at each scripted point, recovered from snapshot +
+	// WAL-suffix replay, and the run's final state is compared
+	// byte-for-byte against an uninterrupted pass.
+	PlatformCrashes []CrashSpec `json:"platform_crashes,omitempty"`
+}
+
+// CrashSpec scripts one platform kill.
+type CrashSpec struct {
+	// Round the platform dies in (1-based).
+	Round int `json:"round"`
+	// Point is where inside the round the process dies:
+	// platform.CrashMidGather, CrashPreAnnounce, or CrashPostAnnounce.
+	Point string `json:"point"`
 }
 
 // New starts a scenario with the given name and defaults (seed 1,
@@ -188,6 +206,13 @@ func (s *Scenario) On(round, agent int, action string) *Scenario {
 // SpikeAt scripts a demand spike.
 func (s *Scenario) SpikeAt(round int, factor float64) *Scenario {
 	s.Events = append(s.Events, EventSpec{Round: round, Action: ActSpike, Factor: factor})
+	return s
+}
+
+// CrashPlatformAt scripts a platform kill at a round and crash point
+// (platform.CrashMidGather/CrashPreAnnounce/CrashPostAnnounce).
+func (s *Scenario) CrashPlatformAt(round int, point string) *Scenario {
+	s.PlatformCrashes = append(s.PlatformCrashes, CrashSpec{Round: round, Point: point})
 	return s
 }
 
@@ -291,6 +316,16 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Federation != nil && s.Federation.Every <= 0 {
 		return fmt.Errorf("chaos: scenario %q: federation interval %d must be positive", s.Name, s.Federation.Every)
+	}
+	for _, c := range s.PlatformCrashes {
+		if c.Round <= 0 || c.Round > s.Rounds {
+			return fmt.Errorf("chaos: scenario %q: platform crash round %d outside [1,%d]", s.Name, c.Round, s.Rounds)
+		}
+		switch c.Point {
+		case platform.CrashMidGather, platform.CrashPreAnnounce, platform.CrashPostAnnounce:
+		default:
+			return fmt.Errorf("chaos: scenario %q: unknown platform crash point %q", s.Name, c.Point)
+		}
 	}
 	return nil
 }

@@ -128,6 +128,10 @@ type MSOA struct {
 	chi map[int]int     // χ_i: coverage slots consumed so far
 	// results accumulates every processed round for reporting.
 	results []*RoundResult
+	// base is the summary carried over from a restored snapshot
+	// (RestoreMSOA); Summary folds it in so a recovered mechanism reports
+	// the whole run, not just the rounds since restart. Zero for NewMSOA.
+	base OnlineSummary
 }
 
 // NewMSOA returns an online auction with zeroed dual state.
@@ -292,9 +296,11 @@ type OnlineSummary struct {
 	MaxCertRatio float64
 }
 
-// Summary aggregates the rounds processed so far.
+// Summary aggregates the rounds processed so far, including any rounds
+// folded in from a restored snapshot.
 func (m *MSOA) Summary() *OnlineSummary {
-	s := &OnlineSummary{Rounds: len(m.results)}
+	s := m.base
+	s.Rounds += len(m.results)
 	for _, r := range m.results {
 		if r.Err != nil {
 			s.InfeasibleRounds++
@@ -308,7 +314,7 @@ func (m *MSOA) Summary() *OnlineSummary {
 			s.MaxCertRatio = r.Outcome.Dual.Ratio()
 		}
 	}
-	return s
+	return &s
 }
 
 // CompetitiveBound returns the certified competitive ratio αβ/(β−1) of

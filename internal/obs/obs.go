@@ -24,12 +24,21 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 )
+
+// ErrTruncated reports a JSONL stream whose final record is torn — the
+// partial line a crash leaves behind. Readers that return it
+// (ReadJSONL here, platform.ReadAudit) still return every complete
+// record before the tear, so recovery and operators can use crash-cut
+// logs; test with errors.Is.
+var ErrTruncated = errors.New("truncated trailing record")
 
 // Tracer receives auction events. Implementations must be safe for
 // concurrent use and must not retain the event beyond the call unless they
@@ -62,6 +71,8 @@ const (
 	KindBidReceived   = "bid_received"
 	KindConfigDefault = "config_default"
 	KindSweep         = "sweep"
+	KindSnapshot      = "snapshot"
+	KindRecovery      = "recovery"
 )
 
 // Round lifecycle scopes: the same open/close events are emitted by the
@@ -290,6 +301,39 @@ type Sweep struct {
 
 func (Sweep) EventKind() string { return KindSweep }
 
+// Snapshot reports one durable state snapshot written between platform
+// rounds (the WAL's replay shortcut).
+type Snapshot struct {
+	// T is the platform round the snapshot was taken after.
+	T int `json:"t"`
+	// Hash is the snapshotted MSOA state's fingerprint.
+	Hash string `json:"hash"`
+	// Bidders is the number of bidders with non-zero dual state.
+	Bidders int `json:"bidders"`
+	// Path is where the snapshot file landed, when written to disk.
+	Path string `json:"path,omitempty"`
+}
+
+func (Snapshot) EventKind() string { return KindSnapshot }
+
+// Recovery reports one crash recovery: a snapshot load plus a WAL-suffix
+// replay restoring the mechanism state a dead platform left behind.
+type Recovery struct {
+	// SnapshotRound is the round of the snapshot recovery started from
+	// (0 when no snapshot existed and the whole WAL was replayed).
+	SnapshotRound int `json:"snapshot_round"`
+	// Replayed is the number of WAL records replayed after the snapshot.
+	Replayed int `json:"replayed"`
+	// NextRound is the round the platform resumes at.
+	NextRound int `json:"next_round"`
+	// Hash is the recovered state's fingerprint.
+	Hash string `json:"hash"`
+	// Truncated marks a WAL whose final record was torn by the crash.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+func (Recovery) EventKind() string { return KindRecovery }
+
 // --- Sinks ---------------------------------------------------------------
 
 // JSONL is a Tracer writing one JSON object per event line:
@@ -297,17 +341,29 @@ func (Sweep) EventKind() string { return KindSweep }
 // io.Writer works. Errors are retained (first only) rather than returned
 // per event — check Err after the run, mirroring how the audit log
 // surfaces its faults.
+//
+// When w is buffered and exposes a `Flush() error` method (bufio.Writer
+// does), JSONL flushes it after every platform-scope RoundClose and every
+// RoundAbort: a crash between rounds then loses at most the round in
+// flight, never a round agents already saw close. Flush errors are
+// retained like write errors.
 type JSONL struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu    sync.Mutex
+	enc   *json.Encoder
+	flush func() error
+	err   error
 	// now is stubbed by tests; nil means time.Now.
 	now func() time.Time
 }
 
-// NewJSONL wraps w as a JSONL event sink.
+// NewJSONL wraps w as a JSONL event sink. If w implements
+// `Flush() error`, it is flushed on round boundaries (see JSONL).
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{enc: json.NewEncoder(w)}
+	j := &JSONL{enc: json.NewEncoder(w)}
+	if f, ok := w.(interface{ Flush() error }); ok {
+		j.flush = f.Flush
+	}
+	return j
 }
 
 // jsonlRecord is the on-disk framing of one event.
@@ -329,6 +385,21 @@ func (j *JSONL) Emit(e Event) {
 	if err := j.enc.Encode(rec); err != nil && j.err == nil {
 		j.err = fmt.Errorf("obs: write JSONL event: %w", err)
 	}
+	if j.flush == nil {
+		return
+	}
+	boundary := false
+	switch ev := e.(type) {
+	case RoundClose:
+		boundary = ev.Scope == ScopePlatform
+	case RoundAbort:
+		boundary = true
+	}
+	if boundary {
+		if err := j.flush(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("obs: flush JSONL stream: %w", err)
+		}
+	}
 }
 
 // Err returns the first write error observed, if any.
@@ -348,22 +419,60 @@ type JSONLRecord struct {
 }
 
 // ReadJSONL parses a JSONL event stream back into records.
+//
+// A malformed (or kind-less) FINAL record — the torn tail a crash leaves
+// in an append-only log — does not discard the log: every complete
+// preceding record is returned together with an error wrapping
+// ErrTruncated. Malformed records with complete records after them are
+// corruption, not a crash cut, and return the readable prefix with a
+// non-truncation error.
 func ReadJSONL(r io.Reader) ([]JSONLRecord, error) {
-	dec := json.NewDecoder(r)
+	lines, lastLine, err := readLines(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read JSONL stream: %w", err)
+	}
 	var out []JSONLRecord
-	for {
+	for i, line := range lines {
 		var rec JSONLRecord
-		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("obs: parse JSONL record %d: %w", len(out), err)
+		uerr := json.Unmarshal(line, &rec)
+		if uerr == nil && rec.Kind == "" {
+			uerr = errors.New("record has no kind")
 		}
-		if rec.Kind == "" {
-			return nil, fmt.Errorf("obs: JSONL record %d has no kind", len(out))
+		if uerr != nil {
+			if i == lastLine {
+				return out, fmt.Errorf("obs: JSONL record %d: %w", len(out), ErrTruncated)
+			}
+			return out, fmt.Errorf("obs: parse JSONL record %d: %w", len(out), uerr)
 		}
 		out = append(out, rec)
 	}
+	return out, nil
+}
+
+// readLines splits a JSONL stream into its non-empty lines and reports
+// the index of the last one (-1 when none). Shared by ReadJSONL and
+// platform.ReadAudit via ReadJSONLLines.
+func readLines(r io.Reader) (lines [][]byte, lastLine int, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, -1, err
+	}
+	lastLine = -1
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return lines, len(lines) - 1, nil
+}
+
+// ReadJSONLLines exposes the line splitter to sibling packages whose
+// JSONL readers (e.g. the platform audit/WAL reader) want the same
+// torn-tail semantics without re-implementing the framing.
+func ReadJSONLLines(r io.Reader) (lines [][]byte, lastLine int, err error) {
+	return readLines(r)
 }
 
 // Multi fans every event out to several tracers, in order.

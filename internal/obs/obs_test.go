@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -195,5 +198,71 @@ func TestRegistryConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := reg.Counter("c").Value(); got != 800 {
 		t.Fatalf("counter = %d, want 800", got)
+	}
+}
+
+// TestReadJSONLTruncatedTail: a torn final line (crash-cut log) returns
+// the complete prefix with ErrTruncated; a torn line mid-stream is
+// corruption and returns the prefix with a hard error.
+func TestReadJSONLTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	tr.now = func() time.Time { return time.UnixMicro(1) }
+	tr.Emit(RoundOpen{Scope: ScopePlatform, T: 1})
+	tr.Emit(RoundClose{Scope: ScopePlatform, T: 1})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	complete := buf.String()
+
+	torn := complete + `{"kind":"round_open","unix`
+	recs, err := ReadJSONL(strings.NewReader(torn))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn tail: err %v, want ErrTruncated", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn tail recovered %d records, want 2", len(recs))
+	}
+
+	mid := `{"bad json` + "\n" + complete
+	recs, err = ReadJSONL(strings.NewReader(mid))
+	if err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-stream corruption: err %v, want hard error", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("mid-stream corruption recovered %d records before the bad line, want 0", len(recs))
+	}
+
+	if recs, err := ReadJSONL(strings.NewReader("")); err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream: %d records, err %v", len(recs), err)
+	}
+}
+
+// TestJSONLFlushOnRoundBoundary: a buffered writer must be flushed when a
+// platform round closes (or any round aborts), so a crash immediately
+// after a round cannot lose events the round already generated.
+func TestJSONLFlushOnRoundBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<20)
+	tr := NewJSONL(bw)
+	tr.now = func() time.Time { return time.UnixMicro(1) }
+
+	tr.Emit(RoundOpen{Scope: ScopePlatform, T: 1})
+	tr.Emit(RoundClose{Scope: ScopeMSOA, T: 1})
+	if buf.Len() != 0 {
+		t.Fatalf("mechanism-scope close flushed %d bytes; only the platform boundary should", buf.Len())
+	}
+	tr.Emit(RoundClose{Scope: ScopePlatform, T: 1})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := ReadJSONL(bytes.NewReader(buf.Bytes())); err != nil || len(recs) != 3 {
+		t.Fatalf("after platform round_close flush: %d records, err %v, want all 3 durable", len(recs), err)
+	}
+
+	before := buf.Len()
+	tr.Emit(RoundAbort{T: 2, Err: "cancelled"})
+	if buf.Len() <= before {
+		t.Fatalf("round abort did not flush the buffered writer")
 	}
 }

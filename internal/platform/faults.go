@@ -15,6 +15,16 @@ type FaultInjection struct {
 	// writers without real clock-dependent timeouts.
 	SendFault func(t, agentID int, msgType string) error
 
+	// Crash, when non-nil, is consulted at each scripted crash point in
+	// RunRound (point is CrashMidGather, CrashPreAnnounce, or
+	// CrashPostAnnounce). Returning a non-nil error — conventionally one
+	// wrapping ErrCrashed — aborts the round exactly where a process kill
+	// would have: mid-gather crashes lose the round entirely, pre-announce
+	// crashes have the round in the WAL but bidders never hear results,
+	// post-announce crashes lose only in-memory state. The chaos crash
+	// harness uses this to exercise snapshot + WAL-suffix recovery.
+	Crash func(t int, point string) error
+
 	// CorruptPayment, when non-nil, maps each winning award's payment to
 	// a possibly different value before it is broadcast and audited. The
 	// mechanism's internal state (ψ, capacity, summary) still advances on

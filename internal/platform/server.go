@@ -43,6 +43,17 @@ type ServerConfig struct {
 	// Audit, when non-nil, receives one JSON line per cleared round with
 	// the full collected instance and awards (see Audit/ReadAudit).
 	Audit *Audit
+	// WAL, when non-nil, makes the platform durable: each round's record —
+	// extended with the capacity/window maps in force and the post-round
+	// state hash — is appended and flushed BEFORE awards are announced to
+	// bidders, so a crash can never lose a round the outside world saw.
+	// Recover replays this log back into a RecoveredState.
+	WAL *WAL
+	// Resume, when non-nil, seeds the server from a recovered state: the
+	// round counter continues at Resume.NextRound and the mechanism is
+	// restored (core.RestoreMSOA) with Resume.State instead of starting
+	// fresh.
+	Resume *RecoveredState
 	// Tracer receives platform lifecycle events: round open/close/abort,
 	// agent join/drop/timeout with cause strings, per-agent bid receipt
 	// with round-trip latency, and config-default notices. Nil disables
@@ -83,6 +94,7 @@ type Server struct {
 	round    int
 	closed   bool
 	msoa     *core.MSOA
+	auction  core.MSOAConfig // effective config after lazy-init merges
 	capacity map[int]int
 	windows  map[int]core.BidderWindow
 
@@ -137,6 +149,11 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		capacity: make(map[int]int),
 		windows:  make(map[int]core.BidderWindow),
 		cancel:   cancel,
+	}
+	if cfg.Resume != nil && cfg.Resume.NextRound > 1 {
+		// Continue the round sequence where the recovered log ends; agents
+		// re-registering after the restart are welcomed into NextRound.
+		s.round = cfg.Resume.NextRound - 1
 	}
 	if s.tracer != nil {
 		if cfg.BidDeadline == 0 {
@@ -331,7 +348,12 @@ func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []i
 		if cfg.Options.Tracer == nil {
 			cfg.Options.Tracer = s.tracer
 		}
-		s.msoa = core.NewMSOA(cfg)
+		s.auction = cfg
+		if s.cfg.Resume != nil {
+			s.msoa = core.RestoreMSOA(cfg, s.cfg.Resume.State)
+		} else {
+			s.msoa = core.NewMSOA(cfg)
+		}
 	}
 	agents := make([]*agentConn, 0, len(s.agents))
 	for _, a := range s.agents {
@@ -377,6 +399,12 @@ func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []i
 	}
 	agents = announced
 	announcedAt := time.Now()
+
+	// Scripted crash: the process dies while bids are in flight. Nothing
+	// reached the WAL for this round, so recovery re-runs round t whole.
+	if err := s.crashPoint(t, CrashMidGather); err != nil {
+		return nil, err
+	}
 
 	// Gather bids until the deadline, event-driven: per-agent forwarder
 	// goroutines feed one fan-in channel, so the collection select wakes
@@ -514,6 +542,43 @@ gather:
 		}
 	}
 
+	// Build the round record once; the WAL and the audit sink share it
+	// (when the WAL stamps the logical timestamp and state hash first, the
+	// audit line inherits them, keeping the two logs consistent).
+	rec := &AuditRecord{
+		T:          t,
+		Demand:     demand,
+		NeedyIDs:   needyIDs,
+		Awards:     outcome.Awards,
+		SocialCost: outcome.SocialCost,
+		Infeasible: outcome.Infeasible,
+	}
+	for _, b := range ins.Bids {
+		rec.Bids = append(rec.Bids, AuditBid{
+			Bidder: b.Bidder, Alt: b.Alt, Price: b.Price, Covers: b.Covers, Units: b.Units,
+		})
+	}
+
+	// Write-ahead: the record must be durable BEFORE any bidder hears its
+	// award, or a crash between announce and append would lose a round the
+	// outside world already acted on.
+	if s.cfg.WAL != nil {
+		s.mu.Lock()
+		rec.Capacity = copyIntMap(s.auction.Capacity)
+		rec.Windows = copyWindowMap(s.auction.Windows)
+		s.mu.Unlock()
+		rec.StateHash = s.msoa.Snapshot().Hash()
+		if err := s.cfg.WAL.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	// Scripted crash: the record is durable but no bidder heard the
+	// result. Recovery resumes at t+1 with the logged state.
+	if err := s.crashPoint(t, CrashPreAnnounce); err != nil {
+		return nil, err
+	}
+
 	env := &Envelope{Type: TypeResult, Result: result}
 	for _, a := range agents {
 		if err := s.sendAgent(a, t, env); err != nil {
@@ -523,6 +588,12 @@ gather:
 			// broadcast too; deregister it.
 			s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
 		}
+	}
+
+	// Scripted crash: bidders saw their awards; only in-memory state dies.
+	// The write-ahead append above already made this round durable.
+	if err := s.crashPoint(t, CrashPostAnnounce); err != nil {
+		return nil, err
 	}
 
 	s.metrics.Counter("platform_rounds_total").Inc()
@@ -541,24 +612,44 @@ gather:
 	}
 
 	if s.cfg.Audit != nil {
-		rec := &AuditRecord{
-			T:          t,
-			Demand:     demand,
-			NeedyIDs:   needyIDs,
-			Awards:     outcome.Awards,
-			SocialCost: outcome.SocialCost,
-			Infeasible: outcome.Infeasible,
-		}
-		for _, b := range ins.Bids {
-			rec.Bids = append(rec.Bids, AuditBid{
-				Bidder: b.Bidder, Alt: b.Alt, Price: b.Price, Covers: b.Covers, Units: b.Units,
-			})
-		}
 		if err := s.cfg.Audit.record(rec); err != nil {
 			return nil, err
 		}
 	}
 	return outcome, nil
+}
+
+// crashPoint consults the crash-injection hook at one scripted site. A
+// non-nil hook error aborts the round exactly where a process kill would
+// have — the caller returns immediately, leaving whatever the WAL and the
+// network have already seen as the only survivors.
+func (s *Server) crashPoint(t int, point string) error {
+	f := s.cfg.Fault.Crash
+	if f == nil {
+		return nil
+	}
+	err := f(t, point)
+	if err == nil {
+		return nil
+	}
+	s.metrics.Counter("platform_crashes_total").Inc()
+	if s.tracer != nil {
+		s.tracer.Emit(obs.RoundAbort{T: t, Err: err.Error()})
+	}
+	return fmt.Errorf("platform: round %d crashed at %s: %w", t, point, err)
+}
+
+// SnapshotState returns the durable checkpoint ingredients: the last
+// consumed round number and the mechanism's cross-round state (nil before
+// the first round). Pair with WriteSnapshot between rounds; not safe to
+// call concurrently with an in-flight RunRound.
+func (s *Server) SnapshotState() (round int, st *core.MSOAState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.msoa == nil {
+		return s.round, nil
+	}
+	return s.round, s.msoa.Snapshot()
 }
 
 // Summary returns the aggregate mechanism summary so far (nil before the

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check cover fuzz soak soak-quick soak-crash bench bench-core bench-guard bench-repro repro
+.PHONY: all build test check cover fuzz soak soak-quick soak-crash bench bench-core bench-core-sweep bench-guard bench-scaling bench-repro repro
 
 all: build
 
@@ -91,24 +91,49 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # bench-core records the SSAM selection/payment kernel micro-benchmark grid
-# (bids × needy × covers-density, serial Parallelism=1) into
-# results/BENCH_core.json, appending a labelled run so before/after kernel
-# numbers live side by side. Use BENCH_CORE_LABEL=seed-baseline (or any
-# label) to name the run.
+# (bids × needy × covers-density; serial Parallelism=1 specs plus Par*
+# GOMAXPROCS-fan-out specs) into results/BENCH_core.json, appending a
+# labelled run so before/after kernel numbers live side by side. Use
+# BENCH_CORE_LABEL=seed-baseline (or any label) to name the run, and
+# BENCH_CORE_PROCS=1,2,4,8 to sweep GOMAXPROCS levels (each level is a
+# separate (label, gomaxprocs) entry in the JSON).
 BENCH_CORE_LABEL ?= optimized
+BENCH_CORE_JSON ?= results/BENCH_core.json
+BENCH_CORE_PROCS ?=
 bench-core:
-	$(GO) test -run '^TestBenchCoreJSON$$' -count=1 \
-		-bench-core-json results/BENCH_core.json \
-		-bench-core-label $(BENCH_CORE_LABEL) .
+	$(GO) test -run '^TestBenchCoreJSON$$' -count=1 -timeout 60m \
+		-bench-core-json $(BENCH_CORE_JSON) \
+		-bench-core-label $(BENCH_CORE_LABEL) \
+		-bench-core-procs '$(BENCH_CORE_PROCS)' .
 
-# bench-guard re-runs the nil-tracer SSAMPayments/MSOARound hot paths and
-# fails if they regress more than BENCH_GUARD_TOL (fraction) against the
-# committed "optimized" run in results/BENCH_core.json, or allocate more
-# per op. This is the observability layer's zero-cost-when-disabled gate.
+# bench-core-sweep records the grid at GOMAXPROCS ∈ {1,2,4,8} — the
+# multicore characterization. On a multicore host the Par* specs speed up
+# with the level; bench-scaling turns that into a gate.
+bench-core-sweep:
+	$(MAKE) bench-core BENCH_CORE_PROCS=1,2,4,8
+
+# bench-guard re-runs the nil-tracer SSAMSelect/SSAMPayments/MSOARound hot
+# paths and fails if they regress more than BENCH_GUARD_TOL (fraction)
+# against the committed "optimized" run in results/BENCH_core.json at the
+# matching GOMAXPROCS level (nearest recorded level when there is no exact
+# match), or allocate more per op. This is both the observability layer's
+# zero-cost-when-disabled gate and the kernel's no-regression gate.
 BENCH_GUARD_TOL ?= 0.05
 bench-guard:
 	$(GO) test -run '^TestBenchCoreGuard$$' -count=1 -v \
 		-bench-guard -bench-guard-tolerance $(BENCH_GUARD_TOL) .
+
+# bench-scaling verifies the multicore claims against a recorded GOMAXPROCS
+# sweep: the parallel payment fan-out and the experiment-harness trial
+# fan-out must be ≥ BENCH_SCALING_MIN× faster at GOMAXPROCS=4 than at 1.
+# Run `make bench-core-sweep` on a multicore host first (the CI multicore
+# job does both and uploads the JSON as an artifact).
+BENCH_SCALING_JSON ?= results/BENCH_core.json
+BENCH_SCALING_MIN ?= 2.0
+bench-scaling:
+	$(GO) test -run '^TestBenchScaling$$' -count=1 -v \
+		-bench-scaling-json $(BENCH_SCALING_JSON) \
+		-bench-scaling-min $(BENCH_SCALING_MIN) .
 
 # bench-repro records the end-to-end wall clock of every figure at paper
 # scale into results/BENCH_repro.json (per-figure millis, seed, trial

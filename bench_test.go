@@ -464,6 +464,8 @@ var (
 		"write the core kernel micro-benchmark grid (JSON) to this file (used by `make bench-core`)")
 	benchCoreLabel = flag.String("bench-core-label", "optimized",
 		"label recorded for this bench-core run (e.g. seed-baseline, optimized)")
+	benchCoreProcs = flag.String("bench-core-procs", "",
+		"comma-separated GOMAXPROCS levels to sweep the grid over (empty = current level only)")
 )
 
 type coreBenchSpec struct {
@@ -499,19 +501,68 @@ func benchSSAM(ins *core.Instance, opts core.Options) func(b *testing.B) {
 // coreBenchSpecs is the fixed grid recorded by bench-core. Select uses
 // FirstPrice payments to isolate pure winner selection; Payments uses the
 // paper's CriticalValue rule (selection + one counterfactual replay per
-// winner). Parallelism is pinned to 1 throughout: the recorded trajectory
-// tracks the serial kernel, which any parallel layer multiplies.
+// winner). The serial specs pin Parallelism to 1 — the recorded trajectory
+// tracks the serial kernel — while the Par* specs run the same shapes with
+// Parallelism/TrialParallelism 0 (GOMAXPROCS) so the bench-core GOMAXPROCS
+// sweep can demonstrate the parallel payment-replay and trial fan-out
+// speedups level by level instead of asserting them.
 func coreBenchSpecs() []coreBenchSpec {
 	selOpts := core.Options{SkipCertificate: true, Payment: core.FirstPrice, Parallelism: 1}
 	payOpts := core.Options{SkipCertificate: true, Parallelism: 1}
+	parOpts := core.Options{SkipCertificate: true, Parallelism: 0}
 	return []coreBenchSpec{
 		{"SSAMSelect/bids=1000/needy=50/cover=4", benchSSAM(kernelBenchInstance(500, 50, 4), selOpts)},
+		{"SSAMSelect/bids=2000/needy=50/cover=4", benchSSAM(kernelBenchInstance(1000, 50, 4), selOpts)},
 		{"SSAMSelect/bids=4000/needy=100/cover=6", benchSSAM(kernelBenchInstance(2000, 100, 6), selOpts)},
 		{"SSAMPayments/bids=1000/needy=50/cover=4", benchSSAM(kernelBenchInstance(500, 50, 4), payOpts)},
 		{"SSAMPayments/bids=2000/needy=50/cover=4", benchSSAM(kernelBenchInstance(1000, 50, 4), payOpts)},
 		{"SSAMPayments/bids=1000/needy=100/cover=8", benchSSAM(kernelBenchInstance(500, 100, 8), payOpts)},
 		{"MSOARound/bidders=25", benchMSOARoundN(25)},
 		{"MSOARound/bidders=250", benchMSOARoundN(250)},
+		{"ParSSAMPayments/bids=2000/needy=50/cover=4", benchSSAM(kernelBenchInstance(1000, 50, 4), parOpts)},
+		{"ParMSOARound/bidders=250", benchMSOARoundPar(250)},
+		{"ParTrialFanout/fig3a-quick", benchTrialFanout()},
+	}
+}
+
+// benchMSOARoundPar is benchMSOARoundN with the payment phase fanned out
+// across GOMAXPROCS workers (Parallelism 0) — the multicore counterpart of
+// the serial MSOARound specs.
+func benchMSOARoundPar(bidders int) func(b *testing.B) {
+	return func(b *testing.B) {
+		scn := workload.Online(workload.NewRand(1), workload.OnlineConfig{
+			Rounds: 1, Stage: workload.InstanceConfig{Bidders: bidders},
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := core.NewMSOA(scn.Config(core.Options{SkipCertificate: true, Parallelism: 0}))
+			if res := m.RunRound(scn.TrueRounds[0]); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// benchTrialFanout runs one representative figure sweep (Fig3a, Quick) with
+// the (point, trial) cells fanned out across GOMAXPROCS workers
+// (TrialParallelism 0) — the experiment-harness dimension of the sweep.
+func benchTrialFanout() func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := experiments.Config{
+			Seed: 1, Quick: true, OptTimeLimit: 300 * time.Millisecond,
+			TrialParallelism: 0,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Fig3a(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.RatioByJ[1].Len() == 0 {
+				b.Fatal("empty result")
+			}
+		}
 	}
 }
 
@@ -524,8 +575,28 @@ func runCoreBenchGroup(b *testing.B, prefix string) {
 }
 
 // BenchmarkSSAMSelect measures pure greedy winner selection (payments
-// trivialized to first-price) at several instance shapes.
-func BenchmarkSSAMSelect(b *testing.B) { runCoreBenchGroup(b, "SSAMSelect/") }
+// trivialized to first-price) at several instance shapes. Before timing, it
+// asserts the selection path has zero steady-state allocations: the pooled
+// kernel (CSR view, lazy-rescore heap, epoch arrays, candidate list) must
+// not allocate per iteration or per instance size — only the O(1) result
+// assembly (scaled slice, Outcome, winner copy, payments map) may, and that
+// is bounded by the same ≤16 constant the payment path asserts.
+func BenchmarkSSAMSelect(b *testing.B) {
+	ins := kernelBenchInstance(1000, 50, 4)
+	opts := core.Options{SkipCertificate: true, Payment: core.FirstPrice, Parallelism: 1}
+	if _, err := core.SSAM(ins, opts); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := core.SSAM(ins, opts); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		b.Fatalf("selection path allocates %v/op at 2000 bids, want ≤ 16 (zero steady-state allocs, O(1) result assembly only)", allocs)
+	}
+	runCoreBenchGroup(b, "SSAMSelect/")
+}
 
 // BenchmarkSSAMPayments measures selection plus the critical-value payment
 // phase — the full serial hot path — at several instance shapes.
@@ -546,34 +617,61 @@ type coreBenchRun struct {
 	Benchmarks []coreBenchResult `json:"benchmarks"`
 }
 
+// benchCoreProcLevels parses -bench-core-procs into the GOMAXPROCS levels
+// the grid is recorded at; empty means the current level only.
+func benchCoreProcLevels(t *testing.T) []int {
+	if *benchCoreProcs == "" {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	var levels []int
+	for _, field := range strings.Split(*benchCoreProcs, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%d", &p); err != nil || p < 1 {
+			t.Fatalf("bad -bench-core-procs entry %q (want positive integers, e.g. 1,2,4,8)", field)
+		}
+		levels = append(levels, p)
+	}
+	return levels
+}
+
 // TestBenchCoreJSON replays the coreBenchSpecs grid through
-// testing.Benchmark and records the results under -bench-core-label in the
-// -bench-core-json file, appending to (or replacing the same label in) any
-// runs already recorded there. Skipped unless -bench-core-json is set; `make
-// bench-core` is the entry point.
+// testing.Benchmark — once per -bench-core-procs GOMAXPROCS level — and
+// records the results under -bench-core-label in the -bench-core-json file,
+// appending to (or replacing the same (label, GOMAXPROCS) entry in) any runs
+// already recorded there. Skipped unless -bench-core-json is set; `make
+// bench-core` / `make bench-core-sweep` are the entry points.
 func TestBenchCoreJSON(t *testing.T) {
 	if *benchCoreJSON == "" {
 		t.Skip("enable with -bench-core-json <file> (see `make bench-core`)")
 	}
-	run := coreBenchRun{
-		Label:      *benchCoreLabel,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-	}
-	for _, spec := range coreBenchSpecs() {
-		r := testing.Benchmark(spec.run)
-		if r.N == 0 {
-			t.Fatalf("benchmark %s did not run", spec.name)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var recorded []coreBenchRun
+	for _, procs := range benchCoreProcLevels(t) {
+		runtime.GOMAXPROCS(procs)
+		run := coreBenchRun{
+			Label:      *benchCoreLabel,
+			GoMaxProcs: procs,
+			GoVersion:  runtime.Version(),
 		}
-		run.Benchmarks = append(run.Benchmarks, coreBenchResult{
-			Name:        spec.name,
-			N:           r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
-		t.Logf("%-45s %s %s", spec.name, r.String(), r.MemString())
+		for _, spec := range coreBenchSpecs() {
+			r := testing.Benchmark(spec.run)
+			if r.N == 0 {
+				t.Fatalf("benchmark %s did not run", spec.name)
+			}
+			run.Benchmarks = append(run.Benchmarks, coreBenchResult{
+				Name:        spec.name,
+				N:           r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+			t.Logf("GOMAXPROCS=%d %-45s %s %s", procs, spec.name, r.String(), r.MemString())
+		}
+		recorded = append(recorded, run)
 	}
+	runtime.GOMAXPROCS(prev)
 
 	var runs []coreBenchRun
 	if data, err := os.ReadFile(*benchCoreJSON); err == nil {
@@ -581,14 +679,16 @@ func TestBenchCoreJSON(t *testing.T) {
 			t.Fatalf("existing %s is not a bench-core file: %v", *benchCoreJSON, err)
 		}
 	}
-	replaced := false
-	for i := range runs {
-		if runs[i].Label == run.Label {
-			runs[i], replaced = run, true
+	for _, run := range recorded {
+		replaced := false
+		for i := range runs {
+			if runs[i].Label == run.Label && runs[i].GoMaxProcs == run.GoMaxProcs {
+				runs[i], replaced = run, true
+			}
 		}
-	}
-	if !replaced {
-		runs = append(runs, run)
+		if !replaced {
+			runs = append(runs, run)
+		}
 	}
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {
@@ -606,14 +706,55 @@ var (
 		"allowed ns/op regression fraction for the bench guard")
 )
 
+// guardBaseline picks the committed "optimized" run whose recorded
+// GOMAXPROCS matches the current level — like-for-like comparison — falling
+// back to the nearest recorded level (preferring lower, i.e. a stricter
+// serial baseline) with a logged note when no exact match exists.
+func guardBaseline(t *testing.T, runs []coreBenchRun) (map[string]coreBenchResult, int) {
+	current := runtime.GOMAXPROCS(0)
+	bestLevel, bestDist := -1, math.MaxInt
+	for _, run := range runs {
+		if run.Label != "optimized" {
+			continue
+		}
+		dist := run.GoMaxProcs - current
+		if dist < 0 {
+			dist = -dist
+		}
+		// Prefer exact, then nearest; among equidistant levels prefer the
+		// lower one (recorded with less parallelism — a stricter bar).
+		if dist < bestDist || (dist == bestDist && run.GoMaxProcs < bestLevel) {
+			bestLevel, bestDist = run.GoMaxProcs, dist
+		}
+	}
+	if bestLevel < 0 {
+		t.Fatal(`results/BENCH_core.json has no "optimized" run`)
+	}
+	if bestLevel != current {
+		t.Logf("note: no optimized baseline at GOMAXPROCS=%d; comparing against the nearest recorded level %d",
+			current, bestLevel)
+	}
+	base := map[string]coreBenchResult{}
+	for _, run := range runs {
+		if run.Label != "optimized" || run.GoMaxProcs != bestLevel {
+			continue
+		}
+		for _, r := range run.Benchmarks {
+			base[r.Name] = r
+		}
+	}
+	return base, bestLevel
+}
+
 // TestBenchCoreGuard enforces the zero-cost-when-disabled contract of the
-// observability layer: with no tracer configured, the SSAMPayments and
-// MSOARound hot paths must stay within -bench-guard-tolerance of the
-// committed "optimized" baseline in results/BENCH_core.json, and must not
-// allocate more per op. Each spec takes the best of three runs so a
-// scheduler hiccup cannot fail the guard; only regressions fail (being
-// faster than the recording is fine). Skipped unless -bench-guard is set;
-// `make bench-guard` is the entry point.
+// observability layer and the kernel's no-regression bar: with no tracer
+// configured, the SSAMSelect, SSAMPayments, and MSOARound hot paths must
+// stay within -bench-guard-tolerance of the committed "optimized" baseline
+// in results/BENCH_core.json — compared like-for-like at the recorded
+// GOMAXPROCS level — and must not allocate more per op. Each spec takes the
+// best of three runs so a scheduler hiccup cannot fail the guard; only
+// regressions fail (being faster than the recording is fine). Skipped
+// unless -bench-guard is set; `make bench-guard` is the entry point.
 func TestBenchCoreGuard(t *testing.T) {
 	if !*benchGuard {
 		t.Skip("enable with -bench-guard (see `make bench-guard`)")
@@ -626,26 +767,18 @@ func TestBenchCoreGuard(t *testing.T) {
 	if err := json.Unmarshal(data, &runs); err != nil {
 		t.Fatal(err)
 	}
-	base := map[string]coreBenchResult{}
-	for _, run := range runs {
-		if run.Label != "optimized" {
-			continue
-		}
-		for _, r := range run.Benchmarks {
-			base[r.Name] = r
-		}
-	}
-	if len(base) == 0 {
-		t.Fatal(`results/BENCH_core.json has no "optimized" run`)
-	}
+	base, level := guardBaseline(t, runs)
 
 	for _, spec := range coreBenchSpecs() {
-		if !strings.HasPrefix(spec.name, "SSAMPayments/") && !strings.HasPrefix(spec.name, "MSOARound/") {
+		if !strings.HasPrefix(spec.name, "SSAMSelect/") &&
+			!strings.HasPrefix(spec.name, "SSAMPayments/") &&
+			!strings.HasPrefix(spec.name, "MSOARound/") {
 			continue
 		}
 		want, ok := base[spec.name]
 		if !ok {
-			t.Errorf("baseline has no entry for %s — rerun `make bench-core`", spec.name)
+			t.Errorf("bench-guard: baseline (GOMAXPROCS=%d) has no entry for %s — rerun `make bench-core`",
+				level, spec.name)
 			continue
 		}
 		bestNs := math.Inf(1)
@@ -659,15 +792,88 @@ func TestBenchCoreGuard(t *testing.T) {
 				bestNs, bestAllocs = ns, r.AllocsPerOp()
 			}
 		}
-		t.Logf("%-45s %12.0f ns/op (baseline %12.0f, %+5.1f%%), %d allocs/op (baseline %d)",
-			spec.name, bestNs, want.NsPerOp, 100*(bestNs/want.NsPerOp-1), bestAllocs, want.AllocsPerOp)
+		delta := 100 * (bestNs/want.NsPerOp - 1)
+		t.Logf("GOMAXPROCS=%d %-45s %12.0f ns/op (baseline %12.0f, %+5.1f%%), %d allocs/op (baseline %d)",
+			level, spec.name, bestNs, want.NsPerOp, delta, bestAllocs, want.AllocsPerOp)
 		if bestNs > want.NsPerOp*(1+*benchGuardTolerance) {
-			t.Errorf("%s: %0.f ns/op is %+.1f%% vs baseline %0.f — the nil-tracer path must stay within %.0f%%",
-				spec.name, bestNs, 100*(bestNs/want.NsPerOp-1), want.NsPerOp, 100**benchGuardTolerance)
+			t.Errorf("bench-guard regression: benchmark %s at GOMAXPROCS=%d runs %.0f ns/op, %+.1f%% over the %.0f ns/op baseline (tolerance %.0f%%)",
+				spec.name, level, bestNs, delta, want.NsPerOp, 100**benchGuardTolerance)
 		}
 		if bestAllocs > want.AllocsPerOp {
-			t.Errorf("%s: %d allocs/op vs baseline %d — the nil-tracer path must not allocate",
-				spec.name, bestAllocs, want.AllocsPerOp)
+			t.Errorf("bench-guard regression: benchmark %s at GOMAXPROCS=%d allocates %d/op, +%d over the %d/op baseline (no extra allocs allowed)",
+				spec.name, level, bestAllocs, bestAllocs-want.AllocsPerOp, want.AllocsPerOp)
+		}
+	}
+}
+
+var (
+	benchScalingJSON = flag.String("bench-scaling-json", "",
+		"bench-core JSON file (with a GOMAXPROCS sweep) to verify multicore scaling against (used by `make bench-scaling`)")
+	benchScalingMin = flag.Float64("bench-scaling-min", 2.0,
+		"required speedup of the Par* specs at -bench-scaling-procs vs GOMAXPROCS=1")
+	benchScalingProcs = flag.Int("bench-scaling-procs", 4,
+		"GOMAXPROCS level at which the Par* specs must reach -bench-scaling-min")
+)
+
+// TestBenchScaling verifies the multicore claims against a recorded
+// GOMAXPROCS sweep: the parallel payment-replay fan-out (ParSSAMPayments)
+// and the experiment-harness trial fan-out (ParTrialFanout) must be at
+// least -bench-scaling-min times faster at GOMAXPROCS=-bench-scaling-procs
+// than at GOMAXPROCS=1. ParMSOARound is reported but not gated: one online
+// round amortizes ψ updates and instance assembly that do not fan out, so
+// its parallel fraction is smaller by design. Skipped unless
+// -bench-scaling-json is set; `make bench-scaling` (run on a multicore
+// host — the CI multicore job) is the entry point.
+func TestBenchScaling(t *testing.T) {
+	if *benchScalingJSON == "" {
+		t.Skip("enable with -bench-scaling-json <file> (see `make bench-scaling`)")
+	}
+	data, err := os.ReadFile(*benchScalingJSON)
+	if err != nil {
+		t.Fatalf("no sweep recording: %v (run `make bench-core-sweep` first)", err)
+	}
+	var runs []coreBenchRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatal(err)
+	}
+	byLevel := map[int]map[string]coreBenchResult{}
+	for _, run := range runs {
+		if run.Label != "optimized" {
+			continue
+		}
+		m := map[string]coreBenchResult{}
+		for _, r := range run.Benchmarks {
+			m[r.Name] = r
+		}
+		byLevel[run.GoMaxProcs] = m
+	}
+	serial, ok := byLevel[1]
+	if !ok {
+		t.Fatalf("%s has no optimized run at GOMAXPROCS=1 — record the sweep with `make bench-core-sweep`", *benchScalingJSON)
+	}
+	parallel, ok := byLevel[*benchScalingProcs]
+	if !ok {
+		t.Fatalf("%s has no optimized run at GOMAXPROCS=%d — record the sweep with `make bench-core-sweep`",
+			*benchScalingJSON, *benchScalingProcs)
+	}
+	for _, spec := range coreBenchSpecs() {
+		if !strings.HasPrefix(spec.name, "Par") {
+			continue
+		}
+		s, okS := serial[spec.name]
+		p, okP := parallel[spec.name]
+		if !okS || !okP {
+			t.Errorf("sweep recording has no entry for %s at both GOMAXPROCS=1 and %d", spec.name, *benchScalingProcs)
+			continue
+		}
+		speedup := s.NsPerOp / p.NsPerOp
+		gated := spec.name != "ParMSOARound/bidders=250"
+		t.Logf("%-45s %.2fx speedup at GOMAXPROCS=%d (%.0f -> %.0f ns/op)%s",
+			spec.name, speedup, *benchScalingProcs, s.NsPerOp, p.NsPerOp,
+			map[bool]string{true: "", false: " [reported, not gated]"}[gated])
+		if gated && speedup < *benchScalingMin {
+			t.Errorf("benchmark %s at GOMAXPROCS=%d is only %.2fx faster than GOMAXPROCS=1 (%.0f -> %.0f ns/op), want >= %.1fx",
+				spec.name, *benchScalingProcs, speedup, s.NsPerOp, p.NsPerOp, *benchScalingMin)
 		}
 	}
 }

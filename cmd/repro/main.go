@@ -135,8 +135,12 @@ func run(args []string) error {
 	trialParallelism := fs.Int("trial-parallelism", 0, "sweep-cell worker goroutines (0 = GOMAXPROCS, 1 = serial; rendered tables identical)")
 	benchJSON := fs.String("bench-json", "", "file to write per-figure wall-clock timings as JSON")
 	traceOut := fs.String("trace-out", "", "append a JSONL sweep event per completed experiment grid to this file")
+	gomaxprocs := fs.Int("gomaxprocs", 0, "cap GOMAXPROCS for this run (0 = leave unchanged; recorded in -bench-json for multicore sweeps)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
 	}
 
 	cfg := experiments.Config{

@@ -71,7 +71,7 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 	defer replayScratchPool.Put(rs)
 
 	for kn.deficit > 0 {
-		best, score, marginal := kn.selectBestIn(&kn.cand, kn.theta)
+		best, score, marginal := kn.popBest()
 		if best < 0 {
 			break // market exhausted; remaining demand stays uncovered
 		}
@@ -100,7 +100,7 @@ func BudgetedSSAM(ins *Instance, budget float64, opts Options) (*BudgetedOutcome
 			})
 		}
 		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
-		kn.applyTo(kn.theta, &kn.deficit, best)
+		kn.applyDirty(best)
 		out.Winners = append(out.Winners, int(best))
 		out.Payments[int(best)] = pay
 		out.BudgetSpent += pay

@@ -91,6 +91,56 @@ func tieProneInstance(rng *rand.Rand, bidders, needy, bidsPer int) *Instance {
 	return ins
 }
 
+// saturationHeavyInstance stresses the lazy-rescore kernel where it is most
+// at risk: prefix-nested cover sets over a tiny-demand needy set saturate θ
+// within a few iterations, so most bids go dead mid-run and persist only as
+// lazily-undiscovered heap entries and retained checkpoint candidates, while
+// prices proportional to cover size make almost every live bid carry the
+// IDENTICAL price-per-coverage score — every pop is an exact tie resolved
+// purely by the lowest-bid-index rule.
+func saturationHeavyInstance(rng *rand.Rand, bidders, needy, bidsPer int) *Instance {
+	ins := &Instance{Demand: make([]int, needy)}
+	for k := range ins.Demand {
+		ins.Demand[k] = 1 + rng.Intn(2)
+	}
+	for b := 1; b <= bidders; b++ {
+		for j := 0; j < bidsPer; j++ {
+			n := 1 + rng.Intn(needy)
+			covers := make([]int, n)
+			for i := range covers {
+				covers[i] = i // prefix covers: heavy overlap on low needy indices
+			}
+			price := 10 * float64(n) // unit bids all score exactly 10
+			if rng.Intn(4) == 0 {
+				price = 20 * float64(n) // a second colliding score class
+			}
+			units := 1
+			if rng.Intn(3) == 0 {
+				units = 2
+			}
+			ins.Bids = append(ins.Bids, Bid{
+				Bidder: b, Alt: j, Price: price, TrueCost: price,
+				Covers: covers, Units: units,
+			})
+		}
+	}
+	// Feasibility reserve supplier (mirrors randomInstance).
+	maxD := 0
+	all := make([]int, needy)
+	for k, d := range ins.Demand {
+		all[k] = k
+		if d > maxD {
+			maxD = d
+		}
+	}
+	ins.Bids = append(ins.Bids, Bid{
+		Bidder: bidders + 1, Price: 30 * float64(ins.TotalDemand()),
+		TrueCost: 30 * float64(ins.TotalDemand()),
+		Covers:   all, Units: maxD,
+	})
+	return ins
+}
+
 // assertDifferential runs both paths on (ins, scaled, opts) and fails the
 // test unless errors and outcomes agree exactly.
 func assertDifferential(t *testing.T, ins *Instance, scaled []float64, opts Options, label string) {
@@ -138,6 +188,29 @@ func TestDifferentialSSAM(t *testing.T) {
 		for oi, opts := range grid {
 			assertDifferential(t, ins, raw, opts, labelFor(trial, oi, "raw"))
 			assertDifferential(t, ins, psi, opts, labelFor(trial, oi, "psi"))
+		}
+	}
+}
+
+// TestDifferentialSaturationHeavy sweeps the saturation-heavy generator —
+// mass mid-run deaths plus wall-to-wall exact score ties — across the full
+// option grid in both price domains. This is the deterministic companion of
+// the optBits&128 fuzz dimension.
+func TestDifferentialSaturationHeavy(t *testing.T) {
+	grid := diffOptionGrid()
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 6; trial++ {
+		ins := saturationHeavyInstance(rng, 4+rng.Intn(12), 2+rng.Intn(5), 1+rng.Intn(3))
+		raw := make([]float64, len(ins.Bids))
+		psi := make([]float64, len(ins.Bids))
+		factor := 1 + rng.Float64()
+		for i, b := range ins.Bids {
+			raw[i] = b.Price
+			psi[i] = b.Price * factor
+		}
+		for oi, opts := range grid {
+			assertDifferential(t, ins, raw, opts, labelFor(trial, oi, "sat-raw"))
+			assertDifferential(t, ins, psi, opts, labelFor(trial, oi, "sat-psi"))
 		}
 	}
 }
@@ -232,15 +305,23 @@ func FuzzSSAMDifferential(f *testing.F) {
 	f.Add(int64(3), uint8(1), uint8(1), uint8(1), uint8(0x2A))
 	f.Add(int64(4), uint8(20), uint8(2), uint8(1), uint8(0x15))
 	f.Add(int64(5), uint8(8), uint8(6), uint8(2), uint8(0x63))
+	// Saturation-heavy seeds (optBits&128): mass mid-run deaths and exact
+	// score collisions, the shapes that stress lazy rescoring hardest.
+	f.Add(int64(6), uint8(16), uint8(3), uint8(2), uint8(0x80))
+	f.Add(int64(7), uint8(23), uint8(2), uint8(3), uint8(0xA4))
+	f.Add(int64(8), uint8(10), uint8(7), uint8(1), uint8(0xD1))
 	f.Fuzz(func(t *testing.T, seed int64, bidders, needy, bidsPer, optBits uint8) {
 		nb := int(bidders)%24 + 1
 		nk := int(needy)%8 + 1
 		bp := int(bidsPer)%3 + 1
 		rng := rand.New(rand.NewSource(seed))
 		var ins *Instance
-		if seed%2 == 0 {
+		switch {
+		case optBits&128 != 0:
+			ins = saturationHeavyInstance(rng, nb, nk, bp)
+		case seed%2 == 0:
 			ins = randomInstance(rng, nb, nk, bp)
-		} else {
+		default:
 			ins = tieProneInstance(rng, nb, nk, bp)
 		}
 		opts := Options{

@@ -21,10 +21,17 @@ import (
 //     per-bid slices.
 //
 //  2. Compact candidate list. Marginal coverage is monotone non-increasing
-//     (θ only grows), so a bid whose marginal hits 0 is dead FOREVER; the
-//     selection scan drops it via swap-delete and never revisits it. The
-//     scan therefore shrinks as the run progresses instead of re-walking a
+//     (θ only grows), so a bid whose marginal hits 0 is dead FOREVER; it is
+//     dropped via swap-delete and never revisited, instead of re-walking a
 //     full []bool mask every iteration.
+//
+//  2b. Lazy-rescore priority selection (lazyheap.go). Every greedy
+//     selection loop — main run, budgeted run, and each counterfactual
+//     replay — draws its arg-min from a binary min-heap over
+//     (score, bid index) with epoch-tracked lazy rescoring and batch
+//     dirtying over the inverse cover incidence, instead of a full
+//     candidate scan per iteration. Exact by the monotone-marginal lower
+//     bound argument written up in DESIGN.md §11.
 //
 //  3. Checkpointed counterfactual payment replays. The critical-value
 //     replay that excludes winner w's bidder is provably identical to the
@@ -46,6 +53,18 @@ import (
 // The kernel operates on int32 state for cache density; build rejects the
 // (unrealistic) instances whose demands overflow that domain instead of
 // silently truncating.
+
+// betterScore is THE greedy ordering, shared by every selection path (the
+// lazy-rescore heap behind selection and budgeted selection, and the
+// candidate scans behind the counterfactual suffix replays): (s1, b1) beats
+// (s2, b2) when its score is strictly lower, or on an exact score tie when
+// its bid index is lower. Centralizing the comparison keeps the tie-break
+// bit-identical across all paths — the reference's ascending scan realizes
+// the same order implicitly, and the differential fuzz gate holds every
+// path to it.
+func betterScore(s1 float64, b1 int32, s2 float64, b2 int32) bool {
+	return s1 < s2 || (s1 == s2 && b1 < b2)
+}
 
 // candSet is a compact candidate list with O(1) swap-delete membership:
 // list holds the live bid indices in arbitrary order, pos maps a bid index
@@ -112,6 +131,18 @@ type kernel struct {
 	cursor      []int32
 	bidderGroup map[int]int32
 
+	// Inverse cover incidence (CSR): the bids covering needy k are
+	// incBid[incStart[k]:incStart[k+1]]. The batch dirtying pass walks one
+	// row per needy whose θ changed, bumping the covering bids' epochs.
+	incStart []int32
+	incBid   []int32
+
+	// Main-run lazy-rescore priority structure over (score, bid index);
+	// see lazyheap.go for the staleness/exactness invariants. Each payment
+	// replay seeds its own lazyHeap in its replayScratch from the same
+	// immutable flat view.
+	lh lazyHeap
+
 	// Main-run mutable state.
 	theta       []int32 // θ_k, capped at demand[k]
 	deficit     int
@@ -143,6 +174,13 @@ var kernelPool = sync.Pool{New: func() any { return new(kernel) }}
 func resizeInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
 	return s[:n]
 }
@@ -235,6 +273,27 @@ func (kn *kernel) build(ins *Instance, scaled []float64, opts Options) error {
 		kn.cursor[g]++
 	}
 
+	// Inverse incidence rows (counting sort over the CSR edges).
+	kn.incStart = resizeInt32(kn.incStart, nk+1)
+	for k := range kn.incStart {
+		kn.incStart[k] = 0
+	}
+	for _, k := range kn.coverKey[:e] {
+		kn.incStart[k+1]++
+	}
+	for k := 0; k < nk; k++ {
+		kn.incStart[k+1] += kn.incStart[k]
+	}
+	kn.incBid = resizeInt32(kn.incBid, int(e))
+	kn.cursor = append(kn.cursor[:0], kn.incStart[:nk]...)
+	for b := int32(0); b < int32(nb); b++ {
+		for ee := kn.coverStart[b]; ee < kn.coverStart[b+1]; ee++ {
+			k := kn.coverKey[ee]
+			kn.incBid[kn.cursor[k]] = b
+			kn.cursor[k]++
+		}
+	}
+
 	kn.cand.reset(nb)
 	kn.winners = kn.winners[:0]
 	kn.ckTheta = kn.ckTheta[:0]
@@ -242,7 +301,62 @@ func (kn *kernel) build(ins *Instance, scaled []float64, opts Options) error {
 	kn.ckScore = kn.ckScore[:0]
 	kn.ckCand = kn.ckCand[:0]
 	kn.ckCandStart = append(kn.ckCandStart[:0], 0)
+	kn.lh.seed(kn, kn.theta, &kn.cand)
 	return nil
+}
+
+// scoreOf is the greedy metric evaluated exactly as the reference does:
+// scaled price over marginal for PricePerCoverage, scaled price alone for
+// LowestPrice. All paths must compute scores through this one function so
+// the float64 operation sequence stays bit-identical.
+func (kn *kernel) scoreOf(b int32, m int) float64 {
+	if kn.metric == LowestPrice {
+		return kn.scaled[b]
+	}
+	return kn.scaled[b] / float64(m)
+}
+
+// popBest surfaces the main run's true greedy arg-min (see
+// lazyHeap.popBest for the mechanics and exactness argument).
+func (kn *kernel) popBest() (best int32, bestScore float64, bestMarginal int) {
+	return kn.lh.popBest(kn, kn.theta, &kn.cand)
+}
+
+// dirtyCovering bumps — in lh — the coverage epoch of every bid covering
+// needy k: the flat SoA batch pass that invalidates cached scores after
+// θ[k] moved. Banned and dead bids are bumped too; that is cheaper than
+// filtering and harmless (their heap entries are discarded on pop
+// regardless).
+func (kn *kernel) dirtyCovering(lh *lazyHeap, k int32) {
+	for _, b := range kn.incBid[kn.incStart[k]:kn.incStart[k+1]] {
+		lh.bidEpoch[b]++
+	}
+}
+
+// applyDirtyState commits bid b to (theta, deficit) and batch-invalidates —
+// in lh — the cached scores of every bid whose marginal the commit may have
+// changed (exactly the bids covering a needy whose θ moved). Serves both
+// the main run (kn.theta/kn.lh via applyDirty) and the payment replays
+// (rs.theta/rs.lh).
+func (kn *kernel) applyDirtyState(lh *lazyHeap, theta []int32, deficit *int, b int32) {
+	for e := kn.coverStart[b]; e < kn.coverStart[b+1]; e++ {
+		k := kn.coverKey[e]
+		r := kn.demand[k] - theta[k]
+		g := kn.coverCap[e]
+		if g > r {
+			g = r
+		}
+		if g > 0 {
+			theta[k] += g
+			*deficit -= int(g)
+			kn.dirtyCovering(lh, k)
+		}
+	}
+}
+
+// applyDirty is applyDirtyState on the main-run state.
+func (kn *kernel) applyDirty(b int32) {
+	kn.applyDirtyState(&kn.lh, kn.theta, &kn.deficit, b)
 }
 
 // release drops the borrowed scaled-price slice and returns the kernel to
@@ -311,11 +425,15 @@ func (kn *kernel) applyGains(b int32) []int {
 }
 
 // selectBestIn returns the candidate bid minimizing the greedy metric at
-// theta, removing dead candidates (marginal 0 — permanent, since θ only
-// grows) from cs as it scans. It returns best = -1 when no live candidate
-// remains. The swap-delete list is scanned in permuted order, so the
-// lowest-bid-index tie-break is applied explicitly; this reproduces the
-// reference's ascending-scan tie-break exactly.
+// theta via a full O(candidates) scan, removing dead candidates (marginal
+// 0 — permanent, since θ only grows) from cs as it scans. It returns
+// best = -1 when no live candidate remains. The swap-delete list is
+// scanned in permuted order, so the lowest-bid-index tie-break is applied
+// explicitly; this reproduces the reference's ascending-scan tie-break
+// exactly. No production path uses it anymore — every selection loop runs
+// on the lazy-rescore heap — but it stays as the scan baseline that
+// BenchmarkPriorityStructures (lazyheap_test.go) and the structure-choice
+// writeup in DESIGN.md §11 measure the heap against.
 func (kn *kernel) selectBestIn(cs *candSet, theta []int32) (best int32, bestScore float64, bestMarginal int) {
 	best, bestScore = -1, math.Inf(1)
 	for i := 0; i < len(cs.list); {
@@ -325,13 +443,8 @@ func (kn *kernel) selectBestIn(cs *candSet, theta []int32) (best int32, bestScor
 			cs.removeAt(i)
 			continue
 		}
-		var score float64
-		if kn.metric == LowestPrice {
-			score = kn.scaled[b]
-		} else {
-			score = kn.scaled[b] / float64(m)
-		}
-		if score < bestScore || (score == bestScore && b < best) {
+		score := kn.scoreOf(b, m)
+		if betterScore(score, b, bestScore, best) {
 			best, bestScore, bestMarginal = b, score, m
 		}
 		i++
@@ -359,14 +472,31 @@ func (kn *kernel) checkpoint(score float64) {
 	kn.ckCandStart = append(kn.ckCandStart, len(kn.ckCand))
 }
 
+// dirtyGains is the batch epoch pass for the certificate path (main run
+// only): applyGains has already committed bid b, so the per-cover gains
+// tell exactly which needy services' θ moved.
+func (kn *kernel) dirtyGains(b int32, gains []int) {
+	for i, e := 0, kn.coverStart[b]; e < kn.coverStart[b+1]; i, e = i+1, e+1 {
+		if gains[i] > 0 {
+			kn.dirtyCovering(&kn.lh, kn.coverKey[e])
+		}
+	}
+}
+
 // selectWinners runs the greedy selection loop (Algorithm 1, lines 3-12)
 // on the built kernel, filling out's winner list and cost accounting and
-// feeding the certificate builder when present. Checkpoints are recorded
-// only when the payment phase will consume them.
+// feeding the certificate builder when present. The per-iteration arg-min
+// comes from the lazy-rescore heap (popBest) instead of a full candidate
+// scan, and each committed winner batch-invalidates only the bids whose
+// marginals it touched. Checkpoints are recorded only when the payment
+// phase will consume them; with lazy dead-bid discovery the checkpointed
+// candidate lists may retain bids whose marginal already hit 0 — harmless,
+// because deadness depends only on θ and the replay scans prune them before
+// any score is computed (DESIGN.md §11).
 func (kn *kernel) selectWinners(ins *Instance, opts Options, out *Outcome, cert *certBuilder) error {
 	checkpoints := opts.payment() == CriticalValue
 	for kn.deficit > 0 {
-		best, score, marginal := kn.selectBestIn(&kn.cand, kn.theta)
+		best, score, marginal := kn.popBest()
 		if best < 0 {
 			return fmt.Errorf("%w: uncovered demand %d remains", ErrInfeasible, kn.deficit)
 		}
@@ -383,9 +513,10 @@ func (kn *kernel) selectWinners(ins *Instance, opts Options, out *Outcome, cert 
 		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
 		if cert != nil {
 			gains := kn.applyGains(best)
+			kn.dirtyGains(best, gains)
 			cert.record(int(best), &ins.Bids[best], gains, kn.scaled[best], marginal)
 		} else {
-			kn.applyTo(kn.theta, &kn.deficit, best)
+			kn.applyDirty(best)
 		}
 		kn.winners = append(kn.winners, int(best))
 		out.SocialCost += ins.Bids[best].Price
@@ -396,22 +527,31 @@ func (kn *kernel) selectWinners(ins *Instance, opts Options, out *Outcome, cert 
 }
 
 // replayScratch is the reusable per-replay mutable state of one
-// counterfactual payment run. Pooled so neither the serial nor the
-// parallel payment path allocates per winner.
+// counterfactual payment run: θ/deficit/candidate set plus the replay's own
+// lazy-rescore heap, seeded from the loaded checkpoint — a counterfactual
+// replay is just another greedy run whose θ only grows, so the same
+// lazy-greedy exactness argument applies from its starting state. Pooled so
+// neither the serial nor the parallel payment path allocates per winner.
 type replayScratch struct {
 	theta   []int32
 	deficit int
 	cand    candSet
+	lh      lazyHeap
 }
 
 var replayScratchPool = sync.Pool{New: func() any { return new(replayScratch) }}
 
 // loadCheckpoint initializes rs from main-run checkpoint s with bidder
-// group ban excluded from the candidate set.
+// group ban excluded from the candidate set, then seeds the replay's heap
+// with exact scores at the checkpoint θ. The checkpointed list may retain
+// bids that went dead before s but were never surfaced by the main run's
+// lazy discovery; the seed pass prunes them here, exactly where the old
+// full-scan replay pruned them on its first iteration (DESIGN.md §11).
 func (rs *replayScratch) loadCheckpoint(kn *kernel, s int, ban int32) {
 	rs.theta = append(rs.theta[:0], kn.ckTheta[s*kn.nk:(s+1)*kn.nk]...)
 	rs.deficit = kn.ckDeficit[s]
 	rs.loadCands(kn, kn.ckCand[kn.ckCandStart[s]:kn.ckCandStart[s+1]], ban)
+	rs.lh.seed(kn, rs.theta, &rs.cand)
 }
 
 // loadInitial initializes rs to the blank pre-auction state (θ ≡ 0, all
@@ -437,6 +577,7 @@ func (rs *replayScratch) loadInitial(kn *kernel, ban int32) {
 		rs.cand.pos[b] = int32(len(rs.cand.list))
 		rs.cand.list = append(rs.cand.list, b)
 	}
+	rs.lh.seed(kn, rs.theta, &rs.cand)
 }
 
 func (rs *replayScratch) loadCands(kn *kernel, cands []int32, ban int32) {
@@ -460,9 +601,13 @@ func (rs *replayScratch) loadCands(kn *kernel, cands []int32, ban int32) {
 // replayFrom runs the counterfactual greedy from rs's loaded state,
 // accumulating max over iterations of U_w(E_s)·θ_s — what bid w's report
 // could be while still preempting the iteration — until w can no longer
-// contribute or the demand is covered. pivotal reports that the remaining
-// demand was uncoverable while w still had positive marginal (the reserve
-// applies; any accumulated value is discarded, as in the reference).
+// contribute or the demand is covered. The per-iteration arg-min comes
+// from the replay's own lazy-rescore heap (seeded by loadCheckpoint /
+// loadInitial), so a replay of a long suffix costs heap pops plus batch
+// dirtying instead of one full candidate scan per iteration. pivotal
+// reports that the remaining demand was uncoverable while w still had
+// positive marginal (the reserve applies; any accumulated value is
+// discarded, as in the reference).
 func (kn *kernel) replayFrom(rs *replayScratch, w int32, prior float64) (best float64, pivotal bool) {
 	best = prior
 	for rs.deficit > 0 {
@@ -470,7 +615,7 @@ func (kn *kernel) replayFrom(rs *replayScratch, w int32, prior float64) (best fl
 		if m <= 0 {
 			break
 		}
-		idx, score, _ := kn.selectBestIn(&rs.cand, rs.theta)
+		idx, score, _ := rs.lh.popBest(kn, rs.theta, &rs.cand)
 		if idx < 0 {
 			return 0, true
 		}
@@ -478,7 +623,7 @@ func (kn *kernel) replayFrom(rs *replayScratch, w int32, prior float64) (best fl
 			best = v
 		}
 		kn.removeGroupIn(&rs.cand, kn.groupOf[idx])
-		kn.applyTo(rs.theta, &rs.deficit, idx)
+		kn.applyDirtyState(&rs.lh, rs.theta, &rs.deficit, idx)
 	}
 	return best, false
 }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBetterScore pins the shared greedy comparison (the ONE tie-break rule
+// every selection path routes through): strictly lower score wins, and an
+// exact float64 score tie falls to the lower bid index — in both argument
+// orders, so the rule is a strict weak ordering.
+func TestBetterScore(t *testing.T) {
+	cases := []struct {
+		s1   float64
+		b1   int32
+		s2   float64
+		b2   int32
+		want bool
+	}{
+		{1, 5, 2, 1, true},            // lower score wins regardless of index
+		{2, 1, 1, 5, false},           // higher score loses regardless of index
+		{3, 2, 3, 7, true},            // exact tie: lower index wins
+		{3, 7, 3, 2, false},           // exact tie: higher index loses
+		{3, 4, 3, 4, false},           // identical pair: not "better" (strictness)
+		{0.1 + 0.2, 9, 0.3, 1, false}, // 0.30000000000000004 > 0.3: no tie
+	}
+	for _, c := range cases {
+		if got := betterScore(c.s1, c.b1, c.s2, c.b2); got != c.want {
+			t.Errorf("betterScore(%v,%d,%v,%d) = %v, want %v", c.s1, c.b1, c.s2, c.b2, got, c.want)
+		}
+	}
+}
+
+// TestExactTiePermutedList is the regression test for the permuted-list
+// tie-break case: the kernel's candidate list and heap permute entries as
+// the run progresses (swap-deletes, sift-downs), so the lowest-bid-index
+// rule must be applied explicitly rather than inherited from scan order.
+// The instance makes the rule fully observable from the outside: every bid
+// covers exactly one unit-demand needy service at the same price, so EVERY
+// live bid carries the identical score at every iteration, the greedy
+// winner is always the lowest-index live bid, and a bid dies exactly when
+// its needy service is covered. A transparent mini-oracle computes the
+// unique correct winner sequence under that rule, and the assignment of
+// needy targets to bid indices is re-permuted every trial.
+func TestExactTiePermutedList(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const needy, perNeedy = 4, 3
+	for trial := 0; trial < 25; trial++ {
+		// target[i] is the single needy service bid i covers: perNeedy
+		// duplicate bids per needy, scattered over bid indices.
+		target := make([]int, 0, needy*perNeedy)
+		for k := 0; k < needy; k++ {
+			for j := 0; j < perNeedy; j++ {
+				target = append(target, k)
+			}
+		}
+		rng.Shuffle(len(target), func(i, j int) { target[i], target[j] = target[j], target[i] })
+
+		ins := &Instance{Demand: make([]int, needy)}
+		for k := range ins.Demand {
+			ins.Demand[k] = 1
+		}
+		for i, k := range target {
+			ins.Bids = append(ins.Bids, Bid{
+				Bidder: i + 1, Price: 10, TrueCost: 10,
+				Covers: []int{k}, Units: 1,
+			})
+		}
+
+		// Mini-oracle: repeatedly select the lowest-index bid whose needy
+		// service is still uncovered.
+		covered := make([]bool, needy)
+		var want []int
+		for len(want) < needy {
+			for i, k := range target {
+				if !covered[k] {
+					covered[k] = true
+					want = append(want, i)
+					break
+				}
+			}
+		}
+
+		for _, opts := range []Options{
+			{},
+			{Metric: LowestPrice},
+			{Payment: FirstPrice, SkipCertificate: true},
+			{Parallelism: 4},
+		} {
+			out, err := SSAM(ins, opts)
+			if err != nil {
+				t.Fatalf("trial %d: SSAM: %v", trial, err)
+			}
+			if len(out.Winners) != len(want) {
+				t.Fatalf("trial %d opts %+v: got %d winners %v, want %v", trial, opts, len(out.Winners), out.Winners, want)
+			}
+			for i := range want {
+				if out.Winners[i] != want[i] {
+					t.Fatalf("trial %d opts %+v: winner sequence %v violates the lowest-index tie-break, want %v (targets %v)",
+						trial, opts, out.Winners, want, target)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelPoolReuseAcrossShapes drives the pooled kernel and replay
+// scratches through back-to-back instances of sharply different sizes and
+// generator families, holding every run to the reference oracle. A pooled
+// buffer that survives a resize, a stale epoch or heap entry, or any other
+// state leaking across builds would surface as a differential divergence
+// here. Parallelism rotates so replay scratches also cross shapes.
+func TestKernelPoolReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ bidders, needy, bidsPer int }{
+		{40, 6, 3}, {2, 1, 1}, {25, 8, 2}, {3, 2, 1}, {50, 4, 3},
+	}
+	for round := 0; round < 3; round++ {
+		for si, sh := range shapes {
+			var ins *Instance
+			switch si % 3 {
+			case 0:
+				ins = randomInstance(rng, sh.bidders, sh.needy, sh.bidsPer)
+			case 1:
+				ins = tieProneInstance(rng, sh.bidders, sh.needy, sh.bidsPer)
+			default:
+				ins = saturationHeavyInstance(rng, sh.bidders, sh.needy, sh.bidsPer)
+			}
+			scaled := make([]float64, len(ins.Bids))
+			for i, b := range ins.Bids {
+				scaled[i] = b.Price
+			}
+			opts := Options{Parallelism: 1 + (round+si)%4}
+			assertDifferential(t, ins, scaled, opts,
+				"pool-reuse round="+itoa(round)+" shape="+itoa(si))
+
+			// Budgeted path: exercises from-scratch replay scratch reuse.
+			full, err := referenceSSAM(ins, opts)
+			if err != nil {
+				t.Fatalf("round %d shape %d: reference: %v", round, si, err)
+			}
+			budget := full.TotalPayment() * 0.6
+			want, wantErr := referenceBudgetedSSAM(ins, budget, opts)
+			got, gotErr := BudgetedSSAM(ins, budget, opts)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("round %d shape %d: budgeted error divergence: %v vs %v", round, si, wantErr, gotErr)
+			}
+			if wantErr == nil && !want.Outcome.Equal(&got.Outcome) {
+				t.Fatalf("round %d shape %d: budgeted divergence:\nreference: %+v\nkernel:    %+v", round, si, want.Outcome, got.Outcome)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file settles the "pick the priority structure by benchmark" question
+// behind lazyheap.go. A test-only pairing heap implements the identical
+// lazy-rescore contract (stale roots rescored and reinserted, banned and
+// dead bids discarded lazily, betterScore ordering), and
+// BenchmarkPriorityStructures races it against the production binary heap
+// and the retained full-scan baseline (selectBestIn) on the selection
+// loop. TestPriorityStructuresAgree holds all three to the same winner
+// sequence first, so the benchmark compares equivalent implementations. A
+// monotone bucket queue was ruled out analytically instead: bucketing
+// float64 scores requires quantization, which cannot preserve the exact
+// score ties the lowest-index tie-break is defined over.
+
+// pairingHeap is a min pairing heap over bid indices keyed by cached
+// (score, bid index), with the same lazy rescoring protocol as lazyHeap.
+// It reads coverage epochs from the kernel's main-run heap (kn.lh), which
+// kn.applyDirty keeps current.
+type pairingHeap struct {
+	root       int32
+	child      []int32
+	sibling    []int32
+	key        []float64
+	marg       []int32
+	scoreEpoch []int32
+}
+
+func (ph *pairingHeap) meld(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if betterScore(ph.key[b], b, ph.key[a], a) {
+		a, b = b, a
+	}
+	ph.sibling[b] = ph.child[a]
+	ph.child[a] = b
+	return a
+}
+
+func (ph *pairingHeap) mergePairs(c int32) int32 {
+	if c < 0 {
+		return -1
+	}
+	b := ph.sibling[c]
+	if b < 0 {
+		return c
+	}
+	rest := ph.sibling[b]
+	ph.sibling[c], ph.sibling[b] = -1, -1
+	return ph.meld(ph.meld(c, b), ph.mergePairs(rest))
+}
+
+func (ph *pairingHeap) deleteMin() {
+	ph.root = ph.mergePairs(ph.child[ph.root])
+}
+
+// seed mirrors lazyHeap.seed on an already-built kernel: exact initial
+// keys for every live candidate (build's lh.seed has pruned dead bids).
+func (ph *pairingHeap) seed(kn *kernel) {
+	nb := kn.nb
+	ph.child = resizeInt32(ph.child, nb)
+	ph.sibling = resizeInt32(ph.sibling, nb)
+	ph.key = resizeFloat64(ph.key, nb)
+	ph.marg = resizeInt32(ph.marg, nb)
+	ph.scoreEpoch = resizeInt32(ph.scoreEpoch, nb)
+	ph.root = -1
+	for _, b := range kn.cand.list {
+		m := kn.marginalOf(b, kn.theta)
+		ph.key[b] = kn.scoreOf(b, m)
+		ph.marg[b] = int32(m)
+		ph.scoreEpoch[b] = kn.lh.bidEpoch[b]
+		ph.child[b], ph.sibling[b] = -1, -1
+		ph.root = ph.meld(ph.root, b)
+	}
+}
+
+func (ph *pairingHeap) popBest(kn *kernel) (best int32, bestScore float64, bestMarginal int) {
+	for ph.root >= 0 {
+		b := ph.root
+		if kn.cand.pos[b] < 0 { // banned bidder group: lazy delete
+			ph.deleteMin()
+			continue
+		}
+		if ph.scoreEpoch[b] != kn.lh.bidEpoch[b] { // stale: rescore + reinsert
+			ph.scoreEpoch[b] = kn.lh.bidEpoch[b]
+			m := kn.marginalOf(b, kn.theta)
+			if m <= 0 { // dead forever
+				kn.cand.remove(b)
+				ph.deleteMin()
+				continue
+			}
+			ph.marg[b] = int32(m)
+			ph.key[b] = kn.scoreOf(b, m)
+			ph.deleteMin()
+			ph.child[b], ph.sibling[b] = -1, -1
+			ph.root = ph.meld(ph.root, b)
+			continue
+		}
+		return b, ph.key[b], int(ph.marg[b])
+	}
+	return -1, 0, 0
+}
+
+// runSelectionLoop drives the greedy winner loop on a fresh kernel build
+// with the supplied arg-min, returning the winner sequence. pop must
+// leave the winner in place (it is removed by the group ban, as in the
+// production loop).
+func runSelectionLoop(tb testing.TB, ins *Instance, pop func(kn *kernel) (int32, float64, int)) []int {
+	tb.Helper()
+	scaled := make([]float64, len(ins.Bids))
+	for i, b := range ins.Bids {
+		scaled[i] = b.Price
+	}
+	kn := kernelPool.Get().(*kernel)
+	defer kn.release()
+	if err := kn.build(ins, scaled, Options{SkipCertificate: true, Payment: FirstPrice}); err != nil {
+		tb.Fatalf("build: %v", err)
+	}
+	var winners []int
+	for kn.deficit > 0 {
+		best, _, _ := pop(kn)
+		if best < 0 {
+			break
+		}
+		kn.removeGroupIn(&kn.cand, kn.groupOf[best])
+		kn.applyDirty(best)
+		winners = append(winners, int(best))
+	}
+	return winners
+}
+
+func popViaScan(kn *kernel) (int32, float64, int)   { return kn.selectBestIn(&kn.cand, kn.theta) }
+func popViaBinary(kn *kernel) (int32, float64, int) { return kn.popBest() }
+
+func popViaPairing(ph *pairingHeap) func(kn *kernel) (int32, float64, int) {
+	seeded := false
+	return func(kn *kernel) (int32, float64, int) {
+		if !seeded {
+			ph.seed(kn)
+			seeded = true
+		}
+		return ph.popBest(kn)
+	}
+}
+
+// TestPriorityStructuresAgree holds the scan baseline, the production
+// binary heap, and the test-only pairing heap to identical winner
+// sequences across all three instance families.
+func TestPriorityStructuresAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		var ins *Instance
+		switch trial % 3 {
+		case 0:
+			ins = randomInstance(rng, 4+rng.Intn(20), 2+rng.Intn(6), 1+rng.Intn(3))
+		case 1:
+			ins = tieProneInstance(rng, 4+rng.Intn(20), 2+rng.Intn(6), 1+rng.Intn(3))
+		default:
+			ins = saturationHeavyInstance(rng, 4+rng.Intn(20), 2+rng.Intn(6), 1+rng.Intn(3))
+		}
+		scan := runSelectionLoop(t, ins, popViaScan)
+		binary := runSelectionLoop(t, ins, popViaBinary)
+		pairing := runSelectionLoop(t, ins, popViaPairing(new(pairingHeap)))
+		if len(scan) != len(binary) || len(scan) != len(pairing) {
+			t.Fatalf("trial %d: winner count divergence: scan=%v binary=%v pairing=%v", trial, scan, binary, pairing)
+		}
+		for i := range scan {
+			if scan[i] != binary[i] || scan[i] != pairing[i] {
+				t.Fatalf("trial %d: winner divergence at %d: scan=%v binary=%v pairing=%v", trial, i, scan, binary, pairing)
+			}
+		}
+	}
+}
+
+// BenchmarkPriorityStructures races the three equivalent selection
+// arg-mins on a 2000-bid instance. Every variant pays the same build cost
+// (which seeds the binary heap); the pairing-heap variant additionally
+// seeds its own structure on first pop, mirroring what adopting it would
+// cost. Recorded result (1-CPU container, go1.24): the binary heap wins —
+// no per-node pointer chasing, cache-contiguous sift-downs — which is why
+// lazyheap.go ships the flat binary heap.
+func BenchmarkPriorityStructures(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	ins := randomInstance(rng, 500, 50, 4)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSelectionLoop(b, ins, popViaScan)
+		}
+	})
+	b.Run("binary-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSelectionLoop(b, ins, popViaBinary)
+		}
+	})
+	b.Run("pairing-heap", func(b *testing.B) {
+		ph := new(pairingHeap)
+		for i := 0; i < b.N; i++ {
+			runSelectionLoop(b, ins, popViaPairing(ph))
+		}
+	})
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check cover fuzz soak soak-quick soak-crash bench bench-core bench-core-sweep bench-guard bench-scaling bench-repro repro
+.PHONY: all build test check cover fuzz soak soak-quick soak-crash soak-pipeline bench bench-core bench-core-sweep bench-guard bench-load bench-scaling bench-repro repro
 
 all: build
 
@@ -80,8 +80,17 @@ soak-crash:
 	$(GO) build -o /tmp/edgeauction-chaos ./cmd/chaos
 	/tmp/edgeauction-chaos -scenario crash -quiet
 
+# soak-pipeline is the overlap-determinism gate: the builtin pipeline
+# scenario clears the same 120-round workload once through the serial
+# RunRound loop and once through the pipelined round engine (settle t
+# overlapping gather t+1), and exits non-zero unless the two passes are
+# byte-identical (same WAL bytes, same ψ-state hash, same OnlineSummary).
+soak-pipeline:
+	$(GO) build -o /tmp/edgeauction-chaos ./cmd/chaos
+	/tmp/edgeauction-chaos -scenario pipeline -quiet
+
 # soak runs every builtin chaos scenario, including a long churn run.
-soak: soak-quick soak-crash
+soak: soak-quick soak-crash soak-pipeline
 	/tmp/edgeauction-chaos -scenario churn -rounds 1000 -quiet
 	/tmp/edgeauction-chaos -scenario faults -quiet
 	/tmp/edgeauction-chaos -scenario capacity -quiet
@@ -112,16 +121,42 @@ bench-core:
 bench-core-sweep:
 	$(MAKE) bench-core BENCH_CORE_PROCS=1,2,4,8
 
+# bench-load records the end-to-end platform load benchmark into
+# results/BENCH_load.json: an in-process server driven by the multiplexed
+# loadgen fleet at each BENCH_LOAD_AGENTS size, serial RunRound vs
+# pipelined RunPipelined, alternating passes with the median pass per mode
+# (single-box throughput is too noisy for one-shot comparisons). The run
+# itself asserts the pipelined engine beats serial at >=10k agents and
+# that allocation per agent-round stays under the pooled-path ceiling.
+# BENCH_LOAD_AGENTS=1000,10000,100000 records the 100k point too (needs
+# `ulimit -n` headroom for ~500 extra sockets and a few extra minutes).
+BENCH_LOAD_JSON ?= results/BENCH_load.json
+BENCH_LOAD_AGENTS ?= 1000,10000
+BENCH_LOAD_PASSES ?= 3
+bench-load:
+	$(GO) test -run '^TestBenchLoadJSON$$' -count=1 -v -timeout 60m \
+		-bench-load-json $(BENCH_LOAD_JSON) \
+		-bench-load-agents '$(BENCH_LOAD_AGENTS)' \
+		-bench-load-passes $(BENCH_LOAD_PASSES) .
+
 # bench-guard re-runs the nil-tracer SSAMSelect/SSAMPayments/MSOARound hot
 # paths and fails if they regress more than BENCH_GUARD_TOL (fraction)
 # against the committed "optimized" run in results/BENCH_core.json at the
 # matching GOMAXPROCS level (nearest recorded level when there is no exact
 # match), or allocate more per op. This is both the observability layer's
 # zero-cost-when-disabled gate and the kernel's no-regression gate.
+# It then replays the load-benchmark grid against the committed
+# results/BENCH_load.json: neither engine may shed more than
+# BENCH_LOAD_GUARD_TOL of its recorded rounds/sec, and the pipelined
+# engine must still beat serial at >=10k agents.
 BENCH_GUARD_TOL ?= 0.05
+BENCH_LOAD_GUARD_TOL ?= 0.10
 bench-guard:
 	$(GO) test -run '^TestBenchCoreGuard$$' -count=1 -v \
 		-bench-guard -bench-guard-tolerance $(BENCH_GUARD_TOL) .
+	$(GO) test -run '^TestBenchLoadGuard$$' -count=1 -v -timeout 60m \
+		-bench-load-guard \
+		-bench-load-guard-tolerance $(BENCH_LOAD_GUARD_TOL) .
 
 # bench-scaling verifies the multicore claims against a recorded GOMAXPROCS
 # sweep: the parallel payment fan-out and the experiment-harness trial

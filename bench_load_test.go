@@ -1,0 +1,209 @@
+package edgeauction
+
+// Load benchmark: the platform round engine under 1k-100k concurrent TCP
+// agents, serial RunRound vs pipelined RunPipelined, driven by the
+// multiplexed loadgen fleet. Because a single box's throughput swings
+// run to run, each grid point alternates serial and pipelined passes in
+// one process and records the median pass per mode (loadgen.RunPaired).
+// `make bench-load` records results/BENCH_load.json; `make bench-guard`
+// replays the grid against that baseline.
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"edgeauction/internal/loadgen"
+)
+
+var (
+	benchLoadJSON = flag.String("bench-load-json", "",
+		"record the load-benchmark grid into this JSON file (used by `make bench-load`)")
+	benchLoadAgents = flag.String("bench-load-agents", "1000,10000",
+		"comma-separated fleet sizes for the load-benchmark grid")
+	benchLoadRounds = flag.Int("bench-load-rounds", 20,
+		"measured rounds per load-benchmark pass")
+	benchLoadPasses = flag.Int("bench-load-passes", 3,
+		"alternating serial/pipelined passes per grid point (median reported)")
+	benchLoadThink = flag.Duration("bench-load-think", 6*time.Millisecond,
+		"per-session fleet think time — the latency the pipelined settle hides inside")
+	benchLoadGuard = flag.Bool("bench-load-guard", false,
+		"replay the load-benchmark grid against the committed baseline (used by `make bench-guard`)")
+	benchLoadGuardTol = flag.Float64("bench-load-guard-tolerance", 0.10,
+		"allowed rounds/sec regression fraction for the load-benchmark guard")
+	benchLoadGuardJSON = flag.String("bench-load-guard-json", "results/BENCH_load.json",
+		"committed load-benchmark baseline the guard compares against")
+)
+
+// benchLoadAllocCeiling bounds process-wide heap allocation per
+// agent-round (server + in-process fleet) at every grid point. The
+// pooled round bookkeeping, CSR ingest arenas, decode reuse on the bid
+// path and the fleet's static-bid fast path keep the measured figure a
+// few hundred bytes; the ceiling has ~2x headroom so Go-version codec
+// drift does not flake it, while a leaked per-bid or per-agent
+// allocation (the regressions it exists to catch) blows through it.
+const benchLoadAllocCeiling = 1024.0
+
+// loadBenchDoc is the committed results/BENCH_load.json schema.
+type loadBenchDoc struct {
+	GoVersion   string                 `json:"go_version"`
+	GoMaxProcs  int                    `json:"gomaxprocs"`
+	Rounds      int                    `json:"rounds"`
+	Passes      int                    `json:"passes"`
+	ThinkMillis float64                `json:"think_ms"`
+	Grid        []loadgen.PairedResult `json:"grid"`
+}
+
+func benchLoadAgentGrid(t *testing.T) []int {
+	var grid []int
+	for _, tok := range strings.Split(*benchLoadAgents, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad -bench-load-agents entry %q", tok)
+		}
+		grid = append(grid, n)
+	}
+	if len(grid) == 0 {
+		t.Fatal("-bench-load-agents named no fleet sizes")
+	}
+	return grid
+}
+
+func benchLoadPoint(t *testing.T, agents int) loadgen.PairedResult {
+	t.Helper()
+	res, err := loadgen.RunPaired(loadgen.RunConfig{
+		Agents:    agents,
+		Rounds:    *benchLoadRounds,
+		ThinkTime: *benchLoadThink,
+	}, *benchLoadPasses)
+	if err != nil {
+		t.Fatalf("load bench at %d agents: %v", agents, err)
+	}
+	t.Logf("agents=%-6d serial %6.2f rounds/sec | pipelined %6.2f rounds/sec (%+.1f%%) | gather %.1fms settle %.1fms | p99 RTT %.1fms | %d sessions | %.0f B/agent-round",
+		agents, res.Serial.RoundsPerSec, res.Pipelined.RoundsPerSec, res.SpeedupPct,
+		res.Serial.GatherMillis, res.Serial.SettleMillis,
+		res.Pipelined.P99BidRTTMicros/1000, res.Pipelined.Sessions,
+		res.Pipelined.AllocBytesPerAgentRound)
+	for _, r := range []loadgen.Result{res.Serial, res.Pipelined} {
+		if r.AllocBytesPerAgentRound > benchLoadAllocCeiling {
+			t.Errorf("alloc regression at %d agents (pipelined=%v): %.0f bytes/agent-round exceeds the %v-byte ceiling — a pooled path is allocating per bid or per agent again",
+				agents, r.Pipelined, r.AllocBytesPerAgentRound, benchLoadAllocCeiling)
+		}
+	}
+	return *res
+}
+
+// overlapGainPct bounds the throughput the pipeline can win at this grid
+// point: per round it hides at most min(settle, think) of the serial
+// gather+settle wall. When that bound falls under ~5% the two engines
+// honestly converge — at 100k agents on one core the gather is pure
+// decode CPU with think time a sliver of the round, so there is no idle
+// left to hide the settle inside and parity is the correct result, not a
+// regression.
+func overlapGainPct(res loadgen.PairedResult) float64 {
+	hide := math.Min(res.Serial.SettleMillis, float64(benchLoadThink.Microseconds())/1000)
+	round := res.Serial.GatherMillis + res.Serial.SettleMillis
+	if round <= 0 {
+		return 0
+	}
+	return hide / round * 100
+}
+
+// assertOverlapWin requires the pipelined median to beat the serial
+// median wherever the shape gives the pipeline something to hide.
+func assertOverlapWin(t *testing.T, agents int, res loadgen.PairedResult) {
+	t.Helper()
+	if agents < 10000 {
+		return
+	}
+	if gain := overlapGainPct(res); gain < 5 {
+		t.Logf("agents=%d: overlap bound %.1f%% is under the 5%% noise floor (settle %.1fms inside a %.1fms round) — win not asserted",
+			agents, gain, res.Serial.SettleMillis, res.Serial.GatherMillis+res.Serial.SettleMillis)
+		return
+	}
+	if res.Pipelined.RoundsPerSec <= res.Serial.RoundsPerSec {
+		t.Errorf("pipelined engine lost its overlap at %d agents: %.2f rounds/sec vs serial %.2f",
+			agents, res.Pipelined.RoundsPerSec, res.Serial.RoundsPerSec)
+	}
+}
+
+// TestBenchLoadJSON records the load-benchmark grid into
+// -bench-load-json and asserts the pipelined engine's reason to exist:
+// at every grid point of at least 10k agents, the median pipelined pass
+// clears strictly more rounds/sec than the median serial pass. Skipped
+// unless -bench-load-json is set; `make bench-load` is the entry point.
+func TestBenchLoadJSON(t *testing.T) {
+	if *benchLoadJSON == "" {
+		t.Skip("enable with -bench-load-json <file> (see `make bench-load`)")
+	}
+	doc := loadBenchDoc{
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Rounds:      *benchLoadRounds,
+		Passes:      *benchLoadPasses,
+		ThinkMillis: float64(benchLoadThink.Microseconds()) / 1000,
+	}
+	for _, agents := range benchLoadAgentGrid(t) {
+		res := benchLoadPoint(t, agents)
+		assertOverlapWin(t, agents, res)
+		doc.Grid = append(doc.Grid, res)
+	}
+	if t.Failed() {
+		return
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchLoadJSON, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchLoadGuard replays the committed grid and fails if either
+// mode's throughput regresses more than -bench-load-guard-tolerance
+// against results/BENCH_load.json, or if the pipelined engine stops
+// beating serial at >=10k agents. Skipped unless -bench-load-guard is
+// set; `make bench-guard` is the entry point.
+func TestBenchLoadGuard(t *testing.T) {
+	if !*benchLoadGuard {
+		t.Skip("enable with -bench-load-guard (see `make bench-guard`)")
+	}
+	data, err := os.ReadFile(*benchLoadGuardJSON)
+	if err != nil {
+		t.Fatalf("no load-benchmark baseline: %v — run `make bench-load` first", err)
+	}
+	var base loadBenchDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("%s is not a load-benchmark file: %v", *benchLoadGuardJSON, err)
+	}
+	for _, want := range base.Grid {
+		agents := want.Serial.Agents
+		got := benchLoadPoint(t, agents)
+		assertOverlapWin(t, agents, got)
+		for _, pair := range []struct {
+			mode      string
+			want, got float64
+		}{
+			{"serial", want.Serial.RoundsPerSec, got.Serial.RoundsPerSec},
+			{"pipelined", want.Pipelined.RoundsPerSec, got.Pipelined.RoundsPerSec},
+		} {
+			floor := pair.want * (1 - *benchLoadGuardTol)
+			if pair.got < floor {
+				t.Errorf("load-bench regression: %s at %d agents runs %.2f rounds/sec, %.1f%% under the %.2f baseline (tolerance %.0f%%)",
+					pair.mode, agents, pair.got, (1-pair.got/pair.want)*100,
+					pair.want, 100**benchLoadGuardTol)
+			}
+		}
+	}
+}

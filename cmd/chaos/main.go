@@ -7,13 +7,18 @@
 //	chaos -scenario testdata/foo.json          # run a JSON scenario file
 //	chaos -scenario churn -audit-out run.jsonl # capture the deterministic audit log
 //	chaos -scenario churn -break-payments      # prove the auditor is live
+//	chaos -scenario crash                      # kill/recover the platform, byte-compare
+//	chaos -scenario pipeline                   # serial vs pipelined engine, byte-compare
 //	chaos -list                                # list builtin scenarios
 //	chaos -scenario churn -print               # dump the scenario as JSON
 //
 // The audit log is deterministic: two runs of the same scenario and seed
 // are byte-identical, which is what `make soak-quick` asserts with cmp.
+// Crash scenarios (soak-crash) and pipeline scenarios (soak-pipeline)
+// extend the same idea to the durable record: the recovered —
+// respectively, overlapped — run must match its baseline byte-for-byte.
 // Exit status: 0 on a clean run, 1 on operational errors, 2 when the
-// auditor found invariant violations.
+// auditor found invariant violations or a comparison run diverged.
 package main
 
 import (
@@ -46,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		breakPayments = fs.Bool("break-payments", false, "corrupt every award by 10% so the auditor must object")
 		maxViolations = fs.Int("max-violations", 0, "stop after N violations (0 = 1; negative = collect all)")
 		quiet         = fs.Bool("quiet", false, "suppress progress logging")
-		crashDir      = fs.String("crash-dir", "", "working dir for platform-crash runs (default: a temp dir)")
+		crashDir      = fs.String("crash-dir", "", "working dir for platform-crash and pipeline comparison runs (default: a temp dir)")
 		snapshotEvery = fs.Int("snapshot-every", 10, "checkpoint the crashed pass every N rounds (platform-crash runs; 0 disables)")
 		fsync         = fs.Bool("fsync", false, "fsync the WAL on every append (platform-crash runs)")
 	)
@@ -89,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if len(sc.PlatformCrashes) > 0 {
 		return runCrash(sc, *crashDir, *snapshotEvery, *fsync, *quiet, stdout, stderr)
+	}
+	if sc.Pipelined {
+		return runPipeline(sc, *crashDir, *fsync, *quiet, stdout, stderr)
 	}
 
 	cfg := chaos.Config{
@@ -181,6 +189,41 @@ func runCrash(sc *chaos.Scenario, dir string, snapshotEvery int, fsync, quiet bo
 		return 2
 	}
 	fmt.Fprintf(stdout, "recovered run is byte-identical to the uninterrupted baseline\n")
+	return 0
+}
+
+// runPipeline executes a serial-vs-pipelined comparison scenario: the
+// same workload cleared through the serial round loop and through the
+// overlapped round engine, compared byte-for-byte. Exit 2 on divergence.
+func runPipeline(sc *chaos.Scenario, dir string, fsync, quiet bool, stdout, stderr io.Writer) int {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-pipeline-")
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	cfg := chaos.PipelineConfig{Scenario: sc, Dir: dir, Fsync: fsync}
+	if !quiet {
+		cfg.Logger = log.New(stderr, "", 0)
+	}
+	res, err := chaos.RunPipelineCompare(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "chaos: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scenario %s seed %d: %d rounds, serial vs pipelined\n",
+		res.Scenario, res.Seed, res.Rounds)
+	fmt.Fprintf(stdout, "state: serial %s, pipelined %s, WAL match %v\n",
+		short(res.SerialHash), short(res.PipelinedHash), res.WALMatch)
+	if !res.Match {
+		fmt.Fprintf(stdout, "DIVERGENCE: pipelined run does not match the serial baseline\n")
+		fmt.Fprintf(stdout, "repro: go run ./cmd/chaos -scenario %s -seed %d -crash-dir <dir>\n", res.Scenario, res.Seed)
+		return 2
+	}
+	fmt.Fprintf(stdout, "pipelined run is byte-identical to the serial baseline\n")
 	return 0
 }
 

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"edgeauction/internal/loadgen"
+)
+
+// loadFlags carries the -load mode's knobs out of flag parsing.
+type loadFlags struct {
+	agents   int
+	rounds   int
+	pipeline bool
+	think    time.Duration
+	perConn  int
+	jsonOut  bool
+}
+
+// runLoad drives the multiplexed load generator against an in-process
+// platform server and prints throughput and tail latency — the quick
+// CLI face of the committed load benchmark (make bench-load).
+func runLoad(lf loadFlags) error {
+	res, err := loadgen.Run(loadgen.RunConfig{
+		Agents:        lf.agents,
+		Rounds:        lf.rounds,
+		Pipelined:     lf.pipeline,
+		ThinkTime:     lf.think,
+		AgentsPerConn: lf.perConn,
+	})
+	if err != nil {
+		return err
+	}
+	if lf.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	mode := "serial"
+	if res.Pipelined {
+		mode = "pipelined"
+	}
+	fmt.Printf("load: %d agents over %d conns, %d rounds %s\n",
+		res.Agents, res.Sessions, res.Rounds, mode)
+	fmt.Printf("  throughput: %.2f rounds/sec (%.1f ms total)\n", res.RoundsPerSec, res.ElapsedMillis)
+	fmt.Printf("  p99 bid RTT: %.0f us\n", res.P99BidRTTMicros)
+	fmt.Printf("  bids gathered: %d (%d shed by admission)\n", res.Bids, res.Rejections)
+	fmt.Printf("  alloc: %.0f bytes per agent-round\n", res.AllocBytesPerAgentRound)
+	return nil
+}

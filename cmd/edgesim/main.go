@@ -5,6 +5,12 @@
 // Usage:
 //
 //	edgesim -services 30 -rounds 10 -seed 7 -workmean 600
+//
+// With -load N it instead runs the platform load benchmark: N agents
+// multiplexed over few TCP sessions drive an in-process auctioneer and
+// the tool reports rounds/sec and p99 bid round-trip latency:
+//
+//	edgesim -load 10000 -load-rounds 20 -load-pipeline
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"edgeauction/internal/core"
 	"edgeauction/internal/obs"
@@ -36,8 +43,20 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	verbose := fs.Bool("v", false, "print per-microservice indicators each round")
 	traceOut := fs.String("trace-out", "", "append a JSONL observability event per auction step to this file")
+	loadAgents := fs.Int("load", 0, "run the platform load benchmark with this many multiplexed agents instead of the simulator (0 = off)")
+	loadRounds := fs.Int("load-rounds", 20, "measured rounds for -load")
+	loadPipeline := fs.Bool("load-pipeline", false, "use the pipelined round engine (overlap gather with settle) for -load")
+	loadThink := fs.Duration("load-think", 2*time.Millisecond, "simulated per-session bid decision latency for -load")
+	loadPerConn := fs.Int("load-conns", 0, "agents multiplexed per TCP session for -load (0 = default)")
+	loadJSON := fs.Bool("load-json", false, "emit the -load result as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *loadAgents > 0 {
+		return runLoad(loadFlags{
+			agents: *loadAgents, rounds: *loadRounds, pipeline: *loadPipeline,
+			think: *loadThink, perConn: *loadPerConn, jsonOut: *loadJSON,
+		})
 	}
 
 	dist, err := parseWorkDist(*workDist)

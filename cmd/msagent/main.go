@@ -89,5 +89,12 @@ func run(args []string) error {
 
 	fmt.Printf("agent %d saw %d rounds, won %d awards, earned %.2f\n",
 		*id, agent.RoundsSeen(), len(agent.Awards()), agent.Earnings())
+	if rejects := agent.Rejections(); len(rejects) > 0 {
+		counts := map[string]int{}
+		for _, r := range rejects {
+			counts[r.Code]++
+		}
+		fmt.Printf("agent %d had %d submissions shed by admission control: %v\n", *id, len(rejects), counts)
+	}
 	return nil
 }

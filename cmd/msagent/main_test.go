@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -42,6 +45,65 @@ func TestAgentLifecycleAgainstServer(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("agent did not exit after platform shutdown")
+	}
+}
+
+// TestAgentSurfacesAdmissionRejection round-trips a token-bucket shed
+// through the real msagent binary path: with a bucket that refills far
+// slower than the round cadence, the agent's second-round bid earns a
+// typed rate_limited reply, which msagent reports on exit.
+func TestAgentSurfacesAdmissionRejection(t *testing.T) {
+	srv, err := platform.NewServer("127.0.0.1:0", platform.ServerConfig{
+		BidDeadline: 150 * time.Millisecond,
+		Admission:   platform.AdmissionConfig{BidRate: 0.01, BidBurst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rOut, wOut, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedStdout := os.Stdout
+	os.Stdout = wOut
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-connect", srv.Addr(), "-id", "3", "-load", "0.4"})
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && srv.AgentCount() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.AgentCount() != 1 {
+		os.Stdout = savedStdout
+		t.Fatal("agent never registered")
+	}
+	// Round 1 consumes the only token; round 2's bid is shed.
+	for i := 0; i < 2; i++ {
+		if _, err := srv.RunRound([]int{2}, nil); err != nil {
+			os.Stdout = savedStdout
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		os.Stdout = savedStdout
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		os.Stdout = savedStdout
+		t.Fatalf("agent exited with error: %v", err)
+	}
+	os.Stdout = savedStdout
+	_ = wOut.Close()
+	out, err := io.ReadAll(rOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "shed by admission control") ||
+		!strings.Contains(string(out), platform.RejectRateLimited) {
+		t.Fatalf("msagent output does not surface the rejection:\n%s", out)
 	}
 }
 

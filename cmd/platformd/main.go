@@ -59,11 +59,20 @@ func run(args []string) error {
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every append (durable against power loss, not just process death)")
 	traceOut := fs.String("trace-out", "", "append a JSONL observability event per auction step to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, expvar /debug/vars and pprof on this address (empty = disabled)")
+	pipeline := fs.Bool("pipeline", false, "overlap each round's bid gathering with the previous round's settlement (requires -rounds > 0; ignores -period)")
+	bidRate := fs.Float64("bid-rate", 0, "admission: per-agent bid token refill per second (0 = no rate limit)")
+	bidBurst := fs.Int("bid-burst", 0, "admission: per-agent bid token bucket size (0 = 1 when -bid-rate is set)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "admission: consecutive qualifying drops that open an agent's circuit (0 = no breaker)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "admission: how long an open circuit refuses re-registration (0 = default)")
+	queueBound := fs.Int("queue-bound", 0, "admission: max submissions per agent per round before queue_full sheds (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *needyHi < *needyLo || *demandHi < *demandLo {
 		return fmt.Errorf("invalid demand ranges")
+	}
+	if *pipeline && *rounds <= 0 {
+		return fmt.Errorf("-pipeline needs -rounds > 0 (overlapped rounds run back to back, not on a period)")
 	}
 	if *recoverFlag && *walPath == "" && *snapshotDir == "" {
 		return fmt.Errorf("-recover needs -wal and/or -snapshot-dir to recover from")
@@ -75,6 +84,13 @@ func run(args []string) error {
 		Logger:      logger,
 	}
 	scfg.Auction.Options.Parallelism = *parallelism
+	scfg.Admission = platform.AdmissionConfig{
+		BidRate:          *bidRate,
+		BidBurst:         *bidBurst,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		QueueBound:       *queueBound,
+	}
 	if *auditPath != "" {
 		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -197,6 +213,52 @@ func run(args []string) error {
 	if scfg.Resume != nil {
 		nextRound = scfg.Resume.NextRound
 	}
+	demandFor := func(round int) []int {
+		rng := workload.NewDerived(*seed, "demand", round, 0)
+		needy := rng.UniformInt(*needyLo, *needyHi)
+		demand := make([]int, needy)
+		for k := range demand {
+			demand[k] = rng.UniformInt(*demandLo, *demandHi)
+		}
+		return demand
+	}
+
+	if *pipeline {
+		// Overlapped mode: rounds run back to back, each round's bid
+		// gathering concurrent with the previous round's settlement. The
+		// per-round derived demand stream makes the sequence byte-identical
+		// to a serial run with the same seed.
+		for srv.AgentCount() == 0 {
+			select {
+			case <-ctx.Done():
+				fmt.Println("\nreceived signal, shutting down")
+				return nil
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		err := srv.RunPipelined(ctx, *rounds,
+			func(t int) ([]int, []int) { return demandFor(t), nil },
+			func(out *platform.RoundOutcome) error {
+				if out.Infeasible {
+					fmt.Printf("round %d: infeasible (%d bids)\n", out.T, out.Bids)
+				} else {
+					fmt.Printf("round %d: cleared at social cost %.2f, %d winners, %d bids\n",
+						out.T, out.SocialCost, len(out.Awards), out.Bids)
+				}
+				return nil
+			})
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("\npipelined run aborted by signal, shutting down")
+			printSummary(srv)
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pipelined run: %w", err)
+		}
+		printSummary(srv)
+		return nil
+	}
+
 	done := 0
 	for {
 		select {
@@ -210,12 +272,7 @@ func run(args []string) error {
 			fmt.Println("no agents registered; skipping round")
 			continue
 		}
-		rng := workload.NewDerived(*seed, "demand", nextRound, 0)
-		needy := rng.UniformInt(*needyLo, *needyHi)
-		demand := make([]int, needy)
-		for k := range demand {
-			demand[k] = rng.UniformInt(*demandLo, *demandHi)
-		}
+		demand := demandFor(nextRound)
 		out, err := srv.RunRoundContext(ctx, demand, nil)
 		if errors.Is(err, context.Canceled) {
 			fmt.Println("\nround aborted by signal, shutting down")

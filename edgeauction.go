@@ -115,6 +115,9 @@ type (
 	MSOAState = core.MSOAState
 	// PsiEntry is one bidder's dual state inside an MSOAState.
 	PsiEntry = core.PsiEntry
+	// IngestBuffer accumulates a round's bids shard-by-shard in the flat
+	// layout the SSAM kernel consumes (see MSOA.RunRoundIngest).
+	IngestBuffer = core.IngestBuffer
 )
 
 // Re-exported mechanism constants.
@@ -245,6 +248,15 @@ type (
 	RecoveredState = platform.RecoveredState
 	// SnapshotFile is one on-disk state checkpoint (see WriteSnapshot).
 	SnapshotFile = platform.SnapshotFile
+	// AdmissionConfig is the platform's listener-edge admission control:
+	// per-agent token-bucket rate limits, a flapping-agent circuit
+	// breaker, and bounded per-round ingest. Zero value disables all.
+	AdmissionConfig = platform.AdmissionConfig
+	// RejectMsg is the typed backpressure reply sent when admission
+	// control sheds a submission or registration.
+	RejectMsg = platform.RejectMsg
+	// AgentBids is one agent's bid set inside a multiplexed submission.
+	AgentBids = platform.AgentBids
 )
 
 // Platform timeout defaults, applied when the corresponding
@@ -265,6 +277,11 @@ const (
 	CrashMidGather    = platform.CrashMidGather
 	CrashPreAnnounce  = platform.CrashPreAnnounce
 	CrashPostAnnounce = platform.CrashPostAnnounce
+
+	// Typed backpressure causes carried by RejectMsg.Code.
+	RejectRateLimited = platform.RejectRateLimited
+	RejectQueueFull   = platform.RejectQueueFull
+	RejectCircuitOpen = platform.RejectCircuitOpen
 )
 
 // Observability types (see internal/obs). A Tracer receives typed events
@@ -306,6 +323,8 @@ type (
 	EventAgentDrop     = obs.AgentDrop
 	EventAgentTimeout  = obs.AgentTimeout
 	EventBidReceived   = obs.BidReceived
+	EventBidRejected   = obs.BidRejected
+	EventStageLatency  = obs.StageLatency
 	EventConfigDefault = obs.ConfigDefault
 	EventSweep         = obs.Sweep
 	EventSnapshot      = obs.Snapshot

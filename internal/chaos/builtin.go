@@ -32,6 +32,7 @@ var builtins = map[string]func() *Scenario{
 	"capacity":   capacityScenario,
 	"federation": federationScenario,
 	"crash":      crashScenario,
+	"pipeline":   pipelineScenario,
 }
 
 // churnScenario is the soak gate: 250 rounds of light randomized churn
@@ -114,6 +115,23 @@ func crashScenario() *Scenario {
 		CrashPlatformAt(24, platform.CrashMidGather).
 		CrashPlatformAt(41, platform.CrashPreAnnounce).
 		CrashPlatformAt(60, platform.CrashPostAnnounce)
+}
+
+// pipelineScenario is the overlap-determinism gate: 120 rounds over
+// eight capacity-limited agents cleared once serially and once through
+// the pipelined round engine with a real overlap window. Capacities and
+// recurring spikes keep ψ non-trivial, so the byte-compared WALs carry
+// real dual state, not zeros. Any reordering the overlap leaked into the
+// durable record — a bid attributed across rounds, a WAL append racing
+// an announce — shows up as a byte diff.
+func pipelineScenario() *Scenario {
+	return New("pipeline").
+		WithSeed(29).
+		WithRounds(120).
+		WithDeadline(40).
+		WithAgents(8, 200).
+		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 4, DemandLo: 1, DemandHi: 3, SpikeEvery: 25, SpikeFactor: 2}).
+		WithPipelined()
 }
 
 // federationScenario interleaves a three-cloud federated round after

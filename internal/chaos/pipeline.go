@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"edgeauction/internal/core"
+	"edgeauction/internal/platform"
+)
+
+// PipelineConfig parameterizes one serial-vs-pipelined comparison run
+// (RunPipelineCompare).
+type PipelineConfig struct {
+	// Scenario declares the workload. Like the crash harness it drives a
+	// fixed always-bidding population: what matters is that both passes
+	// see identical bids, which scenarioDemand/scenarioBids guarantee by
+	// construction.
+	Scenario *Scenario
+	// Dir is the working directory for the two WALs (required; the
+	// caller owns cleanup).
+	Dir string
+	// Fsync forces the WALs to stable storage on every append.
+	Fsync bool
+	// Logger receives operational progress; nil discards it.
+	Logger *log.Logger
+}
+
+// PipelineResult is the outcome of one comparison run: the same scenario
+// cleared once through the serial RunRound loop and once through the
+// overlapped round engine, compared byte-for-byte.
+type PipelineResult struct {
+	Scenario string
+	Seed     int64
+	Rounds   int
+	// SerialHash/PipelinedHash fingerprint the final mechanism state
+	// (core.MSOAState.Hash) of each pass.
+	SerialHash    string
+	PipelinedHash string
+	// SerialSummary/PipelinedSummary are each pass's aggregate outcome.
+	SerialSummary    *core.OnlineSummary
+	PipelinedSummary *core.OnlineSummary
+	// WALMatch reports the two write-ahead logs are byte-identical — the
+	// strongest statement: with settle t overlapping gather t+1, the
+	// platform still logged the exact bytes the serial engine would have.
+	WALMatch bool
+	// Match is the overall verdict: state hashes, summaries, and WAL
+	// bytes all agree.
+	Match bool
+}
+
+// RunPipelineCompare executes the pipeline determinism scenario: a
+// serial pass (RunRound per round) and a pipelined pass
+// (platform.RunPipelined with a real overlap window) over the same
+// workload. Because the ingest buffer re-emits bids in canonical
+// (Bidder, Alt) order and rounds settle strictly in sequence, the final
+// ψ/χ state hash, the OnlineSummary, and the raw WAL bytes of the two
+// passes must agree; Match reports whether they do.
+func RunPipelineCompare(cfg PipelineConfig) (*PipelineResult, error) {
+	sc := cfg.Scenario
+	if sc == nil {
+		return nil, fmt.Errorf("chaos: no scenario")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: pipeline run needs a working dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chaos: pipeline dir: %w", err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+
+	res := &PipelineResult{Scenario: sc.Name, Seed: sc.Seed, Rounds: sc.Rounds}
+
+	serialPath := filepath.Join(cfg.Dir, "serial.wal")
+	serial, err := pipelinePass(sc, cfg, serialPath, false, logger)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: serial pass: %w", err)
+	}
+	res.SerialHash = serial.hash
+	res.SerialSummary = serial.summary
+
+	pipedPath := filepath.Join(cfg.Dir, "pipelined.wal")
+	piped, err := pipelinePass(sc, cfg, pipedPath, true, logger)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: pipelined pass: %w", err)
+	}
+	res.PipelinedHash = piped.hash
+	res.PipelinedSummary = piped.summary
+
+	serialWAL, err := os.ReadFile(serialPath)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read serial WAL: %w", err)
+	}
+	pipedWAL, err := os.ReadFile(pipedPath)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read pipelined WAL: %w", err)
+	}
+	res.WALMatch = bytes.Equal(serialWAL, pipedWAL)
+	res.Match = res.WALMatch &&
+		res.SerialHash == res.PipelinedHash &&
+		res.SerialSummary != nil && res.PipelinedSummary != nil &&
+		*res.SerialSummary == *res.PipelinedSummary
+	return res, nil
+}
+
+// pipelinePass runs the scenario once, serially or through the
+// overlapped engine, and captures the final state.
+func pipelinePass(sc *Scenario, cfg PipelineConfig, walPath string, pipelined bool, logger *log.Logger) (*passResult, error) {
+	wal, err := platform.CreateWAL(walPath, cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := platform.NewServer("127.0.0.1:0", platform.ServerConfig{
+		BidDeadline:  time.Duration(sc.BidDeadlineMS) * time.Millisecond,
+		WriteTimeout: 250 * time.Millisecond,
+		Auction:      core.MSOAConfig{Options: core.Options{Parallelism: 1}},
+		WAL:          wal,
+		// A real overlap window, so the pipelined pass genuinely settles
+		// round t while round t+1's bids stream in — determinism must
+		// hold regardless of how the stages interleave.
+		PipelineYield: 500 * time.Microsecond,
+	})
+	if err != nil {
+		_ = wal.Close()
+		return nil, err
+	}
+	agents, err := dialAll(srv, sc)
+	if err != nil {
+		_ = srv.Close()
+		_ = wal.Close()
+		return nil, err
+	}
+	defer func() {
+		for _, ag := range agents {
+			_ = ag.Close()
+		}
+		_ = srv.Close()
+		_ = wal.Close()
+	}()
+
+	mode := "serial"
+	if pipelined {
+		mode = "pipelined"
+	}
+	logger.Printf("chaos: %s pass: %d rounds over %d agents", mode, sc.Rounds, len(agents))
+	if pipelined {
+		err = srv.RunPipelined(context.Background(), sc.Rounds,
+			func(t int) ([]int, []int) { return scenarioDemand(sc, t), nil }, nil)
+	} else {
+		for t := 1; t <= sc.Rounds; t++ {
+			if _, rerr := srv.RunRound(scenarioDemand(sc, t), nil); rerr != nil {
+				err = fmt.Errorf("round %d: %w", t, rerr)
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pr := &passResult{}
+	_, st := srv.SnapshotState()
+	if st == nil {
+		st = &core.MSOAState{}
+	}
+	pr.hash = st.Hash()
+	pr.summary = srv.Summary()
+	return pr, nil
+}

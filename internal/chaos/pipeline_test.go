@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestPipelineCompareMatches runs a shortened pipeline scenario through
+// the serial-vs-pipelined comparison harness and requires a full match:
+// identical WAL bytes, state hash, and summary. This is the in-tree
+// version of `chaos -scenario pipeline` (the soak gate runs the full
+// 120 rounds).
+func TestPipelineCompareMatches(t *testing.T) {
+	t.Parallel()
+	sc := pipelineScenario()
+	sc.Rounds = 40
+	res, err := RunPipelineCompare(PipelineConfig{Scenario: sc, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WALMatch {
+		t.Errorf("WALs differ between serial and pipelined pass")
+	}
+	if res.SerialHash != res.PipelinedHash {
+		t.Errorf("state hash: serial %s, pipelined %s", res.SerialHash, res.PipelinedHash)
+	}
+	if !res.Match {
+		t.Errorf("pipeline comparison diverged: %+v", res)
+	}
+	if res.SerialSummary == nil || res.SerialSummary.Rounds != sc.Rounds {
+		t.Errorf("serial summary %+v, want %d rounds", res.SerialSummary, sc.Rounds)
+	}
+}
+
+// TestPipelineCompareRepeatable re-runs the comparison and requires the
+// final state hash to be stable across independent harness runs. This
+// is the regression test for the map-iteration-order bug in
+// Outcome.TotalPayment: summing payments in randomized map order
+// perturbed the summary's last ULP, so byte-compared runs of the very
+// same scenario disagreed with each other.
+func TestPipelineCompareRepeatable(t *testing.T) {
+	t.Parallel()
+	sc := pipelineScenario()
+	sc.Rounds = 30
+	var hash string
+	for i := 0; i < 3; i++ {
+		res, err := RunPipelineCompare(PipelineConfig{Scenario: sc, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Match {
+			t.Fatalf("run %d diverged: %+v", i, res)
+		}
+		if hash == "" {
+			hash = res.SerialHash
+		} else if res.SerialHash != hash {
+			t.Fatalf("run %d state hash %s, want %s (nondeterministic harness)", i, res.SerialHash, hash)
+		}
+	}
+}

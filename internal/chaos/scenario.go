@@ -147,6 +147,13 @@ type Scenario struct {
 	// WAL-suffix replay, and the run's final state is compared
 	// byte-for-byte against an uninterrupted pass.
 	PlatformCrashes []CrashSpec `json:"platform_crashes,omitempty"`
+	// Pipelined routes the scenario to the pipeline harness
+	// (RunPipelineCompare) instead of the churn engine: the same fixed
+	// workload runs once through the serial round loop and once through
+	// the overlapped round engine (platform.RunPipelined), and the two
+	// passes' WAL bytes, final state hash and summary must agree — the
+	// overlap is an implementation detail the durable record cannot see.
+	Pipelined bool `json:"pipelined,omitempty"`
 }
 
 // CrashSpec scripts one platform kill.
@@ -190,6 +197,10 @@ func (s *Scenario) WithAgents(n, capacity int) *Scenario {
 
 // WithAgent appends one fully specified agent.
 func (s *Scenario) WithAgent(a AgentSpec) *Scenario { s.Agents = append(s.Agents, a); return s }
+
+// WithPipelined routes the scenario to the serial-vs-pipelined
+// comparison harness.
+func (s *Scenario) WithPipelined() *Scenario { s.Pipelined = true; return s }
 
 // WithDemand sets the demand process.
 func (s *Scenario) WithDemand(d DemandSpec) *Scenario { s.Demand = d; return s }

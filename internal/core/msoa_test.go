@@ -396,3 +396,22 @@ func TestDefaultCapacitySetZeroExcludesUnlistedBidders(t *testing.T) {
 		t.Fatalf("unset default must stay unlimited; want bidder 2 to win, got %v", res2.Outcome.Winners)
 	}
 }
+
+// TestTotalPaymentDeterministic guards the summation order of
+// Outcome.TotalPayment. Payments live in a map; summing them in Go's
+// randomized iteration order made the total differ in the last ULP
+// between identical runs, which flipped the hashed platform state the
+// WAL and chaos harnesses compare byte-for-byte. The fix sums in
+// ascending bid-index order, so repeated calls must be bit-identical.
+func TestTotalPaymentDeterministic(t *testing.T) {
+	out := &Outcome{Payments: map[int]float64{}}
+	for i := 0; i < 64; i++ {
+		out.Payments[i] = 0.1 * float64(i+1) // 0.1 is inexact in binary: order matters
+	}
+	want := out.TotalPayment()
+	for i := 0; i < 200; i++ {
+		if got := out.TotalPayment(); got != want {
+			t.Fatalf("call %d: TotalPayment %v, want %v (summation order leaked)", i, got, want)
+		}
+	}
+}

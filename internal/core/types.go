@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ErrInfeasible reports that the submitted bids cannot cover the residual
@@ -287,11 +288,21 @@ func (c *DualCertificate) equal(other *DualCertificate) bool {
 	return true
 }
 
-// TotalPayment sums the payments to all winners.
+// TotalPayment sums the payments to all winners. The sum runs in
+// ascending bid-index order: float addition is not associative, so
+// summing in Go's randomized map order would make the total differ in
+// the last ULP between otherwise identical runs — enough to flip the
+// hashed platform state that the WAL and the chaos harnesses compare
+// byte-for-byte.
 func (o *Outcome) TotalPayment() float64 {
+	idx := make([]int, 0, len(o.Payments))
+	for w := range o.Payments {
+		idx = append(idx, w)
+	}
+	sort.Ints(idx)
 	var total float64
-	for _, p := range o.Payments {
-		total += p
+	for _, w := range idx {
+		total += o.Payments[w]
 	}
 	return total
 }

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeauction/internal/obs"
+	"edgeauction/internal/platform"
+)
+
+type stageSink struct {
+	mu   sync.Mutex
+	durs map[string][]int64
+}
+
+func (s *stageSink) Emit(ev obs.Event) {
+	if sl, ok := ev.(obs.StageLatency); ok {
+		s.mu.Lock()
+		s.durs[sl.Stage] = append(s.durs[sl.Stage], sl.DurationMicros)
+		s.mu.Unlock()
+	}
+}
+
+// TestStageProbe is a manual instrument (run with -run StageProbe -v and
+// LOADGEN_PROBE=1) that prints per-stage latency for a given shape.
+func TestStageProbe(t *testing.T) {
+	if os.Getenv("LOADGEN_PROBE") == "" {
+		t.Skip("probe disabled; set LOADGEN_PROBE=1")
+	}
+	sink := &stageSink{durs: map[string][]int64{}}
+	srv, err := platform.NewServer("127.0.0.1:0", platform.ServerConfig{
+		BidDeadline:   30 * time.Second,
+		Tracer:        sink,
+		PipelineYield: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	agents := 10000
+	if v := os.Getenv("LOADGEN_AGENTS"); v != "" {
+		fmt.Sscanf(v, "%d", &agents)
+	}
+	think := 5 * time.Millisecond
+	if v := os.Getenv("LOADGEN_THINK"); v != "" {
+		think, _ = time.ParseDuration(v)
+	}
+	needy := 4
+	if v := os.Getenv("LOADGEN_NEEDY"); v != "" {
+		fmt.Sscanf(v, "%d", &needy)
+	}
+	fleet, err := Dial(srv.Addr(), Config{Agents: agents, ThinkTime: think})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	for srv.AgentCount() < agents {
+		time.Sleep(2 * time.Millisecond)
+	}
+	demand := make([]int, needy)
+	for i := range demand {
+		demand[i] = 1 + i%2
+	}
+	rounds := 20
+	if v := os.Getenv("LOADGEN_ROUNDS"); v != "" {
+		fmt.Sscanf(v, "%d", &rounds)
+	}
+	serial := func() error {
+		for i := 0; i < rounds; i++ {
+			if _, err := srv.RunRound(demand, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pipelined := func() error {
+		return srv.RunPipelined(context.Background(), rounds,
+			func(int) ([]int, []int) { return demand, nil },
+			func(*platform.RoundOutcome) error { return nil })
+	}
+	// Warmup, then alternate modes in one process so environment noise
+	// and GC behavior hit both equally.
+	if err := serial(); err != nil {
+		t.Fatal(err)
+	}
+	var mem runtime.MemStats
+	for pass := 0; pass < 2; pass++ {
+		for mode, fn := range map[string]func() error{"serial": serial, "pipelined": pipelined} {
+			runtime.ReadMemStats(&mem)
+			gc0 := mem.NumGC
+			start := time.Now()
+			if err := fn(); err != nil {
+				t.Fatal(err)
+			}
+			el := time.Since(start)
+			runtime.ReadMemStats(&mem)
+			fmt.Printf("pass %d %-9s wall %.1fms (%.2f rounds/sec), %d GCs",
+				pass, mode, float64(el.Microseconds())/1000,
+				float64(rounds)/el.Seconds(), mem.NumGC-gc0)
+			sink.mu.Lock()
+			for _, stage := range []string{"gather", "settle"} {
+				ds := sink.durs[stage]
+				var sum int64
+				for _, d := range ds {
+					sum += d
+				}
+				if len(ds) > 0 {
+					fmt.Printf("  %s=%.1fms", stage, float64(sum)/float64(len(ds))/1000)
+				}
+				delete(sink.durs, stage)
+			}
+			sink.mu.Unlock()
+			fmt.Println()
+		}
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for stage, ds := range sink.durs {
+		var sum int64
+		for _, d := range ds {
+			sum += d
+		}
+		fmt.Printf("stage %s: n=%d mean=%.1fms\n", stage, len(ds), float64(sum)/float64(len(ds))/1000)
+	}
+}

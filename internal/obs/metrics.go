@@ -46,6 +46,34 @@ func (l *LatencyHistogram) Total() int64 {
 	return l.h.Total()
 }
 
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]): the upper edge of the first bucket at which the cumulative
+// count reaches q·total. Out-of-range observations are clamped into the
+// edge buckets, so an overflow-heavy histogram reports its range
+// maximum rather than underestimating the tail.
+func (l *LatencyHistogram) Quantile(q float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < l.h.Buckets(); i++ {
+		cum += l.h.Bucket(i)
+		if cum >= target {
+			_, hi := l.h.BucketBounds(i)
+			return hi
+		}
+	}
+	_, hi := l.h.BucketBounds(l.h.Buckets() - 1)
+	return hi
+}
+
 // Snapshot returns a JSON-marshalable view of the histogram: total,
 // under/overflow, and the non-empty buckets as "[lo,hi)" -> count.
 func (l *LatencyHistogram) Snapshot() map[string]any {

@@ -69,6 +69,8 @@ const (
 	KindAgentDrop     = "agent_drop"
 	KindAgentTimeout  = "agent_timeout"
 	KindBidReceived   = "bid_received"
+	KindBidRejected   = "bid_rejected"
+	KindStageLatency  = "pipeline_stage"
 	KindConfigDefault = "config_default"
 	KindSweep         = "sweep"
 	KindSnapshot      = "snapshot"
@@ -270,6 +272,31 @@ type BidReceived struct {
 }
 
 func (BidReceived) EventKind() string { return KindBidReceived }
+
+// BidRejected marks a submission (or registration) shed by the
+// platform's admission control with a typed backpressure reply.
+type BidRejected struct {
+	T  int `json:"t"`
+	ID int `json:"id"`
+	// Code is the platform Reject* cause sent back to the agent
+	// ("rate_limited", "queue_full", "circuit_open").
+	Code string `json:"code"`
+}
+
+func (BidRejected) EventKind() string { return KindBidRejected }
+
+// StageLatency reports one pipeline stage of a platform round: the
+// gather (ingest) phase or the settle (match + payments + WAL + award
+// fan-out) phase, so overlap between round t+1's gather and round t's
+// settle is visible in a trace.
+type StageLatency struct {
+	T int `json:"t"`
+	// Stage is "gather" or "settle".
+	Stage          string `json:"stage"`
+	DurationMicros int64  `json:"dur_us"`
+}
+
+func (StageLatency) EventKind() string { return KindStageLatency }
 
 // ConfigDefault marks a zero-valued configuration field falling back to
 // its documented default, so operators can tell an implicit default from

@@ -1,0 +1,187 @@
+package platform
+
+import (
+	"sync"
+	"time"
+
+	"edgeauction/internal/obs"
+)
+
+// DefaultBreakerCooldown is how long an opened circuit refuses a
+// flapping agent when AdmissionConfig.BreakerCooldown is zero.
+const DefaultBreakerCooldown = 5 * time.Second
+
+// AdmissionConfig is the listener-edge admission control: per-agent
+// token-bucket rate limits on bid submissions, circuit-breaking of
+// flapping agents, and bounded per-round ingest that sheds floods with
+// a typed TypeReject reply instead of buffering without bound.
+//
+// The zero value disables every check, which keeps the default server
+// byte-identical to the pre-admission engine — the deterministic chaos
+// soaks depend on that.
+type AdmissionConfig struct {
+	// BidRate is the sustained bid-submission rate (messages/second)
+	// each agent is allowed; 0 disables rate limiting.
+	BidRate float64
+	// BidBurst is the token-bucket depth; 0 means a burst of 1 when
+	// BidRate is set.
+	BidBurst int
+	// BreakerThreshold opens an agent's circuit after this many
+	// consecutive connection drops with a timeout/RST cause
+	// (read-error, write-timeout, welcome-failed). While open, the
+	// agent's re-registration is refused with RejectCircuitOpen. 0
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses the agent
+	// before half-opening (one probe registration is admitted; another
+	// qualifying drop re-opens it, a delivered bid closes it). Zero
+	// means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// QueueBound caps how many bid submissions the platform absorbs
+	// from one agent per round (live, stale, and duplicate alike).
+	// Submissions beyond the bound are shed with a RejectQueueFull
+	// reply — the bounded-queue answer to a stale-bid flood. 0 disables
+	// shedding (legacy: silent discard, no bound needed because the
+	// discard is O(1) per message).
+	QueueBound int
+}
+
+// enabled reports whether any admission check is configured.
+func (c AdmissionConfig) enabled() bool {
+	return c.BidRate > 0 || c.BreakerThreshold > 0 || c.QueueBound > 0
+}
+
+func (c AdmissionConfig) breakerCooldown() time.Duration {
+	if c.BreakerCooldown == 0 {
+		return DefaultBreakerCooldown
+	}
+	return c.BreakerCooldown
+}
+
+func (c AdmissionConfig) bidBurst() int {
+	if c.BidBurst < 1 {
+		return 1
+	}
+	return c.BidBurst
+}
+
+// admissionState is the server-side admission bookkeeping. All methods
+// are safe for concurrent use from the connection read loops.
+type admissionState struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	buckets  map[int]*tokenBucket
+	breakers map[int]*breakerState
+}
+
+func newAdmissionState(cfg AdmissionConfig) *admissionState {
+	return &admissionState{
+		cfg:      cfg,
+		buckets:  make(map[int]*tokenBucket),
+		breakers: make(map[int]*breakerState),
+	}
+}
+
+// tokenBucket is a standard refill-on-demand token bucket.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// breakerState tracks one agent's consecutive qualifying drops.
+type breakerState struct {
+	consecutive int
+	open        bool
+	openedAt    time.Time
+}
+
+// allowBid takes one token from the agent's bucket, reporting whether
+// the submission may proceed and, if not, how long until the next token.
+func (ad *admissionState) allowBid(id int, now time.Time) (bool, time.Duration) {
+	if ad.cfg.BidRate <= 0 {
+		return true, 0
+	}
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	b := ad.buckets[id]
+	if b == nil {
+		b = &tokenBucket{tokens: float64(ad.cfg.bidBurst()), last: now}
+		ad.buckets[id] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * ad.cfg.BidRate
+		if max := float64(ad.cfg.bidBurst()); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / ad.cfg.BidRate * float64(time.Second))
+	return false, wait
+}
+
+// admit reports whether a registration for the agent may proceed. An
+// open circuit refuses until the cool-down has elapsed, then
+// half-opens: the probe registration is admitted, and the next
+// qualifying drop re-opens the circuit while a delivered bid closes it.
+func (ad *admissionState) admit(id int, now time.Time) (bool, time.Duration) {
+	if ad.cfg.BreakerThreshold <= 0 {
+		return true, 0
+	}
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	br := ad.breakers[id]
+	if br == nil || !br.open {
+		return true, 0
+	}
+	if elapsed := now.Sub(br.openedAt); elapsed < ad.cfg.breakerCooldown() {
+		return false, ad.cfg.breakerCooldown() - elapsed
+	}
+	// Half-open: admit the probe; leave the consecutive count at the
+	// threshold so one more drop re-opens immediately.
+	br.open = false
+	return true, 0
+}
+
+// recordDrop notes a connection drop. Only timeout/RST causes count
+// toward the breaker; deliberate protocol rejections do not.
+func (ad *admissionState) recordDrop(id int, cause string, now time.Time) {
+	if ad.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	switch cause {
+	case obs.DropReadError, obs.DropWriteTimeout, obs.DropWelcomeFailed:
+	default:
+		return
+	}
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	br := ad.breakers[id]
+	if br == nil {
+		br = &breakerState{}
+		ad.breakers[id] = br
+	}
+	br.consecutive++
+	if br.consecutive >= ad.cfg.BreakerThreshold {
+		br.open = true
+		br.openedAt = now
+	}
+}
+
+// recordSuccess resets the agent's breaker after a delivered bid — the
+// agent is demonstrably holding a healthy connection again.
+func (ad *admissionState) recordSuccess(id int) {
+	if ad.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if br := ad.breakers[id]; br != nil {
+		br.consecutive = 0
+		br.open = false
+	}
+}

@@ -1,0 +1,202 @@
+package platform
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTokenBucketRejectsFlood: with a 1-token bucket, the first
+// submission of a burst is admitted and the rest bounce back as typed
+// rate_limited rejections — and the rejected agent stays registered with
+// its live bid still counted.
+func TestTokenBucketRejectsFlood(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		BidDeadline: 600 * time.Millisecond,
+		Admission:   AdmissionConfig{BidRate: 0.5, BidBurst: 1},
+	})
+	agent := dialAgent(t, srv.Addr(), AgentConfig{ID: 1, Policy: coveringPolicy(10, 3)})
+
+	type res struct {
+		out *RoundOutcome
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		out, err := srv.RunRound([]int{2}, nil)
+		done <- res{out, err}
+	}()
+	// The policy's own bid consumes the only token; these resubmissions
+	// must each earn a rate_limited reply.
+	waitFor(t, "round announce", func() bool { return agent.RoundsSeen() > 0 })
+	for i := 0; i < 4; i++ {
+		if err := agent.Submit(1, []WireBid{{Alt: 9, Price: 1, Covers: []int{0}, Units: 1}}); err != nil {
+			t.Fatalf("submit flood %d: %v", i, err)
+		}
+	}
+	waitFor(t, "rate-limited rejections", func() bool { return len(agent.Rejections()) >= 3 })
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("round: %v", r.err)
+	}
+	if r.out.Bids != 1 || len(r.out.Awards) != 1 {
+		t.Fatalf("live bid unseated by flood: %+v", r.out)
+	}
+	for _, rej := range agent.Rejections() {
+		if rej.Code != RejectRateLimited {
+			t.Fatalf("want code %q, got %q", RejectRateLimited, rej.Code)
+		}
+		if rej.Agent != 1 {
+			t.Fatalf("rejection for wrong agent: %+v", rej)
+		}
+	}
+	if srv.AgentCount() != 1 {
+		t.Fatal("rejected agent was dropped; backpressure must not unseat the connection")
+	}
+	if got := srv.Metrics().Counter("platform_bids_rejected_total").Value(); got < 3 {
+		t.Fatalf("rejection counter %d, want >= 3", got)
+	}
+}
+
+// TestCircuitBreakerOpensAndReadmits: two consecutive read-error drops
+// open agent 7's circuit; re-registration bounces with circuit_open
+// until the cool-down, then a half-open probe is admitted and a
+// delivered bid closes the breaker for good.
+func TestCircuitBreakerOpensAndReadmits(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		BidDeadline: 300 * time.Millisecond,
+		Admission:   AdmissionConfig{BreakerThreshold: 2, BreakerCooldown: 400 * time.Millisecond},
+	})
+
+	flap := func() {
+		a, err := Dial(srv.Addr(), AgentConfig{ID: 7})
+		if err != nil {
+			t.Fatalf("flap dial: %v", err)
+		}
+		waitFor(t, "registration", func() bool { return srv.AgentCount() == 1 })
+		a.Abort() // RST: the server sees a read error, a qualifying drop cause
+		waitFor(t, "drop", func() bool { return srv.AgentCount() == 0 })
+	}
+	flap()
+	flap()
+
+	if _, err := Dial(srv.Addr(), AgentConfig{ID: 7}); err == nil || !strings.Contains(err.Error(), RejectCircuitOpen) {
+		t.Fatalf("want circuit_open registration rejection, got %v", err)
+	}
+	// A different agent is unaffected: the breaker is per-agent.
+	other := dialAgent(t, srv.Addr(), AgentConfig{ID: 8, Policy: coveringPolicy(5, 2)})
+	_ = other
+
+	time.Sleep(450 * time.Millisecond) // past the cool-down: half-open
+
+	probe, err := Dial(srv.Addr(), AgentConfig{ID: 7, Policy: coveringPolicy(3, 2)})
+	if err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	defer func() { _ = probe.Close() }()
+	// A delivered bid closes the breaker; after that, a single further
+	// drop (below the threshold) must not lock the agent out again.
+	if _, err := srv.RunRound([]int{1}, nil); err != nil {
+		t.Fatalf("round: %v", err)
+	}
+	probe.Abort()
+	waitFor(t, "probe drop", func() bool { return srv.AgentCount() == 1 })
+	back, err := Dial(srv.Addr(), AgentConfig{ID: 7})
+	if err != nil {
+		t.Fatalf("agent locked out after breaker reset: %v", err)
+	}
+	_ = back.Close()
+}
+
+// TestQueueBoundShedsStaleFlood: the bounded per-round ingest absorbs
+// QueueBound submissions from one agent and sheds the rest of a
+// stale-round flood with queue_full replies, while the honest agent's
+// live bid clears the round untouched.
+func TestQueueBoundShedsStaleFlood(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		BidDeadline: 600 * time.Millisecond,
+		Admission:   AdmissionConfig{QueueBound: 2},
+	})
+	honest := dialAgent(t, srv.Addr(), AgentConfig{ID: 1, Policy: coveringPolicy(10, 3)})
+	flooder := dialAgent(t, srv.Addr(), AgentConfig{ID: 2, Policy: nil})
+
+	type res struct {
+		out *RoundOutcome
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		out, err := srv.RunRound([]int{2}, nil)
+		done <- res{out, err}
+	}()
+	waitFor(t, "round announce", func() bool { return flooder.RoundsSeen() > 0 })
+	const flood = 10
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Round tag 99 is stale on purpose: the shed must happen at the
+			// bounded queue, before the tag check ever sees the message.
+			_ = flooder.Submit(99, []WireBid{{Alt: 0, Price: 1, Covers: []int{0}, Units: 1}})
+		}()
+	}
+	wg.Wait()
+	waitFor(t, "queue_full rejections", func() bool { return len(flooder.Rejections()) >= flood-2 })
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("round: %v", r.err)
+	}
+	if r.out.Bids != 1 || len(r.out.Awards) != 1 || r.out.Awards[0].Bidder != 1 {
+		t.Fatalf("honest bid did not clear the round: %+v", r.out)
+	}
+	for _, rej := range flooder.Rejections() {
+		if rej.Code != RejectQueueFull {
+			t.Fatalf("want code %q, got %q", RejectQueueFull, rej.Code)
+		}
+	}
+	if srv.AgentCount() != 2 {
+		t.Fatal("flooder was dropped; queue shed must keep the connection registered")
+	}
+	if honest.Err() != nil {
+		t.Fatalf("honest agent saw error: %v", honest.Err())
+	}
+}
+
+// TestAdmissionZeroValueDisabled: a zero AdmissionConfig server behaves
+// exactly like the pre-admission engine — no rejects, no breaker state.
+func TestAdmissionZeroValueDisabled(t *testing.T) {
+	srv := startServer(t, ServerConfig{BidDeadline: 400 * time.Millisecond})
+	agent := dialAgent(t, srv.Addr(), AgentConfig{ID: 1, Policy: coveringPolicy(10, 3)})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = srv.RunRound([]int{1}, nil)
+	}()
+	waitFor(t, "round announce", func() bool { return agent.RoundsSeen() > 0 })
+	for i := 0; i < 20; i++ {
+		_ = agent.Submit(1, []WireBid{{Alt: 0, Price: 1, Covers: []int{0}, Units: 1}})
+	}
+	<-done
+	if n := len(agent.Rejections()); n != 0 {
+		t.Fatalf("zero-value admission produced %d rejections", n)
+	}
+	if got := srv.Metrics().Counter("platform_bids_rejected_total").Value(); got != 0 {
+		t.Fatalf("rejection counter %d with admission disabled", got)
+	}
+}

@@ -60,11 +60,12 @@ type Agent struct {
 	wg   sync.WaitGroup
 	wmu  sync.Mutex // serializes protocol writes (policy sends vs Submit)
 
-	mu       sync.Mutex
-	awards   []Award
-	rounds   int
-	lastErr  error
-	shutdown bool
+	mu        sync.Mutex
+	awards    []Award
+	rounds    int
+	lastErr   error
+	shutdown  bool
+	rejection []RejectMsg
 }
 
 // Dial connects and registers an agent with the platform at addr, then
@@ -112,6 +113,14 @@ func DialContext(ctx context.Context, addr string, cfg AgentConfig) (*Agent, err
 	}
 	switch env.Type {
 	case TypeWelcome:
+	case TypeReject:
+		// Admission control refused the registration (circuit open).
+		_ = a.c.close()
+		code := RejectCircuitOpen
+		if env.Reject != nil {
+			code = env.Reject.Code
+		}
+		return nil, fmt.Errorf("platform: agent %d registration rejected: %s", cfg.ID, code)
 	case TypeError:
 		_ = a.c.close()
 		return nil, fmt.Errorf("%w: registration rejected: %s", ErrProtocol, env.Error)
@@ -149,6 +158,12 @@ func (a *Agent) recvLoop() {
 			a.onAnnounce(env.Announce)
 		case TypeResult:
 			a.onResult(env.Result)
+		case TypeReject:
+			if env.Reject != nil {
+				a.mu.Lock()
+				a.rejection = append(a.rejection, *env.Reject)
+				a.mu.Unlock()
+			}
 		case TypeShutdown:
 			a.mu.Lock()
 			a.shutdown = true
@@ -259,6 +274,15 @@ func (a *Agent) Err() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.lastErr
+}
+
+// Rejections returns the typed backpressure replies received so far
+// (admission-control sheds: rate_limited, queue_full). A rejection does
+// not end the conversation; the agent stays registered.
+func (a *Agent) Rejections() []RejectMsg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]RejectMsg(nil), a.rejection...)
 }
 
 // ShutdownSeen reports whether the server announced shutdown.

@@ -1,0 +1,95 @@
+package platform
+
+import (
+	"context"
+	"time"
+)
+
+// RunPipelined clears `rounds` consecutive auction rounds with the
+// settle stage of round t overlapping the ingest of round t+1: each
+// iteration announces the next round first, then runs SSAM selection,
+// critical-value payments, the WAL append and the award fan-out for the
+// round before it, and only then blocks on the new round's bid wait.
+// Bids stream into the open gather window from the per-connection read
+// loops the whole time, so by the time the settle finishes most (often
+// all) of the next round's bids have already landed — the mechanism's
+// CPU time hides inside the agents' think time and network latency
+// instead of adding to it. The announce-before-settle order matters on
+// a single core: settling first would run the solver to completion
+// before any agent had even heard the round, serializing the stages.
+//
+// At most one round is ever gathered ahead, rounds settle strictly in
+// sequence, and the WAL-before-announce invariant holds per round
+// exactly as in RunRound.
+//
+// next supplies each round's residual demand and needy ids, keyed by the
+// absolute round number (continuing after a Resume). onOutcome, when
+// non-nil, observes each settled round in order; returning an error
+// stops the pipeline (the in-flight gather is aborted; its round number
+// stays consumed, matching a context-aborted RunRoundContext).
+//
+// Determinism: because the ingest buffer re-emits bids in canonical
+// (Bidder, Alt) order and rounds settle strictly in sequence, a
+// pipelined run produces byte-identical WAL records, audit lines, state
+// hashes and summaries to the same rounds run serially — the chaos
+// harness's pipelined scenario proves this on every soak. One caveat:
+// with a round-batching tracer sink (obs.RoundSink), round t+1's
+// bid-received events may land in round t's batch, so trace-batch
+// grouping — not content — can differ from a serial run.
+//
+// RunPipelined must not be interleaved with concurrent RunRound calls.
+func (s *Server) RunPipelined(ctx context.Context, rounds int, next func(t int) (demand []int, needyIDs []int), onOutcome func(*RoundOutcome) error) error {
+	s.mu.Lock()
+	base := s.round
+	s.mu.Unlock()
+
+	var prev *roundState
+	settlePrev := func() error {
+		if prev == nil {
+			return nil
+		}
+		rs := prev
+		prev = nil
+		out, err := s.settleRound(rs)
+		if err != nil {
+			return err
+		}
+		if onOutcome != nil {
+			return onOutcome(out)
+		}
+		return nil
+	}
+
+	for i := 0; i < rounds; i++ {
+		demand, needyIDs := next(base + i + 1)
+		rs, aerr := s.announceRound(ctx, demand, needyIDs)
+		// Give the just-announced round's ingest path a scheduling window
+		// before occupying the processor with the solve (see
+		// ServerConfig.PipelineYield). A plain runtime.Gosched is not
+		// enough: right after the broadcast the connection read loops are
+		// typically not runnable yet — their readiness sits in the
+		// netpoller — so a yield with an empty run queue returns
+		// immediately and the solve still wins the processor. A timer
+		// park forces the netpoll drain.
+		if y := s.cfg.PipelineYield; y > 0 {
+			time.Sleep(y)
+		}
+		// Settle the previous round while the just-announced round's bids
+		// stream in. It was fully gathered before this round was
+		// announced, so it settles even if the announce failed.
+		if serr := settlePrev(); serr != nil {
+			if rs != nil {
+				s.abortGather(rs)
+			}
+			return serr
+		}
+		if aerr != nil {
+			return aerr
+		}
+		if werr := s.awaitGather(ctx, rs); werr != nil {
+			return werr
+		}
+		prev = rs
+	}
+	return settlePrev()
+}

@@ -1,0 +1,167 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// seededPolicy bids a price that is a pure function of (id, round), so
+// two servers driven by identical agent sets gather identical bids.
+func seededPolicy(id int) BidPolicy {
+	return func(msg *AnnounceMsg) []WireBid {
+		if (msg.T+id)%5 == 0 {
+			return nil // deterministic abstention exercises the deadline path
+		}
+		covers := make([]int, len(msg.Demand))
+		for i := range covers {
+			covers[i] = i
+		}
+		price := float64(3 + (id*7+msg.T*13)%40)
+		return []WireBid{
+			{Alt: 0, Price: price, Covers: covers, Units: 2},
+			{Alt: 1, Price: price + 2, Covers: covers[:1], Units: 1},
+		}
+	}
+}
+
+func demandFor(t int) ([]int, []int) {
+	return []int{1 + t%3, 2, 1 + (t/2)%2}, []int{101, 102, 103}
+}
+
+// runSeededRounds drives `rounds` rounds against a fresh server with
+// nAgents seeded agents, serially or pipelined, and returns the WAL
+// bytes, the final state hash, and the summary.
+func runSeededRounds(t *testing.T, rounds, nAgents int, pipelined bool) ([]byte, string, *json.RawMessage) {
+	t.Helper()
+	walPath := filepath.Join(t.TempDir(), "round.wal")
+	wal, err := CreateWAL(walPath, false)
+	if err != nil {
+		t.Fatalf("create wal: %v", err)
+	}
+	srv := startServer(t, ServerConfig{BidDeadline: 200 * time.Millisecond, WAL: wal})
+	for id := 1; id <= nAgents; id++ {
+		dialAgent(t, srv.Addr(), AgentConfig{ID: id, Capacity: 50, Policy: seededPolicy(id)})
+	}
+
+	if pipelined {
+		err = srv.RunPipelined(context.Background(), rounds, demandFor, nil)
+	} else {
+		for i := 1; i <= rounds && err == nil; i++ {
+			demand, needy := demandFor(i)
+			_, err = srv.RunRound(demand, needy)
+		}
+	}
+	if err != nil {
+		t.Fatalf("run rounds (pipelined=%v): %v", pipelined, err)
+	}
+
+	_, st := srv.SnapshotState()
+	if st == nil {
+		t.Fatal("no mechanism state after rounds")
+	}
+	sumJSON, err := json.Marshal(srv.Summary())
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatalf("close wal: %v", err)
+	}
+	walBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	raw := json.RawMessage(sumJSON)
+	return walBytes, st.Hash(), &raw
+}
+
+// TestPipelinedByteIdenticalToSerial is the tentpole determinism proof:
+// overlapping round t+1's gather with round t's settle must not change a
+// single byte of the WAL, the mechanism state hash, or the summary.
+func TestPipelinedByteIdenticalToSerial(t *testing.T) {
+	const rounds, agents = 12, 6
+	serialWAL, serialHash, serialSum := runSeededRounds(t, rounds, agents, false)
+	pipeWAL, pipeHash, pipeSum := runSeededRounds(t, rounds, agents, true)
+
+	if !bytes.Equal(serialWAL, pipeWAL) {
+		t.Errorf("WAL bytes differ between serial (%d bytes) and pipelined (%d bytes) runs", len(serialWAL), len(pipeWAL))
+	}
+	if serialHash != pipeHash {
+		t.Errorf("state hash differs: serial %s, pipelined %s", serialHash, pipeHash)
+	}
+	if !reflect.DeepEqual(serialSum, pipeSum) {
+		t.Errorf("summaries differ:\nserial    %s\npipelined %s", *serialSum, *pipeSum)
+	}
+	if len(serialWAL) == 0 {
+		t.Error("serial WAL is empty; the comparison proved nothing")
+	}
+}
+
+// TestPipelinedOutcomesInOrder checks the settle consumer observes every
+// round exactly once, in order, and that an onOutcome error stops the
+// pipeline and cancels the in-flight gather.
+func TestPipelinedOutcomesInOrder(t *testing.T) {
+	srv := startServer(t, ServerConfig{BidDeadline: 200 * time.Millisecond})
+	for id := 1; id <= 3; id++ {
+		dialAgent(t, srv.Addr(), AgentConfig{ID: id, Capacity: 50, Policy: coveringPolicy(float64(5*id), 3)})
+	}
+	var seen []int
+	err := srv.RunPipelined(context.Background(), 5, func(t int) ([]int, []int) {
+		return []int{2, 1}, nil
+	}, func(out *RoundOutcome) error {
+		seen = append(seen, out.T)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("pipelined run: %v", err)
+	}
+	if !reflect.DeepEqual(seen, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("settled rounds out of order: %v", seen)
+	}
+
+	stop := errors.New("stop here")
+	seen = seen[:0]
+	err = srv.RunPipelined(context.Background(), 5, func(t int) ([]int, []int) {
+		return []int{2, 1}, nil
+	}, func(out *RoundOutcome) error {
+		seen = append(seen, out.T)
+		if len(seen) == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("want onOutcome error surfaced, got %v", err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("pipeline ran past the stopping outcome: settled %v", seen)
+	}
+	// The server must remain usable after an aborted pipeline.
+	if _, err := srv.RunRound([]int{1}, nil); err != nil {
+		t.Fatalf("round after aborted pipeline: %v", err)
+	}
+}
+
+// TestPipelinedHonorsContext proves cancellation mid-run stops the
+// pipeline with a wrapped context error, like RunRoundContext.
+func TestPipelinedHonorsContext(t *testing.T) {
+	srv := startServer(t, ServerConfig{BidDeadline: 2 * time.Second})
+	// One registered agent that never bids pins every gather at the
+	// deadline, guaranteeing the cancel lands mid-gather.
+	dialAgent(t, srv.Addr(), AgentConfig{ID: 1, Policy: nil})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	err := srv.RunPipelined(ctx, 10, func(t int) ([]int, []int) { return []int{1}, nil }, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -33,6 +33,22 @@ const (
 	TypeError = "error"
 	// TypeShutdown tells agents the platform is going away.
 	TypeShutdown = "shutdown"
+	// TypeReject is the typed backpressure reply (server -> agent): the
+	// submission (or registration) was shed by admission control, with a
+	// machine-readable cause. Unlike TypeError it does not end the
+	// conversation — a rejected bid leaves the connection registered.
+	TypeReject = "reject"
+)
+
+// Reject causes carried by RejectMsg.Code.
+const (
+	// RejectRateLimited: the per-agent token bucket is empty.
+	RejectRateLimited = "rate_limited"
+	// RejectQueueFull: the agent's bounded ingest queue shed the message.
+	RejectQueueFull = "queue_full"
+	// RejectCircuitOpen: the agent's circuit breaker is open after
+	// repeated drops; registration is refused until the cool-down.
+	RejectCircuitOpen = "circuit_open"
 )
 
 // Envelope frames every protocol message.
@@ -43,7 +59,21 @@ type Envelope struct {
 	Announce *AnnounceMsg  `json:"announce,omitempty"`
 	Bid      *BidSubmitMsg `json:"bid,omitempty"`
 	Result   *ResultMsg    `json:"result,omitempty"`
+	Reject   *RejectMsg    `json:"reject,omitempty"`
 	Error    string        `json:"error,omitempty"`
+}
+
+// RejectMsg explains an admission-control shed to the agent.
+type RejectMsg struct {
+	// T is the round the rejected submission was tagged with (0 for
+	// registration rejections).
+	T int `json:"t,omitempty"`
+	// Agent identifies the rejected agent within a multiplexed session.
+	Agent int `json:"agent,omitempty"`
+	// Code is one of the Reject* constants.
+	Code string `json:"code"`
+	// RetryAfterMillis hints when the agent may try again (0: unknown).
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
 }
 
 // HelloMsg registers an agent with the platform.
@@ -58,6 +88,12 @@ type HelloMsg struct {
 	// means always present.
 	Arrive int `json:"arrive,omitempty"`
 	Depart int `json:"depart,omitempty"`
+	// Count, when > 1, registers a multiplexed session: agents
+	// AgentID..AgentID+Count-1 share this one connection (all with the
+	// same capacity and window). Load generators use this to hold 100k
+	// agents in a few hundred sockets; bids are then submitted per agent
+	// through BidSubmitMsg.Multi.
+	Count int `json:"count,omitempty"`
 }
 
 // WelcomeMsg acknowledges a registration.
@@ -86,10 +122,21 @@ type WireBid struct {
 	Units  int     `json:"units"`
 }
 
-// BidSubmitMsg carries an agent's bids for a round.
+// BidSubmitMsg carries an agent's bids for a round. A single-agent
+// connection fills Bids; a multiplexed session batches one entry per
+// agent into Multi so a whole fleet's round answers ride one write.
 type BidSubmitMsg struct {
 	T    int       `json:"t"`
-	Bids []WireBid `json:"bids"`
+	Bids []WireBid `json:"bids,omitempty"`
+	// Multi carries per-agent bid sets for a multiplexed session. Agents
+	// absent from Multi abstain.
+	Multi []AgentBids `json:"multi,omitempty"`
+}
+
+// AgentBids is one agent's bid set inside a multiplexed submission.
+type AgentBids struct {
+	Agent int       `json:"agent"`
+	Bids  []WireBid `json:"bids"`
 }
 
 // WireAward is one winning bid in a result.
@@ -122,22 +169,104 @@ func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, r: bufio.NewReader(raw)}
 }
 
-// send writes one envelope as a JSON line, bounded by timeout.
-func (c *conn) send(env *Envelope, timeout time.Duration) error {
+// encodeEnvelope marshals env into one newline-terminated JSON line,
+// ready for sendRaw. Broadcast paths encode once and fan the bytes out.
+func encodeEnvelope(env *Envelope) ([]byte, error) {
 	data, err := json.Marshal(env)
 	if err != nil {
-		return fmt.Errorf("platform: marshal %s: %w", env.Type, err)
+		return nil, fmt.Errorf("platform: marshal %s: %w", env.Type, err)
 	}
-	data = append(data, '\n')
+	return append(data, '\n'), nil
+}
+
+// send writes one envelope as a JSON line, bounded by timeout.
+func (c *conn) send(env *Envelope, timeout time.Duration) error {
+	data, err := encodeEnvelope(env)
+	if err != nil {
+		return err
+	}
+	return c.sendRaw(env.Type, data, timeout)
+}
+
+// sendRaw writes pre-encoded line bytes, bounded by timeout. msgType
+// only labels errors.
+func (c *conn) sendRaw(msgType string, data []byte, timeout time.Duration) error {
 	if timeout > 0 {
 		if err := c.raw.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 			return fmt.Errorf("platform: set write deadline: %w", err)
 		}
 	}
 	if _, err := c.raw.Write(data); err != nil {
-		return fmt.Errorf("platform: write %s: %w", env.Type, err)
+		return fmt.Errorf("platform: write %s: %w", msgType, err)
 	}
 	return nil
+}
+
+// readLine reads one newline-terminated line into buf (reused across
+// calls), growing it only past the high-water mark. Unlike ReadBytes it
+// does not allocate a fresh slice per line, which matters on the bid
+// ingest path where a multiplexed session's batch is tens of kilobytes
+// every round.
+func (c *conn) readLine(buf *[]byte) ([]byte, error) {
+	*buf = (*buf)[:0]
+	for {
+		frag, err := c.r.ReadSlice('\n')
+		*buf = append(*buf, frag...)
+		if err == nil {
+			return *buf, nil
+		}
+		if !errors.Is(err, bufio.ErrBufferFull) {
+			if errors.Is(err, io.EOF) && len(*buf) == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("platform: read line: %w", err)
+		}
+	}
+}
+
+// recvInto decodes the next message into env, reusing env's existing
+// message structs and slice capacities (encoding/json unmarshals into
+// non-nil pointers and appends into spare slice capacity). The caller
+// owns the reset discipline: clear env between messages so a field the
+// peer omitted cannot inherit a stale value from the previous message.
+// Used by the server's bid ingest loop, where everything decoded is
+// copied out (into the CSR arena) before the next receive.
+func (c *conn) recvInto(env *Envelope, buf *[]byte, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("platform: set read deadline: %w", err)
+		}
+	} else {
+		if err := c.raw.SetReadDeadline(time.Time{}); err != nil {
+			return fmt.Errorf("platform: clear read deadline: %w", err)
+		}
+	}
+	line, err := c.readLine(buf)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(line, env); err != nil {
+		return fmt.Errorf("%w: bad JSON: %v", ErrProtocol, err)
+	}
+	if env.Type == "" {
+		return fmt.Errorf("%w: missing message type", ErrProtocol)
+	}
+	return nil
+}
+
+// resetForReuse clears the envelope for the next recvInto while keeping
+// the bid submission's allocated storage — the one message type that is
+// both hot and large. All other message pointers are dropped so a stale
+// struct can never leak across message types.
+func (env *Envelope) resetForReuse() {
+	bid := env.Bid
+	*env = Envelope{}
+	if bid != nil {
+		bid.T = 0
+		bid.Bids = bid.Bids[:0]
+		bid.Multi = bid.Multi[:0]
+		env.Bid = bid
+	}
 }
 
 // recv reads one envelope, bounded by timeout (0 means no deadline).

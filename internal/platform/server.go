@@ -9,6 +9,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgeauction/internal/core"
@@ -26,6 +27,17 @@ const (
 	// ServerConfig.WriteTimeout is zero.
 	DefaultWriteTimeout = 2 * time.Second
 )
+
+// ingestShards is the needy-partition shard count of each round's
+// IngestBuffer (see core.NewIngestBuffer): bids append into the shard of
+// the first needy microservice they cover, keeping each shard's cover
+// arena contiguous for its partition.
+const ingestShards = 8
+
+// broadcastWorkers bounds the announce/result fan-out concurrency: up to
+// this many sessions are written in parallel, each still under the
+// per-session write timeout.
+const broadcastWorkers = 8
 
 // ServerConfig parameterizes the auctioneer daemon.
 type ServerConfig struct {
@@ -64,6 +76,20 @@ type ServerConfig struct {
 	// Fault injects deterministic failures into the send and award paths
 	// for tests and the chaos harness; the zero value disables injection.
 	Fault FaultInjection
+	// Admission configures listener-edge admission control (token-bucket
+	// bid rate limits, flapping-agent circuit breaker, bounded per-round
+	// ingest). The zero value disables every check.
+	Admission AdmissionConfig
+	// PipelineYield, when positive, parks RunPipelined between announcing
+	// round t+1 and settling round t. On a single-P runtime (or a
+	// single-core box) with co-located agents — tests, benchmarks, the
+	// one-host demo topology — the solver otherwise occupies the
+	// processor before the agents' read loops ever observe the announce,
+	// so their think time starts after the settle instead of covering it
+	// and the overlap the pipeline exists for never happens. Remote-agent
+	// deployments do not need it; zero disables. Serial RunRound ignores
+	// it.
+	PipelineYield time.Duration
 }
 
 func (c ServerConfig) bidDeadline() time.Duration {
@@ -81,13 +107,21 @@ func (c ServerConfig) writeTimeout() time.Duration {
 }
 
 // Server is the edge platform: it accepts agent connections and clears one
-// auction round per RunRound call.
+// auction round per RunRound call (or many overlapped rounds per
+// RunPipelined call).
 type Server struct {
 	cfg      ServerConfig
 	listener net.Listener
 	logger   *log.Logger
 	tracer   obs.Tracer
 	metrics  *obs.Registry
+	adm      *admissionState
+
+	// hot-path instruments, resolved once instead of per bid.
+	mBids    *obs.Counter
+	mDrops   *obs.Counter
+	mRejects *obs.Counter
+	mBidRTT  *obs.LatencyHistogram
 
 	mu       sync.Mutex
 	agents   map[int]*agentConn
@@ -98,34 +132,117 @@ type Server struct {
 	capacity map[int]int
 	windows  map[int]core.BidderWindow
 
+	// gmu guards the gather window: the open round's state plus the
+	// round-state free list. Connection read loops take it per accepted
+	// submission; the round driver takes it to open/close windows.
+	gmu        sync.Mutex
+	gather     *roundState
+	freeRounds []*roundState
+
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
 }
 
-// agentConn is one registered agent connection.
+// session is one TCP connection carrying one or more registered agents
+// (a multiplexed load-generator session registers the contiguous range
+// first..first+count-1 via HelloMsg.Count).
+type session struct {
+	c     *conn
+	first int
+	count int
+	wmu   sync.Mutex // serializes writes
+	// dead flips once the session has been deregistered; the gather path
+	// checks it so a dropped session's in-flight bid cannot double-count
+	// against the pending adjustment.
+	dead atomic.Bool
+}
+
+func (ss *session) send(env *Envelope, timeout time.Duration) error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	return ss.c.send(env, timeout)
+}
+
+func (ss *session) sendRaw(msgType string, data []byte, timeout time.Duration) error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	return ss.c.sendRaw(msgType, data, timeout)
+}
+
+func (ss *session) owns(id int) bool { return id >= ss.first && id < ss.first+ss.count }
+
+// agentConn is one registered agent (one bidder id) on a session.
 type agentConn struct {
 	id   int
-	c    *conn
-	mu   sync.Mutex // serializes writes
-	bids chan *BidSubmitMsg
+	sess *session
 }
 
-func (a *agentConn) send(env *Envelope, timeout time.Duration) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.c.send(env, timeout)
+// roundState is the per-round bookkeeping: the announced agent set, the
+// gather window (pending count, answered set, shard ingest buffers) and
+// the fan-out scratch. States are pooled on the server's free list so
+// back-to-back rounds reuse the same allocations; in pipelined mode two
+// states are live at once (round t settling, round t+1 gathering).
+type roundState struct {
+	t        int
+	demand   []int
+	needyIDs []int
+	started  time.Time
+
+	agents     []*agentConn
+	sorter     agentsByID
+	sessions   []*session
+	sendErrs   []error
+	droppedIDs []int
+	scratch    []int
+
+	// gather window, guarded by Server.gmu while open.
+	buf         *core.IngestBuffer
+	answered    map[int]bool
+	submits     map[int]int
+	pending     int
+	open        bool
+	doneClosed  bool
+	done        chan struct{}
+	announcedAt time.Time
+
+	ins *core.Instance
 }
 
-// sendAgent is the per-round send path: it consults the fault-injection
-// hook first, so an injected fault is indistinguishable from a real
-// write failure to the caller.
-func (s *Server) sendAgent(a *agentConn, t int, env *Envelope) error {
-	if f := s.cfg.Fault.SendFault; f != nil {
-		if err := f(t, a.id, env.Type); err != nil {
-			return err
-		}
+// agentsByID sorts a round's agent snapshot by bidder id. It lives as a
+// roundState field so sort.Sort sees an already-boxed pointer.
+type agentsByID struct{ agents []*agentConn }
+
+func (a *agentsByID) Len() int           { return len(a.agents) }
+func (a *agentsByID) Swap(i, j int)      { a.agents[i], a.agents[j] = a.agents[j], a.agents[i] }
+func (a *agentsByID) Less(i, j int) bool { return a.agents[i].id < a.agents[j].id }
+
+func (s *Server) getRoundState() *roundState {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if n := len(s.freeRounds); n > 0 {
+		rs := s.freeRounds[n-1]
+		s.freeRounds[n-1] = nil
+		s.freeRounds = s.freeRounds[:n-1]
+		return rs
 	}
-	return a.send(env, s.cfg.writeTimeout())
+	return &roundState{
+		buf:      core.NewIngestBuffer(ingestShards),
+		answered: make(map[int]bool),
+		submits:  make(map[int]int),
+	}
+}
+
+// putRoundState returns a state to the free list. Callers must be done
+// with every aliasing view (rs.ins bids alias rs.buf arenas).
+func (s *Server) putRoundState(rs *roundState) {
+	rs.t = 0
+	rs.demand = nil
+	rs.needyIDs = nil
+	rs.done = nil
+	rs.ins = nil
+	s.gmu.Lock()
+	s.freeRounds = append(s.freeRounds, rs)
+	s.gmu.Unlock()
 }
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0").
@@ -150,6 +267,16 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		windows:  make(map[int]core.BidderWindow),
 		cancel:   cancel,
 	}
+	if cfg.Admission.enabled() {
+		s.adm = newAdmissionState(cfg.Admission)
+	}
+	s.mBids = s.metrics.Counter("platform_bids_total")
+	s.mDrops = s.metrics.Counter("platform_agent_drops_total")
+	s.mRejects = s.metrics.Counter("platform_bids_rejected_total")
+	// 2ms buckets across the 1s range: fine enough to resolve the
+	// announce-to-bid tail at load-benchmark scale (tens of ms), with
+	// slower responses clamped visibly into the overflow edge.
+	s.mBidRTT = s.metrics.Histogram("platform_bid_rtt_us", 0, 1e6, 500)
 	if cfg.Resume != nil && cfg.Resume.NextRound > 1 {
 		// Continue the round sequence where the recovered log ends; agents
 		// re-registering after the restart are welcomed into NextRound.
@@ -207,8 +334,9 @@ func (s *Server) acceptLoop(ctx context.Context) {
 	}
 }
 
-// handle runs one agent connection: registration, then a read loop feeding
-// bid submissions into the per-agent channel.
+// handle runs one session: registration (of one agent, or of a
+// multiplexed contiguous range when HelloMsg.Count > 1), then a read
+// loop ingesting bid submissions directly into the open gather window.
 func (s *Server) handle(ctx context.Context, c *conn) {
 	defer func() {
 		if err := c.close(); err != nil && !errors.Is(err, net.ErrClosed) {
@@ -226,83 +354,238 @@ func (s *Server) handle(ctx context.Context, c *conn) {
 		return
 	}
 	hello := env.Hello
+	count := hello.Count
+	if count < 1 {
+		count = 1
+	}
 
-	// Capacity 2: a delayed bid for the previous round may still be in
-	// flight when the current round's live bid arrives; both must buffer
-	// so the gather loop's stale-tag check — not socket timing — decides
-	// which one counts.
-	agent := &agentConn{id: hello.AgentID, c: c, bids: make(chan *BidSubmitMsg, 2)}
+	// Circuit breaker: a flapping agent (repeated timeout/RST drops) is
+	// refused at the door until its cool-down elapses. The check keys on
+	// the session's first id — the breaker targets single-agent churners.
+	if s.adm != nil {
+		if ok, wait := s.adm.admit(hello.AgentID, time.Now()); !ok {
+			s.mRejects.Inc()
+			if s.tracer != nil {
+				s.tracer.Emit(obs.BidRejected{ID: hello.AgentID, Code: RejectCircuitOpen})
+			}
+			_ = c.send(&Envelope{Type: TypeReject, Reject: &RejectMsg{
+				Agent: hello.AgentID, Code: RejectCircuitOpen, RetryAfterMillis: wait.Milliseconds(),
+			}}, s.cfg.writeTimeout())
+			return
+		}
+	}
+
+	sess := &session{c: c, first: hello.AgentID, count: count}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		_ = c.send(&Envelope{Type: TypeShutdown}, s.cfg.writeTimeout())
 		return
 	}
-	if _, dup := s.agents[hello.AgentID]; dup {
-		s.mu.Unlock()
-		_ = c.send(&Envelope{Type: TypeError, Error: fmt.Sprintf("agent %d already registered", hello.AgentID)}, s.cfg.writeTimeout())
-		return
+	for i := 0; i < count; i++ {
+		if _, dup := s.agents[hello.AgentID+i]; dup {
+			s.mu.Unlock()
+			_ = c.send(&Envelope{Type: TypeError, Error: fmt.Sprintf("agent %d already registered", hello.AgentID+i)}, s.cfg.writeTimeout())
+			return
+		}
 	}
-	s.agents[hello.AgentID] = agent
-	s.capacity[hello.AgentID] = hello.Capacity
-	if hello.Arrive != 0 || hello.Depart != 0 {
-		s.windows[hello.AgentID] = core.BidderWindow{Arrive: hello.Arrive, Depart: hello.Depart}
+	for i := 0; i < count; i++ {
+		id := hello.AgentID + i
+		s.agents[id] = &agentConn{id: id, sess: sess}
+		s.capacity[id] = hello.Capacity
+		if hello.Arrive != 0 || hello.Depart != 0 {
+			s.windows[id] = core.BidderWindow{Arrive: hello.Arrive, Depart: hello.Depart}
+		}
 	}
 	nextRound := s.round + 1
 	s.mu.Unlock()
 
-	if err := agent.send(&Envelope{Type: TypeWelcome, Welcome: &WelcomeMsg{AgentID: hello.AgentID, Round: nextRound}}, s.cfg.writeTimeout()); err != nil {
+	if err := sess.send(&Envelope{Type: TypeWelcome, Welcome: &WelcomeMsg{AgentID: hello.AgentID, Round: nextRound}}, s.cfg.writeTimeout()); err != nil {
 		s.logger.Printf("welcome agent %d: %v", hello.AgentID, err)
-		s.dropAgent(hello.AgentID, obs.DropWelcomeFailed, err.Error())
+		s.dropSession(sess, obs.DropWelcomeFailed, err.Error())
 		return
 	}
-	s.logger.Printf("agent %d registered (capacity %d)", hello.AgentID, hello.Capacity)
+	if count == 1 {
+		s.logger.Printf("agent %d registered (capacity %d)", hello.AgentID, hello.Capacity)
+	} else {
+		s.logger.Printf("agents %d..%d registered on one session (capacity %d)", hello.AgentID, hello.AgentID+count-1, hello.Capacity)
+	}
 	if s.tracer != nil {
-		s.tracer.Emit(obs.AgentJoin{ID: hello.AgentID, Capacity: hello.Capacity, Arrive: hello.Arrive, Depart: hello.Depart})
+		for i := 0; i < count; i++ {
+			s.tracer.Emit(obs.AgentJoin{ID: hello.AgentID + i, Capacity: hello.Capacity, Arrive: hello.Arrive, Depart: hello.Depart})
+		}
 	}
 
+	// The ingest loop reuses one envelope and one line buffer per
+	// connection: a multiplexed session's bid batch is tens of kilobytes
+	// every round, and everything decoded here is copied out (into the
+	// CSR ingest arena) before the next receive, so per-message
+	// allocation would be pure GC pressure.
+	var renv Envelope
+	var lineBuf []byte
 	for {
-		env, err := c.recv(0)
-		if err != nil {
+		renv.resetForReuse()
+		if err := c.recvInto(&renv, &lineBuf, 0); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
 				s.logger.Printf("agent %d read: %v", hello.AgentID, err)
 			}
-			s.dropAgent(hello.AgentID, obs.DropReadError, err.Error())
+			s.dropSession(sess, obs.DropReadError, err.Error())
 			return
 		}
-		switch env.Type {
+		switch renv.Type {
 		case TypeBid:
-			if env.Bid == nil {
+			if renv.Bid == nil {
 				continue
 			}
-			select {
-			case agent.bids <- env.Bid:
-			default:
-				// Agent sent multiple bid messages for one round; keep the
-				// first, as resubmission could game the critical payment.
-			}
+			s.ingestSubmit(sess, renv.Bid)
 		default:
-			s.logger.Printf("agent %d sent unexpected %q", hello.AgentID, env.Type)
+			s.logger.Printf("agent %d sent unexpected %q", hello.AgentID, renv.Type)
 		}
 	}
 }
 
-// dropAgent deregisters an agent and closes its connection. It is
-// idempotent: only the call that actually removes the agent emits the
-// AgentDrop event and bumps the drop counter, so the read loop's
-// follow-up (the closed connection makes its recv fail) stays silent.
-func (s *Server) dropAgent(id int, cause, detail string) {
-	s.mu.Lock()
-	a, present := s.agents[id]
-	delete(s.agents, id)
-	s.mu.Unlock()
-	if !present {
+// ingestSubmit routes one decoded bid message to the per-agent ingest
+// path: each Multi entry separately for a multiplexed session, or the
+// session's sole agent for the plain form.
+func (s *Server) ingestSubmit(sess *session, msg *BidSubmitMsg) {
+	now := time.Now()
+	if len(msg.Multi) > 0 {
+		for i := range msg.Multi {
+			ab := &msg.Multi[i]
+			if !sess.owns(ab.Agent) {
+				s.logger.Printf("session %d submitted for foreign agent %d", sess.first, ab.Agent)
+				continue
+			}
+			s.ingestBid(sess, ab.Agent, msg.T, ab.Bids, now)
+		}
 		return
 	}
-	_ = a.c.close()
-	s.metrics.Counter("platform_agent_drops_total").Inc()
+	s.ingestBid(sess, sess.first, msg.T, msg.Bids, now)
+}
+
+// ingestBid applies one agent's submission directly into the open gather
+// window. Admission checks run first (token bucket, then the per-round
+// queue bound), then the mechanism-safety rules the serial engine
+// enforced in its gather loop: a stale round tag is discarded with the
+// agent kept pending, and only the first current-round submission counts
+// — a resubmission could game the critical payment.
+func (s *Server) ingestBid(sess *session, id, tag int, bids []WireBid, now time.Time) {
+	if s.adm != nil {
+		if ok, wait := s.adm.allowBid(id, now); !ok {
+			s.reject(sess, &RejectMsg{T: tag, Agent: id, Code: RejectRateLimited, RetryAfterMillis: wait.Milliseconds()})
+			return
+		}
+	}
+	s.gmu.Lock()
+	g := s.gather
+	if g == nil || !g.open || sess.dead.Load() {
+		// No open round (or the session is already deregistered): the
+		// submission is necessarily stale. The serial engine drained these
+		// at announce time; direct ingest drops them on arrival.
+		s.gmu.Unlock()
+		return
+	}
+	t := g.t
+	if s.adm != nil && s.adm.cfg.QueueBound > 0 {
+		g.submits[id]++
+		if g.submits[id] > s.adm.cfg.QueueBound {
+			s.gmu.Unlock()
+			s.reject(sess, &RejectMsg{T: tag, Agent: id, Code: RejectQueueFull})
+			return
+		}
+	}
+	if tag != t {
+		// Stale round tag: discard the message but KEEP the agent pending —
+		// its forthcoming current-round bid must still count.
+		s.gmu.Unlock()
+		return
+	}
+	if g.answered[id] {
+		// Resubmission for the current round: keep the first, and do not
+		// decrement pending again, or the round could clear while an honest
+		// agent is still pending.
+		s.gmu.Unlock()
+		return
+	}
+	g.answered[id] = true
+	for i := range bids {
+		wb := &bids[i]
+		g.buf.Add(id, wb.Alt, wb.Price, wb.Covers, wb.Units)
+	}
+	g.pending--
+	if g.pending <= 0 && !g.doneClosed {
+		close(g.done)
+		g.doneClosed = true
+	}
+	rtt := now.Sub(g.announcedAt)
+	s.gmu.Unlock()
+
+	s.mBids.Add(int64(len(bids)))
+	s.mBidRTT.Observe(float64(rtt.Microseconds()))
+	if s.adm != nil {
+		s.adm.recordSuccess(id)
+	}
 	if s.tracer != nil {
-		s.tracer.Emit(obs.AgentDrop{ID: id, Cause: cause, Detail: detail})
+		s.tracer.Emit(obs.BidReceived{T: t, ID: id, Bids: len(bids), RTTMicros: rtt.Microseconds()})
+	}
+}
+
+// reject sends a typed backpressure reply. A peer that cannot take the
+// reply within the write timeout is dropped like any other stalled
+// reader.
+func (s *Server) reject(sess *session, msg *RejectMsg) {
+	s.mRejects.Inc()
+	if s.tracer != nil {
+		s.tracer.Emit(obs.BidRejected{T: msg.T, ID: msg.Agent, Code: msg.Code})
+	}
+	if err := sess.send(&Envelope{Type: TypeReject, Reject: msg}, s.cfg.writeTimeout()); err != nil {
+		s.logger.Printf("reject to agent %d: %v", msg.Agent, err)
+		s.dropSession(sess, obs.DropWriteTimeout, err.Error())
+	}
+}
+
+// dropAgent deregisters the session carrying agent id (dropping its
+// session-mates with it: connection-level failure is session-level).
+func (s *Server) dropAgent(id int, cause, detail string) {
+	s.mu.Lock()
+	a := s.agents[id]
+	s.mu.Unlock()
+	if a == nil {
+		return
+	}
+	s.dropSession(a.sess, cause, detail)
+}
+
+// dropSession deregisters every agent of a session and closes its
+// connection. It is idempotent: only the call that actually removes
+// agents emits AgentDrop events and bumps the drop counter, so the read
+// loop's follow-up (the closed connection makes its recv fail) stays
+// silent.
+func (s *Server) dropSession(sess *session, cause, detail string) {
+	sess.dead.Store(true)
+	var removed []int
+	s.mu.Lock()
+	for i := 0; i < sess.count; i++ {
+		id := sess.first + i
+		if a, ok := s.agents[id]; ok && a.sess == sess {
+			delete(s.agents, id)
+			removed = append(removed, id)
+		}
+	}
+	s.mu.Unlock()
+	if len(removed) == 0 {
+		return
+	}
+	_ = sess.c.close()
+	now := time.Now()
+	for _, id := range removed {
+		s.mDrops.Inc()
+		if s.adm != nil {
+			s.adm.recordDrop(id, cause, now)
+		}
+		if s.tracer != nil {
+			s.tracer.Emit(obs.AgentDrop{ID: id, Cause: cause, Detail: detail})
+		}
 	}
 }
 
@@ -328,11 +611,54 @@ func (s *Server) RunRound(demand []int, needyIDs []int) (*RoundOutcome, error) {
 // while bids are being gathered the round aborts — no mechanism runs, no
 // result is broadcast, pending agents stay connected — and the wrapped
 // context error is returned. The round number is still consumed.
+//
+// Internally the round is the two pipeline stages run back to back:
+// gatherRound (announce + ingest until deadline) then settleRound
+// (match + payments + WAL + award fan-out). RunPipelined overlaps the
+// stages across consecutive rounds instead.
 func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []int) (*RoundOutcome, error) {
+	rs, err := s.gatherRound(ctx, demand, needyIDs)
+	if err != nil {
+		return nil, err
+	}
+	return s.settleRound(rs)
+}
+
+// gatherRound runs the ingest stage of one round: it consumes the next
+// round number, announces the round to every registered agent, and keeps
+// the gather window open until all announced agents answered, the bid
+// deadline fired, or ctx was cancelled. On success the returned state
+// holds the assembled canonical instance and must be passed to
+// settleRound (which recycles it).
+//
+// It is the two ingest halves run back to back; RunPipelined calls them
+// separately so the previous round's settle can run between a round's
+// announce and its bid wait.
+func (s *Server) gatherRound(ctx context.Context, demand []int, needyIDs []int) (*roundState, error) {
+	rs, err := s.announceRound(ctx, demand, needyIDs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.awaitGather(ctx, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// announceRound opens the gather window for the next round and fans the
+// announce out to every registered agent. Bids land in the window from
+// the per-connection read loops the moment the announce hits the wire —
+// the caller need not be waiting yet, which is what lets a pipelined
+// server settle the previous round in that gap. On error the window is
+// torn down and the state recycled; the round number stays consumed.
+func (s *Server) announceRound(ctx context.Context, demand []int, needyIDs []int) (*roundState, error) {
 	started := time.Now()
+	rs := s.getRoundState()
+	rs.started = started
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.putRoundState(rs)
 		return nil, errors.New("platform: server closed")
 	}
 	s.round++
@@ -355,12 +681,18 @@ func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []i
 			s.msoa = core.NewMSOA(cfg)
 		}
 	}
-	agents := make([]*agentConn, 0, len(s.agents))
+	rs.agents = rs.agents[:0]
 	for _, a := range s.agents {
-		agents = append(agents, a)
+		rs.agents = append(rs.agents, a)
 	}
 	s.mu.Unlock()
-	sort.Slice(agents, func(i, j int) bool { return agents[i].id < agents[j].id })
+	rs.sorter.agents = rs.agents
+	sort.Sort(&rs.sorter)
+
+	rs.t = t
+	rs.demand = demand
+	rs.needyIDs = needyIDs
+	rs.droppedIDs = rs.droppedIDs[:0]
 
 	deadline := s.cfg.bidDeadline()
 	if s.tracer != nil {
@@ -370,159 +702,243 @@ func (s *Server) RunRoundContext(ctx context.Context, demand []int, needyIDs []i
 		}
 		s.tracer.Emit(obs.RoundOpen{
 			Scope: obs.ScopePlatform, T: t, Needy: len(needyIDs),
-			TotalDemand: total, Agents: len(agents),
+			TotalDemand: total, Agents: len(rs.agents),
 		})
 	}
-	announce := &Envelope{Type: TypeAnnounce, Announce: &AnnounceMsg{
+
+	// Open the gather window BEFORE announcing: with direct ingest there
+	// is no per-agent buffer, so a fast agent's bid must find the window
+	// open the moment it lands.
+	s.gmu.Lock()
+	rs.buf.Reset(demand)
+	clear(rs.answered)
+	clear(rs.submits)
+	rs.pending = len(rs.agents)
+	rs.open = true
+	rs.doneClosed = false
+	rs.done = make(chan struct{})
+	rs.announcedAt = time.Now()
+	if rs.pending == 0 {
+		close(rs.done)
+		rs.doneClosed = true
+	}
+	s.gather = rs
+	s.gmu.Unlock()
+
+	announce, err := encodeEnvelope(&Envelope{Type: TypeAnnounce, Announce: &AnnounceMsg{
 		T: t, Demand: demand, NeedyIDs: needyIDs, DeadlineMillis: deadline.Milliseconds(),
-	}}
-	announced := agents[:0]
-	for _, a := range agents {
-		// Drain stale bids from previous rounds (the buffer holds up to
-		// two, e.g. a delayed resubmission behind an original).
-		for drained := false; !drained; {
-			select {
-			case <-a.bids:
-			default:
-				drained = true
+	}})
+	if err != nil {
+		s.abortGather(rs)
+		return nil, err
+	}
+
+	// Fault phase: consult the injection hook per agent, serially, before
+	// any real send, so the injected drop set and its event order are
+	// deterministic regardless of fan-out scheduling.
+	if f := s.cfg.Fault.SendFault; f != nil {
+		for _, a := range rs.agents {
+			if err := f(t, a.id, TypeAnnounce); err != nil {
+				s.logger.Printf("announce to agent %d: %v", a.id, err)
+				// A write failure here means the agent cannot hear the round;
+				// it would only pin the gather phase at the full deadline, so
+				// deregister it now rather than wait for its read loop to fail.
+				s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
 			}
 		}
-		if err := s.sendAgent(a, t, announce); err != nil {
-			s.logger.Printf("announce to agent %d: %v", a.id, err)
-			// A write failure here means the agent cannot hear the round;
-			// it would only pin the gather phase at the full deadline, so
-			// deregister it now rather than wait for its read loop to fail.
-			s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
-			continue
-		}
-		announced = append(announced, a)
+		s.filterLive(rs)
 	}
-	agents = announced
-	announcedAt := time.Now()
+
+	rs.sessions = rs.sessions[:0]
+	for _, a := range rs.agents {
+		if a.id == a.sess.first {
+			rs.sessions = append(rs.sessions, a.sess)
+		}
+	}
+	for i, err := range s.broadcastRaw(rs, TypeAnnounce, announce) {
+		if err != nil {
+			ss := rs.sessions[i]
+			s.logger.Printf("announce to agent %d: %v", ss.first, err)
+			s.dropSession(ss, obs.DropWriteTimeout, err.Error())
+		}
+	}
+	s.filterLive(rs)
+
+	// Agents dropped at announce never heard the round; take them out of
+	// the pending count (unless a racing in-flight bid already did).
+	s.gmu.Lock()
+	for _, id := range rs.droppedIDs {
+		if !rs.answered[id] {
+			rs.pending--
+		}
+	}
+	if rs.pending <= 0 && !rs.doneClosed {
+		close(rs.done)
+		rs.doneClosed = true
+	}
+	s.gmu.Unlock()
 
 	// Scripted crash: the process dies while bids are in flight. Nothing
 	// reached the WAL for this round, so recovery re-runs round t whole.
 	if err := s.crashPoint(t, CrashMidGather); err != nil {
+		s.abortGather(rs)
 		return nil, err
 	}
+	return rs, nil
+}
 
-	// Gather bids until the deadline, event-driven: per-agent forwarder
-	// goroutines feed one fan-in channel, so the collection select wakes
-	// only when a bid actually arrives (or the deadline fires) — zero
-	// timed polling — and the round clears the moment the last pending
-	// agent answers.
-	ins := &core.Instance{Demand: demand}
-	timer := time.NewTimer(deadline)
+// awaitGather blocks until the announced round's gather window resolves
+// — every live announced agent answered, the bid deadline (measured
+// from the announce, not from this call) fired, or ctx was cancelled —
+// then closes the window and assembles the canonical instance. On error
+// the state is recycled.
+func (s *Server) awaitGather(ctx context.Context, rs *roundState) error {
+	t := rs.t
+	// Anchor the deadline at the announce time so a caller that settles
+	// another round before waiting does not extend the agents' window.
+	timer := time.NewTimer(time.Until(rs.announcedAt.Add(s.cfg.bidDeadline())))
 	defer timer.Stop()
-	type inBid struct {
-		id  int
-		msg *BidSubmitMsg
+	select {
+	case <-rs.done:
+	case <-timer.C:
+		if s.tracer != nil {
+			for _, id := range s.unanswered(rs) {
+				s.tracer.Emit(obs.AgentTimeout{T: t, ID: id, Cause: obs.TimeoutDeadline})
+			}
+		}
+	case <-ctx.Done():
+		var pending int
+		s.gmu.Lock()
+		pending = rs.pending
+		s.gmu.Unlock()
+		if s.tracer != nil {
+			for _, id := range s.unanswered(rs) {
+				s.tracer.Emit(obs.AgentTimeout{T: t, ID: id, Cause: obs.TimeoutCancelled})
+			}
+			s.tracer.Emit(obs.RoundAbort{T: t, Err: ctx.Err().Error(), Pending: pending})
+		}
+		s.metrics.Counter("platform_rounds_aborted_total").Inc()
+		s.abortGather(rs)
+		return fmt.Errorf("platform: round %d aborted: %w", t, ctx.Err())
 	}
-	fanIn := make(chan inBid)
-	done := make(chan struct{})
-	var forwarders sync.WaitGroup
-	defer func() {
-		// Signal AND join the forwarders before returning: a stale
-		// forwarder left running into the next RunRound call could win the
-		// race for that round's live bid on a.bids and then drop it once it
-		// sees done closed.
-		close(done)
-		forwarders.Wait()
-	}()
-	for _, a := range agents {
-		forwarders.Add(1)
-		go func(a *agentConn) {
-			defer forwarders.Done()
+
+	// Close the window; late bids now drop at arrival like any other
+	// out-of-round submission.
+	s.gmu.Lock()
+	rs.open = false
+	s.gather = nil
+	s.gmu.Unlock()
+
+	// The ingest buffer re-emits every bid in canonical (Bidder, Alt)
+	// order, so the instance — and everything downstream — is independent
+	// of arrival order and shard routing.
+	rs.ins = rs.buf.Build()
+	if s.tracer != nil {
+		s.tracer.Emit(obs.StageLatency{T: t, Stage: "gather", DurationMicros: time.Since(rs.started).Microseconds()})
+	}
+	if err := rs.ins.Validate(); err != nil {
+		s.putRoundState(rs)
+		return fmt.Errorf("platform: assembled invalid round instance: %w", err)
+	}
+	return nil
+}
+
+// filterLive compacts rs.agents down to agents whose session is still
+// registered, recording the removed ids for the pending adjustment.
+func (s *Server) filterLive(rs *roundState) {
+	live := rs.agents[:0]
+	for _, a := range rs.agents {
+		if a.sess.dead.Load() {
+			rs.droppedIDs = append(rs.droppedIDs, a.id)
+			continue
+		}
+		live = append(live, a)
+	}
+	rs.agents = live
+}
+
+// unanswered snapshots the announced agents that have not answered, in
+// id order, into the round's scratch slice.
+func (s *Server) unanswered(rs *roundState) []int {
+	rs.scratch = rs.scratch[:0]
+	s.gmu.Lock()
+	for _, a := range rs.agents {
+		if !rs.answered[a.id] {
+			rs.scratch = append(rs.scratch, a.id)
+		}
+	}
+	s.gmu.Unlock()
+	return rs.scratch
+}
+
+// abortGather tears down an open gather window after a crash or
+// cancellation: the round number stays consumed, agents stay connected,
+// and the state returns to the pool.
+func (s *Server) abortGather(rs *roundState) {
+	s.gmu.Lock()
+	rs.open = false
+	if s.gather == rs {
+		s.gather = nil
+	}
+	s.gmu.Unlock()
+	s.putRoundState(rs)
+}
+
+// broadcastRaw fans one pre-encoded envelope out to rs.sessions, each
+// send bounded by the per-session write timeout. Up to broadcastWorkers
+// sessions are written concurrently; errors come back slot-aligned with
+// rs.sessions so the caller can process failures in deterministic
+// (agent-id) order.
+func (s *Server) broadcastRaw(rs *roundState, msgType string, data []byte) []error {
+	n := len(rs.sessions)
+	if cap(rs.sendErrs) < n {
+		rs.sendErrs = make([]error, n)
+	}
+	errs := rs.sendErrs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	timeout := s.cfg.writeTimeout()
+	if n <= 1 {
+		for i, ss := range rs.sessions {
+			errs[i] = ss.sendRaw(msgType, data, timeout)
+		}
+		return errs
+	}
+	workers := broadcastWorkers
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
 			for {
-				select {
-				case msg := <-a.bids:
-					select {
-					case fanIn <- inBid{id: a.id, msg: msg}:
-					case <-done:
-						// A message consumed here but not delivered is either
-						// stale-tagged, a resubmission after the agent already
-						// answered, or a bid that missed the deadline — in
-						// every case it must not count, so dropping it matches
-						// the announce-time drain.
-						return
-					}
-				case <-done:
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
+				errs[i] = rs.sessions[i].sendRaw(msgType, data, timeout)
 			}
-		}(a)
+		}()
 	}
-	pending := len(agents)
-	answered := make(map[int]bool, len(agents))
-gather:
-	for pending > 0 {
-		select {
-		case in := <-fanIn:
-			if in.msg.T != t {
-				// Stale round tag: the bid raced past the announce-time
-				// drain. Discard the message but KEEP the agent pending —
-				// its forthcoming current-round bid must still count.
-				continue
-			}
-			if answered[in.id] {
-				// Resubmission for the current round: the forwarder keeps
-				// draining a.bids after the agent answered, so a second
-				// message can reach fan-in. Keep the first — resubmission
-				// could game the critical payment — and do not decrement
-				// pending again, or the round could clear while an honest
-				// agent is still pending.
-				continue
-			}
-			answered[in.id] = true
-			for _, wb := range in.msg.Bids {
-				ins.Bids = append(ins.Bids, core.Bid{
-					Bidder: in.id, Alt: wb.Alt, Price: wb.Price,
-					TrueCost: wb.Price, Covers: wb.Covers, Units: wb.Units,
-				})
-			}
-			rtt := time.Since(announcedAt)
-			s.metrics.Counter("platform_bids_total").Add(int64(len(in.msg.Bids)))
-			s.metrics.Histogram("platform_bid_rtt_us", 0, 1e6, 20).Observe(float64(rtt.Microseconds()))
-			if s.tracer != nil {
-				s.tracer.Emit(obs.BidReceived{T: t, ID: in.id, Bids: len(in.msg.Bids), RTTMicros: rtt.Microseconds()})
-			}
-			pending--
-		case <-timer.C:
-			if s.tracer != nil {
-				for _, a := range agents {
-					if !answered[a.id] {
-						s.tracer.Emit(obs.AgentTimeout{T: t, ID: a.id, Cause: obs.TimeoutDeadline})
-					}
-				}
-			}
-			break gather
-		case <-ctx.Done():
-			if s.tracer != nil {
-				for _, a := range agents {
-					if !answered[a.id] {
-						s.tracer.Emit(obs.AgentTimeout{T: t, ID: a.id, Cause: obs.TimeoutCancelled})
-					}
-				}
-				s.tracer.Emit(obs.RoundAbort{T: t, Err: ctx.Err().Error(), Pending: pending})
-			}
-			s.metrics.Counter("platform_rounds_aborted_total").Inc()
-			return nil, fmt.Errorf("platform: round %d aborted: %w", t, ctx.Err())
-		}
-	}
-	// Stable bid order: fan-in delivery order follows bid arrival, not
-	// agent id.
-	sort.Slice(ins.Bids, func(i, j int) bool {
-		if ins.Bids[i].Bidder != ins.Bids[j].Bidder {
-			return ins.Bids[i].Bidder < ins.Bids[j].Bidder
-		}
-		return ins.Bids[i].Alt < ins.Bids[j].Alt
-	})
-	if err := ins.Validate(); err != nil {
-		return nil, fmt.Errorf("platform: assembled invalid round instance: %w", err)
-	}
+	wg.Wait()
+	return errs
+}
 
-	res := s.msoa.RunRound(core.Round{T: t, Instance: ins})
-	outcome := &RoundOutcome{T: t, Bids: len(ins.Bids)}
+// settleRound runs the match and settle/announce stages for a gathered
+// round: SSAM selection with critical-value payments, the WAL append
+// (durable BEFORE any bidder hears its award), and the result fan-out.
+// The round state returns to the pool on every path.
+func (s *Server) settleRound(rs *roundState) (*RoundOutcome, error) {
+	defer s.putRoundState(rs)
+	t := rs.t
+	settleStart := time.Now()
+
+	res := s.msoa.RunRound(core.Round{T: t, Instance: rs.ins})
+	outcome := &RoundOutcome{T: t, Bids: len(rs.ins.Bids)}
 	result := &ResultMsg{T: t}
 	if res.Err != nil {
 		outcome.Infeasible = true
@@ -532,7 +948,7 @@ gather:
 		outcome.SocialCost = res.Outcome.SocialCost
 		result.SocialCost = res.Outcome.SocialCost
 		for _, w := range res.Outcome.Winners {
-			b := ins.Bids[w]
+			b := rs.ins.Bids[w]
 			award := WireAward{Bidder: b.Bidder, Alt: b.Alt, Payment: res.Outcome.Payments[w]}
 			if f := s.cfg.Fault.CorruptPayment; f != nil {
 				award.Payment = f(t, award)
@@ -544,19 +960,25 @@ gather:
 
 	// Build the round record once; the WAL and the audit sink share it
 	// (when the WAL stamps the logical timestamp and state hash first, the
-	// audit line inherits them, keeping the two logs consistent).
-	rec := &AuditRecord{
-		T:          t,
-		Demand:     demand,
-		NeedyIDs:   needyIDs,
-		Awards:     outcome.Awards,
-		SocialCost: outcome.SocialCost,
-		Infeasible: outcome.Infeasible,
-	}
-	for _, b := range ins.Bids {
-		rec.Bids = append(rec.Bids, AuditBid{
-			Bidder: b.Bidder, Alt: b.Alt, Price: b.Price, Covers: b.Covers, Units: b.Units,
-		})
+	// audit line inherits them, keeping the two logs consistent). Cover
+	// slices are deep-copied out of the pooled ingest arena because audit
+	// consumers may retain the record past this round.
+	var rec *AuditRecord
+	if s.cfg.WAL != nil || s.cfg.Audit != nil {
+		rec = &AuditRecord{
+			T:          t,
+			Demand:     rs.demand,
+			NeedyIDs:   rs.needyIDs,
+			Awards:     outcome.Awards,
+			SocialCost: outcome.SocialCost,
+			Infeasible: outcome.Infeasible,
+		}
+		for _, b := range rs.ins.Bids {
+			rec.Bids = append(rec.Bids, AuditBid{
+				Bidder: b.Bidder, Alt: b.Alt, Price: b.Price,
+				Covers: append([]int(nil), b.Covers...), Units: b.Units,
+			})
+		}
 	}
 
 	// Write-ahead: the record must be durable BEFORE any bidder hears its
@@ -579,14 +1001,33 @@ gather:
 		return nil, err
 	}
 
-	env := &Envelope{Type: TypeResult, Result: result}
-	for _, a := range agents {
-		if err := s.sendAgent(a, t, env); err != nil {
-			s.logger.Printf("result to agent %d: %v", a.id, err)
+	data, err := encodeEnvelope(&Envelope{Type: TypeResult, Result: result})
+	if err != nil {
+		return nil, err
+	}
+	if f := s.cfg.Fault.SendFault; f != nil {
+		for _, a := range rs.agents {
+			if err := f(t, a.id, TypeResult); err != nil {
+				s.logger.Printf("result to agent %d: %v", a.id, err)
+				s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
+			}
+		}
+	}
+	s.filterLive(rs)
+	rs.sessions = rs.sessions[:0]
+	for _, a := range rs.agents {
+		if a.id == a.sess.first {
+			rs.sessions = append(rs.sessions, a.sess)
+		}
+	}
+	for i, err := range s.broadcastRaw(rs, TypeResult, data) {
+		if err != nil {
+			ss := rs.sessions[i]
+			s.logger.Printf("result to agent %d: %v", ss.first, err)
 			// A peer that cannot take the result within the write timeout
 			// (stalled reader, dead connection) would stall every future
 			// broadcast too; deregister it.
-			s.dropAgent(a.id, obs.DropWriteTimeout, err.Error())
+			s.dropSession(ss, obs.DropWriteTimeout, err.Error())
 		}
 	}
 
@@ -597,17 +1038,18 @@ gather:
 	}
 
 	s.metrics.Counter("platform_rounds_total").Inc()
-	s.metrics.Histogram("platform_round_us", 0, 5e6, 20).Observe(float64(time.Since(started).Microseconds()))
+	s.metrics.Histogram("platform_round_us", 0, 5e6, 20).Observe(float64(time.Since(rs.started).Microseconds()))
 	if s.tracer != nil {
 		totalPay := 0.0
 		for _, aw := range outcome.Awards {
 			totalPay += aw.Payment
 		}
+		s.tracer.Emit(obs.StageLatency{T: t, Stage: "settle", DurationMicros: time.Since(settleStart).Microseconds()})
 		s.tracer.Emit(obs.RoundClose{
-			Scope: obs.ScopePlatform, T: t, Bids: len(ins.Bids),
+			Scope: obs.ScopePlatform, T: t, Bids: len(rs.ins.Bids),
 			Winners: len(outcome.Awards), SocialCost: outcome.SocialCost,
 			TotalPayment: totalPay, Infeasible: outcome.Infeasible,
-			DurationMicros: time.Since(started).Microseconds(),
+			DurationMicros: time.Since(rs.started).Microseconds(),
 		})
 	}
 
@@ -672,16 +1114,20 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	agents := make([]*agentConn, 0, len(s.agents))
+	sessions := make([]*session, 0, len(s.agents))
+	seen := make(map[*session]bool, len(s.agents))
 	for _, a := range s.agents {
-		agents = append(agents, a)
+		if !seen[a.sess] {
+			seen[a.sess] = true
+			sessions = append(sessions, a.sess)
+		}
 	}
 	s.mu.Unlock()
 
 	s.cancel()
-	for _, a := range agents {
-		_ = a.send(&Envelope{Type: TypeShutdown}, s.cfg.writeTimeout())
-		_ = a.c.close()
+	for _, ss := range sessions {
+		_ = ss.send(&Envelope{Type: TypeShutdown}, s.cfg.writeTimeout())
+		_ = ss.c.close()
 	}
 	err := s.listener.Close()
 	s.wg.Wait()

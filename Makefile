@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check cover fuzz soak soak-quick soak-crash soak-pipeline bench bench-core bench-core-sweep bench-guard bench-load bench-scaling bench-repro repro
+.PHONY: all build test check cover fuzz soak soak-quick soak-crash soak-pipeline bench bench-core bench-core-sweep bench-guard bench-load bench-scaling bench-repro repro arena
 
 all: build
 
@@ -30,7 +30,19 @@ check:
 		./internal/core
 	$(GO) run ./cmd/repro -fig all -quick -opt-time 300ms \
 		-bench-json /tmp/BENCH_repro_smoke.json >/dev/null
+	$(MAKE) arena
 	$(MAKE) cover
+
+# arena is the mechanism head-to-head smoke gate: race SSAM, the
+# posted-price mechanism, and the futures+spot double auction on the same
+# seeded quick workload through the pluggable Mechanism API, writing the
+# result JSON to /tmp. The full-scale table is committed as
+# results/ARENA.json (regenerate with `go run ./cmd/repro -fig arena
+# -arena-json results/ARENA.json`).
+arena:
+	$(GO) run ./cmd/repro -fig arena -quick -seed 1 \
+		-arena-json /tmp/ARENA_smoke.json >/dev/null
+	@echo "mechanism arena smoke OK (/tmp/ARENA_smoke.json)"
 
 # cover enforces the statement-coverage floor on the mechanism-critical
 # packages: the auction kernel, the TCP platform, and the federation.

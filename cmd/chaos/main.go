@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"edgeauction/internal/chaos"
+	"edgeauction/internal/core"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		crashDir      = fs.String("crash-dir", "", "working dir for platform-crash and pipeline comparison runs (default: a temp dir)")
 		snapshotEvery = fs.Int("snapshot-every", 10, "checkpoint the crashed pass every N rounds (platform-crash runs; 0 disables)")
 		fsync         = fs.Bool("fsync", false, "fsync the WAL on every append (platform-crash runs)")
+		mechanism     = fs.String("mechanism", "", "override the scenario mechanism spec, e.g. 'posted-price' or 'double-auction:overbook=1.25'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -80,6 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *rounds != 0 {
 		sc.Rounds = *rounds
+	}
+	if *mechanism != "" {
+		spec, err := core.ParseMechanismSpec(*mechanism)
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: %v\n", err)
+			return 1
+		}
+		sc.Mechanism = &spec
 	}
 
 	if *printScenario {

@@ -49,8 +49,17 @@ func run(args []string) error {
 	loadThink := fs.Duration("load-think", 2*time.Millisecond, "simulated per-session bid decision latency for -load")
 	loadPerConn := fs.Int("load-conns", 0, "agents multiplexed per TCP session for -load (0 = default)")
 	loadJSON := fs.Bool("load-json", false, "emit the -load result as JSON")
+	mechanism := fs.String("mechanism", "", "mechanism spec, e.g. 'posted-price:epsilon=0.1' or 'double-auction:overbook=1.25' (empty = ssam)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var mechSpec core.MechanismSpec
+	if *mechanism != "" {
+		spec, err := core.ParseMechanismSpec(*mechanism)
+		if err != nil {
+			return err
+		}
+		mechSpec = spec
 	}
 	if *loadAgents > 0 {
 		return runLoad(loadFlags{
@@ -98,6 +107,7 @@ func run(args []string) error {
 		DefaultCapacity:    *capacity,
 		CapacityExemptFrom: sim.ReserveBidderID,
 		Options:            core.Options{Parallelism: *parallelism, Tracer: tracer},
+		Mechanism:          mechSpec,
 	})
 
 	topo := simulator.Topology()

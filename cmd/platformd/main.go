@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"edgeauction/internal/core"
 	"edgeauction/internal/obs"
 	"edgeauction/internal/platform"
 	"edgeauction/internal/workload"
@@ -65,6 +66,7 @@ func run(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "admission: consecutive qualifying drops that open an agent's circuit (0 = no breaker)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "admission: how long an open circuit refuses re-registration (0 = default)")
 	queueBound := fs.Int("queue-bound", 0, "admission: max submissions per agent per round before queue_full sheds (0 = unbounded)")
+	mechanism := fs.String("mechanism", "", "mechanism spec, e.g. 'posted-price:epsilon=0.1' or 'double-auction:overbook=1.25' (empty = ssam)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +86,13 @@ func run(args []string) error {
 		Logger:      logger,
 	}
 	scfg.Auction.Options.Parallelism = *parallelism
+	if *mechanism != "" {
+		spec, err := core.ParseMechanismSpec(*mechanism)
+		if err != nil {
+			return err
+		}
+		scfg.Auction.Mechanism = spec
+	}
 	scfg.Admission = platform.AdmissionConfig{
 		BidRate:          *bidRate,
 		BidBurst:         *bidBurst,

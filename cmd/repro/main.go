@@ -125,7 +125,7 @@ func ablations() map[string]func(experiments.Config) (*experiments.AblationResul
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
-	figFlag := fs.String("fig", "all", "figure to regenerate: 3a,3b,4a,4b,5a,5b,6a,6b, winstats, 'ablations', or 'all'")
+	figFlag := fs.String("fig", "all", "figure to regenerate: 3a,3b,4a,4b,5a,5b,6a,6b, winstats, arena, 'ablations', or 'all'")
 	seed := fs.Int64("seed", 1, "workload seed")
 	trials := fs.Int("trials", 5, "instances averaged per sweep point")
 	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
@@ -136,6 +136,10 @@ func run(args []string) error {
 	benchJSON := fs.String("bench-json", "", "file to write per-figure wall-clock timings as JSON")
 	traceOut := fs.String("trace-out", "", "append a JSONL sweep event per completed experiment grid to this file")
 	gomaxprocs := fs.Int("gomaxprocs", 0, "cap GOMAXPROCS for this run (0 = leave unchanged; recorded in -bench-json for multicore sweeps)")
+	mechanism := fs.String("mechanism", "", "mechanism spec for the online figures, e.g. 'posted-price:epsilon=0.1' (empty = ssam; see internal/core.ParseMechanismSpec)")
+	var arenaSpecs specListFlag
+	fs.Var(&arenaSpecs, "arena-spec", "mechanism spec to race in the arena (repeatable; default: ssam, posted-price, double-auction)")
+	arenaJSON := fs.String("arena-json", "", "file to write the arena result as JSON (e.g. results/ARENA.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +150,13 @@ func run(args []string) error {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Quick: *quick,
 		Parallelism: *parallelism, TrialParallelism: *trialParallelism,
+	}
+	if *mechanism != "" {
+		spec, err := core.ParseMechanismSpec(*mechanism)
+		if err != nil {
+			return err
+		}
+		cfg.Mechanism = spec
 	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -270,8 +281,36 @@ func run(args []string) error {
 		bench.record("truthfulness", elapsed)
 	}
 
+	if want == "all" || want == "arena" {
+		ranAny = true
+		start := time.Now()
+		res, err := experiments.Arena(cfg, arenaSpecs.specs)
+		if err != nil {
+			return fmt.Errorf("mechanism arena: %w", err)
+		}
+		elapsed := time.Since(start)
+		fmt.Println(res.Render())
+		fmt.Printf("(mechanism arena done in %v)\n\n", elapsed.Round(time.Millisecond))
+		bench.record("arena", elapsed)
+		if *arenaJSON != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return fmt.Errorf("marshal arena result: %w", err)
+			}
+			if dir := filepath.Dir(*arenaJSON); dir != "." {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return fmt.Errorf("create arena dir: %w", err)
+				}
+			}
+			if err := os.WriteFile(*arenaJSON, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write arena result: %w", err)
+			}
+			fmt.Printf("(arena result written to %s)\n\n", *arenaJSON)
+		}
+	}
+
 	if !ranAny {
-		return fmt.Errorf("unknown figure %q (want 3a,3b,4a,4b,5a,5b,6a,6b, winstats, truthfulness, ablations, or all)", *figFlag)
+		return fmt.Errorf("unknown figure %q (want 3a,3b,4a,4b,5a,5b,6a,6b, winstats, truthfulness, arena, ablations, or all)", *figFlag)
 	}
 	if bench != nil {
 		if err := bench.write(*benchJSON); err != nil {
@@ -330,6 +369,29 @@ func (b *benchReport) write(path string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write bench report: %w", err)
 	}
+	return nil
+}
+
+// specListFlag collects repeated -arena-spec values as parsed mechanism
+// specs.
+type specListFlag struct {
+	specs []core.MechanismSpec
+}
+
+func (s *specListFlag) String() string {
+	parts := make([]string, len(s.specs))
+	for i, spec := range s.specs {
+		parts[i] = spec.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *specListFlag) Set(v string) error {
+	spec, err := core.ParseMechanismSpec(v)
+	if err != nil {
+		return err
+	}
+	s.specs = append(s.specs, spec)
 	return nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"edgeauction/internal/baseline"
 	"edgeauction/internal/core"
 	"edgeauction/internal/demand"
+	"edgeauction/internal/experiments"
 	"edgeauction/internal/obs"
 	"edgeauction/internal/optimal"
 	"edgeauction/internal/platform"
@@ -118,6 +119,55 @@ type (
 	// IngestBuffer accumulates a round's bids shard-by-shard in the flat
 	// layout the SSAM kernel consumes (see MSOA.RunRoundIngest).
 	IngestBuffer = core.IngestBuffer
+)
+
+// Mechanism API types: the pluggable single-stage competitors raced by
+// the arena. Every mechanism clears the same Instance→Outcome contract;
+// MSOAConfig.Mechanism selects one by spec for online runs (the zero
+// spec is SSAM and is bit-identical to the pre-API behaviour).
+type (
+	// Mechanism is a pluggable single-stage winner selection mechanism.
+	Mechanism = core.Mechanism
+	// ScaledMechanism is the extension SSAM-family mechanisms implement
+	// to consume MSOA's ψ-scaled prices (and drive ψ updates).
+	ScaledMechanism = core.ScaledMechanism
+	// StatefulMechanism is the extension mechanisms with cross-round
+	// state implement (MSOA resets them when it is rebuilt from scratch).
+	StatefulMechanism = core.Stateful
+	// SettlementReporter exposes a double auction's per-round settlement
+	// for the penalty-bound auditor.
+	SettlementReporter = core.SettlementReporter
+	// MechanismSpec names a registered mechanism plus its parameters;
+	// parse the flag syntax with ParseMechanismSpec.
+	MechanismSpec = core.MechanismSpec
+	// MechanismFactory builds a mechanism from a spec (see
+	// RegisterMechanism).
+	MechanismFactory = core.MechanismFactory
+	// PostedPriceConfig parameterizes the (1−ε)-optimal posted-price
+	// mechanism; PostedPrice is the mechanism itself.
+	PostedPriceConfig = core.PostedPriceConfig
+	PostedPrice       = core.PostedPrice
+	// DoubleAuctionConfig parameterizes the futures+spot double auction
+	// with overbooking; DoubleAuction is the (stateful) mechanism and
+	// Settlement one round's futures-book settlement accounting.
+	DoubleAuctionConfig = core.DoubleAuctionConfig
+	DoubleAuction       = core.DoubleAuction
+	Settlement          = core.Settlement
+	// ExperimentConfig configures the experiment drivers (seeds, trials,
+	// parallelism, the online mechanism under test).
+	ExperimentConfig = experiments.Config
+	// ArenaResult is the head-to-head mechanism comparison; each
+	// ArenaMechanism row aggregates one competitor's metrics.
+	ArenaResult    = experiments.ArenaResult
+	ArenaMechanism = experiments.ArenaMechanism
+)
+
+// Registered mechanism names for MechanismSpec.Name.
+const (
+	MechanismSSAM          = core.NameSSAM
+	MechanismBudgetedSSAM  = core.NameBudgetedSSAM
+	MechanismPostedPrice   = core.NamePostedPrice
+	MechanismDoubleAuction = core.NameDoubleAuction
 )
 
 // Re-exported mechanism constants.
@@ -334,9 +384,74 @@ type (
 // RunAuction runs the single-stage auction mechanism SSAM (Algorithm 1) on
 // an instance: winner selection, critical-value payments, and the
 // primal–dual certificate. It returns core.ErrInfeasible if the bids
-// cannot cover the demand.
+// cannot cover the demand. It is RunMechanism with the zero (SSAM) spec.
 func RunAuction(ins *Instance, opts Options) (*Outcome, error) {
-	return core.SSAM(ins, opts)
+	return core.RunMechanism(MechanismSpec{}, ins, opts)
+}
+
+// RunMechanism builds the mechanism named by spec and clears the instance
+// through it — the one-shot entry point of the Mechanism API. The zero
+// spec is SSAM.
+func RunMechanism(spec MechanismSpec, ins *Instance, opts Options) (*Outcome, error) {
+	return core.RunMechanism(spec, ins, opts)
+}
+
+// NewMechanism builds the mechanism named by spec from the registry.
+func NewMechanism(spec MechanismSpec) (Mechanism, error) {
+	return core.NewMechanism(spec)
+}
+
+// RegisterMechanism adds a mechanism factory under a name; specs with
+// that name then resolve to it everywhere (MSOA, the platform, the chaos
+// auditor, the arena). It panics on duplicate names — registration is
+// init-time wiring, not runtime configuration.
+func RegisterMechanism(name string, f MechanismFactory) {
+	core.RegisterMechanism(name, f)
+}
+
+// MechanismNames lists the registered mechanism names, sorted.
+func MechanismNames() []string {
+	return core.MechanismNames()
+}
+
+// ParseMechanismSpec parses the flag syntax "name:key=val,key=val", e.g.
+// "posted-price:epsilon=0.05" or "double-auction:overbook=1.5".
+func ParseMechanismSpec(s string) (MechanismSpec, error) {
+	return core.ParseMechanismSpec(s)
+}
+
+// NewPostedPrice builds the (1−ε)-optimal posted-price mechanism: a
+// price level chosen from the demand prior alone (never from reports),
+// making truthful reporting a dominant strategy for single-bid bidders.
+func NewPostedPrice(cfg PostedPriceConfig) *PostedPrice {
+	return core.NewPostedPrice(cfg)
+}
+
+// NewDoubleAuction builds the futures+spot double auction with
+// overbooking: sellers book discounted futures one round ahead, no-shows
+// pay a penalty, and a spot stage covers the remainder.
+func NewDoubleAuction(cfg DoubleAuctionConfig) *DoubleAuction {
+	return core.NewDoubleAuction(cfg)
+}
+
+// VerifyPenaltyBound checks a double-auction settlement against its
+// configured penalty bounds (auditor invariant; see internal/chaos).
+func VerifyPenaltyBound(st *Settlement, cfg DoubleAuctionConfig) error {
+	return core.VerifyPenaltyBound(st, cfg)
+}
+
+// RunArena races mechanism specs head-to-head on identical seeded online
+// workloads, measuring social cost, platform outlay, competitive ratio
+// against per-round offline optima, and truthfulness regret under
+// misreport probes. Nil specs select DefaultArenaSpecs.
+func RunArena(cfg ExperimentConfig, specs []MechanismSpec) (*ArenaResult, error) {
+	return experiments.Arena(cfg, specs)
+}
+
+// DefaultArenaSpecs is the standard three-way race: SSAM, posted-price,
+// and the double auction, at default parameters.
+func DefaultArenaSpecs() []MechanismSpec {
+	return experiments.DefaultArenaSpecs()
 }
 
 // NewOnlineAuction builds the multi-stage online auction MSOA

@@ -14,7 +14,8 @@ import (
 
 // TestFacadeCoverage enforces the facade rule: every exported internal
 // type reachable from the facade's public surface — through re-exported
-// type aliases, their exported fields, their exported methods' signatures,
+// type aliases, the facade's own exported function signatures, the
+// reachable types' exported fields, their exported methods' signatures,
 // and so on transitively — must itself be re-exported here. Without this,
 // callers end up holding values of types they cannot name ("dead ends").
 // As a corollary, every exported Err* sentinel of a package that
@@ -27,9 +28,13 @@ func TestFacadeCoverage(t *testing.T) {
 	fset := token.NewFileSet()
 	facade := parseDir(t, fset, ".")
 
-	// Facade surface: alias name -> internal type, plus re-exported Err vars.
+	// Facade surface: alias name -> internal type, plus re-exported Err
+	// vars, plus every internal type spelled in an exported facade
+	// function's signature (a closure seed even without an alias — the
+	// signature alone hands callers values of that type).
 	aliased := map[string]bool{}    // "internal/core.Bid"
 	errAliased := map[string]bool{} // "internal/core.ErrInfeasible"
+	seeds := map[string]bool{}      // aliased ∪ signature-referenced
 	for _, pf := range facade {
 		imports := importMap(pf.file)
 		ast.Inspect(pf.file, func(n ast.Node) bool {
@@ -40,12 +45,20 @@ func TestFacadeCoverage(t *testing.T) {
 				}
 				if q, ok := qualify(spec.Type, imports); ok {
 					aliased[q] = true
+					seeds[q] = true
 				}
 			case *ast.ValueSpec:
 				for _, v := range spec.Values {
 					if q, ok := qualify(v, imports); ok && strings.HasPrefix(path.base(q), "Err") {
 						errAliased[q] = true
 					}
+				}
+			case *ast.FuncDecl:
+				if !spec.Name.IsExported() {
+					return true
+				}
+				for _, q := range signatureRefs(spec.Type, imports) {
+					seeds[q] = true
 				}
 			}
 			return true
@@ -68,8 +81,8 @@ func TestFacadeCoverage(t *testing.T) {
 	// Closure over reachable exported internal types.
 	var missing []string
 	seen := map[string]bool{}
-	queue := make([]string, 0, len(aliased))
-	for q := range aliased {
+	queue := make([]string, 0, len(seeds))
+	for q := range seeds {
 		queue = append(queue, q)
 	}
 	sort.Strings(queue)
@@ -276,6 +289,31 @@ func (p *internalPkg) refs(d *typeDecl, name string) []string {
 type exprCtx struct {
 	expr    ast.Expr
 	imports map[string]string
+}
+
+// signatureRefs collects the qualified internal types spelled in a
+// function signature (parameters and results).
+func signatureRefs(ft *ast.FuncType, imports map[string]string) []string {
+	var out []string
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			ast.Inspect(f.Type, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if q, ok := qualifySel(sel, imports); ok {
+						out = append(out, q)
+					}
+					return false
+				}
+				return true
+			})
+		}
+	}
+	collect(ft.Params)
+	collect(ft.Results)
+	return out
 }
 
 // importMap maps local import names to internal package rel paths

@@ -70,6 +70,14 @@ type auditor struct {
 	shadow   *core.MSOA
 	capacity map[int]int
 	psiSeen  map[int]float64
+	// ssam gates the SSAM-only invariants (critical-value spot checks,
+	// certificates): they encode Algorithm 1's payment rule and dual
+	// fitting, which other registered mechanisms do not promise.
+	// Universal invariants (feasibility, IR, budget, consistency,
+	// capacity, trace integrity) run for every mechanism, and
+	// SettlementReporter mechanisms additionally get the per-round
+	// penalty-bound check.
+	ssam bool
 
 	dumpDir string
 	maxViol int
@@ -87,17 +95,20 @@ type auditor struct {
 
 func newAuditor(sc *Scenario, auditLog io.Writer, dumpDir string, maxViol int, logger *log.Logger) *auditor {
 	capacity := map[int]int{}
+	spec := sc.MechanismSpec()
 	a := &auditor{
 		sc:       sc,
 		logger:   logger,
 		capacity: capacity,
 		psiSeen:  map[int]float64{},
+		ssam:     spec.IsSSAM(),
 		dumpDir:  dumpDir,
 		maxViol:  maxViol,
 		batches:  map[int][]obs.Event{},
 		shadow: core.NewMSOA(core.MSOAConfig{
-			Capacity: capacity,
-			Options:  core.Options{Parallelism: 1},
+			Capacity:  capacity,
+			Mechanism: spec,
+			Options:   core.Options{Parallelism: 1},
 		}),
 	}
 	if auditLog != nil {
@@ -258,24 +269,34 @@ func (a *auditor) auditRound(rec *platform.AuditRecord) error {
 		check("individual-rationality", core.VerifyIndividualRationality(ins, out, res.Scaled))
 
 		// The certificate was fitted on the candidate set that survived the
-		// capacity/window filter, so verification needs that instance back.
+		// capacity/window filter, so verification needs that instance
+		// back. Certificates are an SSAM-only promise; other mechanisms
+		// must not emit any.
 		fIns, fScaled, toFiltered := filterExcluded(ins, res.Scaled, res.Excluded)
-		check("certificate", core.VerifyCertificate(fIns, out, fScaled))
-		checkf("certificate", len(certs) == 1,
-			"feasible round emitted %d certificate events, want 1", len(certs))
-		if len(certs) == 1 && out.Dual != nil {
-			checkf("certificate", certs[0].Ratio == out.Dual.Ratio(),
-				"traced certificate ratio %v, shadow ratio %v", certs[0].Ratio, out.Dual.Ratio())
+		if a.ssam {
+			check("certificate", core.VerifyCertificate(fIns, out, fScaled))
+			checkf("certificate", len(certs) == 1,
+				"feasible round emitted %d certificate events, want 1", len(certs))
+			if len(certs) == 1 && out.Dual != nil {
+				checkf("certificate", certs[0].Ratio == out.Dual.Ratio(),
+					"traced certificate ratio %v, shadow ratio %v", certs[0].Ratio, out.Dual.Ratio())
+			}
+		} else {
+			checkf("certificate", len(certs) == 0,
+				"non-SSAM round emitted %d certificate events", len(certs))
 		}
 
-		// Budget: critical values dominate scaled reports, which dominate
-		// raw prices.
+		// Budget: payments dominate scaled reports, which dominate raw
+		// prices — universal across mechanisms (IR per winner plus the
+		// scaled-price construction).
 		checkf("budget", totalPay >= out.ScaledCost-auditEps && out.ScaledCost >= out.SocialCost-auditEps,
 			"payment %v / scaled cost %v / social cost %v out of order", totalPay, out.ScaledCost, out.SocialCost)
 
 		// Rotating critical-value spot-check: a from-scratch replay of one
-		// winner per round in the filtered bid space.
-		if len(out.Winners) > 0 {
+		// winner per round in the filtered bid space. SSAM-only: the
+		// Myerson critical-value payment rule is Algorithm 1's, not a
+		// universal promise.
+		if a.ssam && len(out.Winners) > 0 {
 			w := out.Winners[a.rot%len(out.Winners)]
 			a.rot++
 			if fw, ok := toFiltered[w]; ok {
@@ -297,6 +318,24 @@ func (a *auditor) auditRound(rec *platform.AuditRecord) error {
 			"infeasible round carries %d awards, social cost %v", len(rec.Awards), rec.SocialCost)
 		checkf("certificate", len(certs) == 0,
 			"infeasible round emitted %d certificate events", len(certs))
+	}
+
+	// Per-mechanism invariant: a mechanism that settles futures
+	// reservations (the double auction) must satisfy the overbooking
+	// penalty bound every round — penalties never exceed the configured
+	// rate times the defaulted booked value, futures payments never
+	// exceed the booked value — and its settlement must account for the
+	// round's full outlay.
+	if sr, ok := a.shadow.Mechanism().(core.SettlementReporter); ok {
+		if st := sr.LastSettlement(); st != nil {
+			check("penalty-bound", core.VerifyPenaltyBound(st, sr.SettlementConfig()))
+			if res.Err == nil && !rec.Infeasible {
+				settled := st.FuturesPaid + st.SpotPaid
+				checkf("penalty-bound", math.Abs(settled-res.Outcome.TotalPayment()) <= auditEps,
+					"settlement accounts %v (futures %v + spot %v), round paid %v",
+					settled, st.FuturesPaid, st.SpotPaid, res.Outcome.TotalPayment())
+			}
+		}
 	}
 
 	// ψ trajectory: traced updates must match the shadow bit-exactly and

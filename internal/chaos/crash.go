@@ -158,7 +158,7 @@ type passResult struct {
 // uninterrupted baseline; with a script it kills the platform at each
 // scripted (round, point) once and restarts it through platform.Recover.
 func crashPass(sc *Scenario, cfg CrashConfig, walPath, snapDir string, script map[crashKey]bool, logger *log.Logger) (*passResult, error) {
-	auction := core.MSOAConfig{Options: core.Options{Parallelism: 1}}
+	auction := core.MSOAConfig{Mechanism: sc.MechanismSpec(), Options: core.Options{Parallelism: 1}}
 	pr := &passResult{}
 	var resume *platform.RecoveredState
 	next := 1

@@ -147,7 +147,7 @@ func Run(cfg Config) (*Result, error) {
 	srvCfg := platform.ServerConfig{
 		BidDeadline:  time.Duration(sc.BidDeadlineMS) * time.Millisecond,
 		WriteTimeout: 250 * time.Millisecond,
-		Auction:      core.MSOAConfig{Options: core.Options{Parallelism: 1}},
+		Auction:      core.MSOAConfig{Mechanism: sc.MechanismSpec(), Options: core.Options{Parallelism: 1}},
 		Tracer:       tracer,
 		Audit:        platform.NewAuditSink(aud.auditRound),
 		Fault: platform.FaultInjection{

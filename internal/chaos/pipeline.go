@@ -124,7 +124,7 @@ func pipelinePass(sc *Scenario, cfg PipelineConfig, walPath string, pipelined bo
 	srv, err := platform.NewServer("127.0.0.1:0", platform.ServerConfig{
 		BidDeadline:  time.Duration(sc.BidDeadlineMS) * time.Millisecond,
 		WriteTimeout: 250 * time.Millisecond,
-		Auction:      core.MSOAConfig{Options: core.Options{Parallelism: 1}},
+		Auction:      core.MSOAConfig{Mechanism: sc.MechanismSpec(), Options: core.Options{Parallelism: 1}},
 		WAL:          wal,
 		// A real overlap window, so the pipelined pass genuinely settles
 		// round t while round t+1's bids stream in — determinism must

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"edgeauction/internal/core"
 	"edgeauction/internal/platform"
 )
 
@@ -154,6 +155,22 @@ type Scenario struct {
 	// passes' WAL bytes, final state hash and summary must agree — the
 	// overlap is an implementation detail the durable record cannot see.
 	Pipelined bool `json:"pipelined,omitempty"`
+	// Mechanism selects the single-stage mechanism the platform (and the
+	// auditor's shadow replay) clears rounds through. Nil means SSAM and
+	// keeps the audit log byte-identical to scenarios predating the
+	// field. Non-SSAM mechanisms drop the SSAM-only invariants
+	// (critical-value spot checks, certificates, ψ trajectories) and, for
+	// the double auction, add the per-round penalty-bound invariant.
+	Mechanism *core.MechanismSpec `json:"mechanism,omitempty"`
+}
+
+// MechanismSpec resolves the scenario's mechanism selection, mapping a
+// nil field to the zero (SSAM) spec.
+func (s *Scenario) MechanismSpec() core.MechanismSpec {
+	if s.Mechanism == nil {
+		return core.MechanismSpec{}
+	}
+	return *s.Mechanism
 }
 
 // CrashSpec scripts one platform kill.
@@ -224,6 +241,13 @@ func (s *Scenario) SpikeAt(round int, factor float64) *Scenario {
 // (platform.CrashMidGather/CrashPreAnnounce/CrashPostAnnounce).
 func (s *Scenario) CrashPlatformAt(round int, point string) *Scenario {
 	s.PlatformCrashes = append(s.PlatformCrashes, CrashSpec{Round: round, Point: point})
+	return s
+}
+
+// WithMechanism selects the single-stage mechanism the platform clears
+// rounds through.
+func (s *Scenario) WithMechanism(spec core.MechanismSpec) *Scenario {
+	s.Mechanism = &spec
 	return s
 }
 
@@ -327,6 +351,11 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Federation != nil && s.Federation.Every <= 0 {
 		return fmt.Errorf("chaos: scenario %q: federation interval %d must be positive", s.Name, s.Federation.Every)
+	}
+	if s.Mechanism != nil {
+		if _, err := core.NewMechanism(*s.Mechanism); err != nil {
+			return fmt.Errorf("chaos: scenario %q: %w", s.Name, err)
+		}
 	}
 	for _, c := range s.PlatformCrashes {
 		if c.Round <= 0 || c.Round > s.Rounds {

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements a two-stage futures+spot double auction with
+// overbooking, following the design of arXiv 2501.04507: at the end of
+// each round the platform books reservations from the cheapest bidders
+// at a discounted futures price, deliberately overbooking against
+// no-shows; at the start of the next round the booked reservations are
+// settled — present bidders execute at their committed futures price,
+// absent (or price-deviating) bidders pay a penalty proportional to
+// their booked value — and a spot stage covers whatever demand the
+// executed futures left open.
+//
+// The mechanism is Stateful (the futures book crosses rounds) and a
+// SettlementReporter (the chaos auditor checks VerifyPenaltyBound on
+// every round's settlement). Determinism: the book is rebuilt by a
+// price-then-index sort and settled in book order, so replaying the same
+// round sequence from Reset reproduces the same trajectory bit-for-bit.
+//
+// Individual rationality: an executed reservation pays the committed
+// futures price only when it still covers the bidder's current report
+// (a bidder now asking more than its commitment is treated as a seller
+// deviation and penalized instead of underpaid), and the spot stage pays
+// first-price, so every winner's payment is at least its reported price.
+
+// DoubleAuctionConfig parameterizes the futures+spot double auction. The
+// zero value selects the defaults.
+type DoubleAuctionConfig struct {
+	// Discount is the futures price factor δ ∈ (0,1]: a bid booked at
+	// reported price J commits to deliver next round for δ·J. Defaults
+	// to 0.9.
+	Discount float64 `json:"discount,omitempty"`
+	// Overbook is the booked-coverage target as a multiple of demand:
+	// the platform books reservations until their useful coverage
+	// reaches Overbook × the current round's total demand. Defaults to
+	// 1.25 (25% overbooking against no-shows).
+	Overbook float64 `json:"overbook,omitempty"`
+	// PenaltyRate is the no-show penalty as a fraction of the booked
+	// futures price. Defaults to 0.5.
+	PenaltyRate float64 `json:"penalty_rate,omitempty"`
+}
+
+// withDefaults fills zero fields.
+func (c DoubleAuctionConfig) withDefaults() DoubleAuctionConfig {
+	if c.Discount <= 0 || c.Discount > 1 {
+		c.Discount = 0.9
+	}
+	if c.Overbook <= 0 {
+		c.Overbook = 1.25
+	}
+	if c.PenaltyRate <= 0 {
+		c.PenaltyRate = 0.5
+	}
+	return c
+}
+
+// Settlement reports how one round settled the futures book carried in
+// from the previous round, plus the round's spot outlay. The platform's
+// net outlay for the round is FuturesPaid + SpotPaid − Penalties.
+type Settlement struct {
+	// Booked is the number of reservations entering the round.
+	Booked int `json:"booked"`
+	// Executed counts reservations delivered at their futures price.
+	Executed int `json:"executed"`
+	// NoShows counts booked bidders absent from the round's bids.
+	NoShows int `json:"no_shows"`
+	// SellerDeviations counts booked bidders present but reporting a
+	// price above their futures commitment; they settle as no-shows.
+	SellerDeviations int `json:"seller_deviations"`
+	// BookedValue is the sum of committed futures prices entering the
+	// round; ExecutedValue (= futures paid) and NoShowValue partition
+	// the portion that executed and the portion that defaulted.
+	BookedValue float64 `json:"booked_value"`
+	FuturesPaid float64 `json:"futures_paid"`
+	NoShowValue float64 `json:"no_show_value"`
+	// Penalties is the platform's penalty income this round:
+	// PenaltyRate × the booked value of every defaulted reservation.
+	Penalties float64 `json:"penalties"`
+	// SpotPaid is the first-price outlay of the spot stage.
+	SpotPaid float64 `json:"spot_paid"`
+}
+
+// VerifyPenaltyBound checks the overbooking invariants the chaos auditor
+// enforces per round: penalties are non-negative, never exceed
+// PenaltyRate × the defaulted booked value, futures payments never
+// exceed the booked value, and the defaulted value is part of the booked
+// value. A violation means the settlement accounting is broken.
+func VerifyPenaltyBound(st *Settlement, cfg DoubleAuctionConfig) error {
+	const eps = 1e-6
+	cfg = cfg.withDefaults()
+	if st == nil {
+		return fmt.Errorf("core: nil settlement")
+	}
+	if st.Penalties < -eps {
+		return fmt.Errorf("core: negative penalty income %.6f", st.Penalties)
+	}
+	if bound := cfg.PenaltyRate * st.NoShowValue; st.Penalties > bound+eps {
+		return fmt.Errorf("core: penalties %.6f exceed bound %.6f (rate %.2f × defaulted value %.6f)",
+			st.Penalties, bound, cfg.PenaltyRate, st.NoShowValue)
+	}
+	if st.FuturesPaid > st.BookedValue+eps {
+		return fmt.Errorf("core: futures payments %.6f exceed booked value %.6f",
+			st.FuturesPaid, st.BookedValue)
+	}
+	if st.NoShowValue > st.BookedValue+eps {
+		return fmt.Errorf("core: defaulted value %.6f exceeds booked value %.6f",
+			st.NoShowValue, st.BookedValue)
+	}
+	return nil
+}
+
+// reservation is one futures-book entry: a bidder committed to deliver
+// next round at the discounted price. Cover sets are not carried — needy
+// indices are round-local, so execution delivers the bidder's current
+// bid coverage at the committed price.
+type reservation struct {
+	Bidder int
+	Price  float64
+}
+
+// DoubleAuction is the futures+spot double auction with overbooking.
+type DoubleAuction struct {
+	cfg            DoubleAuctionConfig
+	book           []reservation
+	last           *Settlement
+	totalPenalties float64
+}
+
+// NewDoubleAuction returns a double auction with an empty futures book
+// and defaults applied.
+func NewDoubleAuction(cfg DoubleAuctionConfig) *DoubleAuction {
+	return &DoubleAuction{cfg: cfg.withDefaults()}
+}
+
+// Name implements Mechanism.
+func (d *DoubleAuction) Name() string { return NameDoubleAuction }
+
+// Reset implements Stateful: it voids the futures book and all
+// settlement history.
+func (d *DoubleAuction) Reset() {
+	d.book = nil
+	d.last = nil
+	d.totalPenalties = 0
+}
+
+// LastSettlement implements SettlementReporter.
+func (d *DoubleAuction) LastSettlement() *Settlement { return d.last }
+
+// SettlementConfig implements SettlementReporter.
+func (d *DoubleAuction) SettlementConfig() DoubleAuctionConfig { return d.cfg }
+
+// TotalPenalties returns the cumulative penalty income across rounds.
+func (d *DoubleAuction) TotalPenalties() float64 { return d.totalPenalties }
+
+// BookSize returns the number of reservations currently booked.
+func (d *DoubleAuction) BookSize() int { return len(d.book) }
+
+// usefulCover returns a bid's coverage capped at the residual demand.
+func usefulCover(b *Bid, residual []int) int {
+	useful := 0
+	for _, k := range b.Covers {
+		u := b.Units
+		if r := residual[k]; u > r {
+			u = r
+		}
+		useful += u
+	}
+	return useful
+}
+
+// Clear implements Mechanism: settle the futures book against this
+// round's bids, cover the residual demand in a first-price spot stage,
+// then rebook the cheapest bidders for the next round. The futures book
+// advances even when the round is infeasible.
+func (d *DoubleAuction) Clear(ins *Instance, opts Options) (*Outcome, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Index each bidder's cheapest bid (price asc, index asc) — the bid
+	// a reservation executes against and the bid the rebooking stage
+	// books.
+	bestBid := make(map[int]int, len(ins.Bids))
+	for i := range ins.Bids {
+		b := &ins.Bids[i]
+		if j, ok := bestBid[b.Bidder]; !ok || b.Price < ins.Bids[j].Price {
+			bestBid[b.Bidder] = i
+		}
+	}
+
+	residual := append([]int(nil), ins.Demand...)
+	deficit := 0
+	for _, r := range residual {
+		deficit += r
+	}
+	out := &Outcome{Payments: make(map[int]float64)}
+	st := &Settlement{Booked: len(d.book)}
+	wonBidder := make(map[int]struct{}, len(d.book))
+
+	// Stage 1: settle reservations in book order (already price-sorted
+	// and deterministic from last round's rebooking).
+	for _, r := range d.book {
+		st.BookedValue += r.Price
+		i, present := bestBid[r.Bidder]
+		if !present {
+			st.NoShows++
+			st.NoShowValue += r.Price
+			st.Penalties += d.cfg.PenaltyRate * r.Price
+			continue
+		}
+		b := &ins.Bids[i]
+		if b.Price > r.Price {
+			// The seller walked back its commitment; settle as a
+			// deviation rather than underpay it (preserves IR).
+			st.SellerDeviations++
+			st.NoShowValue += r.Price
+			st.Penalties += d.cfg.PenaltyRate * r.Price
+			continue
+		}
+		st.Executed++
+		st.FuturesPaid += r.Price
+		wonBidder[b.Bidder] = struct{}{}
+		out.Winners = append(out.Winners, i)
+		out.Payments[i] = r.Price
+		out.SocialCost += b.Price
+		for _, k := range b.Covers {
+			u := b.Units
+			if rr := residual[k]; u > rr {
+				u = rr
+			}
+			residual[k] -= u
+			deficit -= u
+		}
+	}
+
+	// Stage 2: first-price spot over the remaining bidders, cheapest
+	// useful coverage first (price per marginal unit, index tie-break).
+	for deficit > 0 {
+		best, bestScore := -1, 0.0
+		for i := range ins.Bids {
+			b := &ins.Bids[i]
+			if _, dup := wonBidder[b.Bidder]; dup {
+				continue
+			}
+			marginal := usefulCover(b, residual)
+			if marginal == 0 {
+				continue
+			}
+			score := b.Price / float64(marginal)
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		b := &ins.Bids[best]
+		wonBidder[b.Bidder] = struct{}{}
+		out.Winners = append(out.Winners, best)
+		out.Payments[best] = b.Price
+		out.SocialCost += b.Price
+		st.SpotPaid += b.Price
+		for _, k := range b.Covers {
+			u := b.Units
+			if rr := residual[k]; u > rr {
+				u = rr
+			}
+			residual[k] -= u
+			deficit -= u
+		}
+	}
+
+	// Stage 3: rebook for the next round — each bidder's cheapest bid,
+	// cheapest first, at the discounted futures price, until the booked
+	// useful coverage reaches Overbook × this round's demand.
+	d.rebook(ins, bestBid)
+
+	d.last = st
+	d.totalPenalties += st.Penalties
+	if deficit > 0 {
+		return nil, fmt.Errorf("%w (double auction: %d units uncovered)", ErrInfeasible, deficit)
+	}
+	out.ScaledCost = out.SocialCost
+	return out, nil
+}
+
+// rebook rebuilds the futures book from this round's bids.
+func (d *DoubleAuction) rebook(ins *Instance, bestBid map[int]int) {
+	candidates := make([]int, 0, len(bestBid))
+	for _, i := range bestBid {
+		candidates = append(candidates, i)
+	}
+	// Sort by price asc, bid index asc for a deterministic book.
+	sort.Slice(candidates, func(a, b int) bool {
+		x, y := candidates[a], candidates[b]
+		if ins.Bids[x].Price != ins.Bids[y].Price {
+			return ins.Bids[x].Price < ins.Bids[y].Price
+		}
+		return x < y
+	})
+	target := d.cfg.Overbook * float64(ins.TotalDemand())
+	fresh := make([]int, len(ins.Demand))
+	copy(fresh, ins.Demand)
+	d.book = d.book[:0]
+	booked := 0.0
+	for _, i := range candidates {
+		if booked >= target {
+			break
+		}
+		b := &ins.Bids[i]
+		useful := usefulCover(b, fresh)
+		if useful == 0 {
+			continue
+		}
+		d.book = append(d.book, reservation{Bidder: b.Bidder, Price: d.cfg.Discount * b.Price})
+		booked += float64(useful)
+	}
+}

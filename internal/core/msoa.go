@@ -71,6 +71,12 @@ type MSOAConfig struct {
 	// Exists for the ablation benchmarks; the competitive-ratio guarantee
 	// does not hold with it set.
 	DisableScaledPrice bool
+	// Mechanism selects the single-stage mechanism each round clears
+	// through. The zero value (and NameSSAM) runs the paper's SSAM on the
+	// historical call path, byte-identical to configs predating this
+	// field. Non-scaled mechanisms clear on raw prices and never update ψ
+	// (χ capacity accounting still applies to their winners).
+	Mechanism MechanismSpec
 	// Options configures each embedded single-stage auction.
 	Options Options
 }
@@ -124,8 +130,15 @@ type RoundResult struct {
 // process a whole trace with Run.
 type MSOA struct {
 	cfg MSOAConfig
-	psi map[int]float64 // ψ_i
-	chi map[int]int     // χ_i: coverage slots consumed so far
+	// mech is the resolved non-default mechanism, nil when the config
+	// selects SSAM (the nil fast path is the pre-Mechanism call chain,
+	// kept byte-identical for the soak and bench gates).
+	mech Mechanism
+	// mechErr records a spec that failed to resolve; every round then
+	// fails with it instead of silently falling back to SSAM.
+	mechErr error
+	psi     map[int]float64 // ψ_i
+	chi     map[int]int     // χ_i: coverage slots consumed so far
 	// results accumulates every processed round for reporting.
 	results []*RoundResult
 	// base is the summary carried over from a restored snapshot
@@ -134,14 +147,27 @@ type MSOA struct {
 	base OnlineSummary
 }
 
-// NewMSOA returns an online auction with zeroed dual state.
+// NewMSOA returns an online auction with zeroed dual state. A
+// non-default cfg.Mechanism is resolved here, once, so Stateful
+// mechanisms (futures books) live exactly as long as the MSOA's ψ/χ
+// state; an unresolvable spec is reported by every RunRound rather than
+// falling back to SSAM.
 func NewMSOA(cfg MSOAConfig) *MSOA {
-	return &MSOA{
+	m := &MSOA{
 		cfg: cfg,
 		psi: make(map[int]float64),
 		chi: make(map[int]int),
 	}
+	if !cfg.Mechanism.IsSSAM() {
+		m.mech, m.mechErr = NewMechanism(cfg.Mechanism)
+	}
+	return m
 }
+
+// Mechanism returns the resolved non-default mechanism, or nil when the
+// online auction runs SSAM. The chaos auditor uses it to reach
+// per-mechanism state (e.g. the double auction's settlement reports).
+func (m *MSOA) Mechanism() Mechanism { return m.mech }
 
 // Psi returns the current dual variable ψ_i for a bidder (0 if never won).
 func (m *MSOA) Psi(bidder int) float64 { return m.psi[bidder] }
@@ -158,6 +184,11 @@ func (m *MSOA) Results() []*RoundResult { return m.results }
 func (m *MSOA) RunRound(r Round) *RoundResult {
 	ins := r.Instance
 	res := &RoundResult{T: r.T, Scaled: make([]float64, len(ins.Bids))}
+	if m.mechErr != nil {
+		res.Err = fmt.Errorf("core: round %d: %w", r.T, m.mechErr)
+		m.results = append(m.results, res)
+		return res
+	}
 	tr := m.cfg.Options.Tracer
 	var started time.Time
 	if tr != nil {
@@ -201,7 +232,20 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 		})
 	}
 
-	out, err := ssamScaled(filtered, scaledFiltered, m.cfg.Options)
+	// Dispatch the single-stage clear. The nil-mechanism branch is the
+	// historical SSAM call and must stay byte-identical — the soak gates
+	// compare its WAL bytes and state hashes across binaries.
+	var out *Outcome
+	var err error
+	sm, scaledOK := m.mech.(ScaledMechanism)
+	switch {
+	case m.mech == nil:
+		out, err = ssamScaled(filtered, scaledFiltered, m.cfg.Options)
+	case scaledOK:
+		out, err = sm.ClearScaled(filtered, scaledFiltered, m.cfg.Options)
+	default:
+		out, err = m.mech.Clear(filtered, m.cfg.Options)
+	}
 	if err != nil {
 		res.Err = fmt.Errorf("core: round %d: %w", r.T, err)
 		m.results = append(m.results, res)
@@ -241,10 +285,14 @@ func (m *MSOA) RunRound(r Round) *RoundResult {
 
 	// Update ψ and χ for winners (Algorithm 2, lines 10-12):
 	//   ψ_i^t = ψ_i^{t-1}(1 + |S_ij|/(α·Θ_i)) + J_ij·|S_ij|/(α·Θ_i²)
+	// The ψ update belongs to the SSAM family's Lemma-4 argument, so it
+	// only runs for scaled mechanisms; χ capacity accounting applies to
+	// every mechanism's winners.
+	updatePsi := m.mech == nil || scaledOK
 	for _, orig := range remapped.Winners {
 		b := &ins.Bids[orig]
 		theta, limited := m.cfg.capacityOf(b.Bidder)
-		if limited && theta > 0 {
+		if updatePsi && limited && theta > 0 {
 			s := float64(len(b.Covers))
 			th := float64(theta)
 			m.psi[b.Bidder] = m.psi[b.Bidder]*(1+s/(alpha*th)) + b.Price*s/(alpha*th*th)

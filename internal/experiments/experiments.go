@@ -43,6 +43,11 @@ type Config struct {
 	// payment phase. Zero means GOMAXPROCS, 1 forces serial. Results are
 	// bit-identical at every level.
 	Parallelism int
+	// Mechanism selects the single-stage mechanism the online drivers
+	// (Fig5, Fig6, the arena's per-mechanism runs aside) clear rounds
+	// through, via core.MSOAConfig.Mechanism. The zero value is SSAM and
+	// reproduces the paper's figures bit-identically.
+	Mechanism core.MechanismSpec
 	// TrialParallelism is the worker count of the sweep runner that fans
 	// (sweep point, trial) cells out across goroutines. Zero means
 	// GOMAXPROCS, 1 forces serial. Every trial samples from its own
@@ -94,6 +99,15 @@ func (c Config) auctionOptions(skipCertificate bool) core.Options {
 		par = 1
 	}
 	return core.Options{SkipCertificate: skipCertificate, Parallelism: par}
+}
+
+// msoaConfig assembles a scenario's MSOAConfig with the configured
+// mechanism applied — the single place online drivers pick up
+// Config.Mechanism.
+func (c Config) msoaConfig(scn *workload.Scenario, skipCertificate bool) core.MSOAConfig {
+	mcfg := scn.Config(c.auctionOptions(skipCertificate))
+	mcfg.Mechanism = c.Mechanism
+	return mcfg
 }
 
 // sizes returns the microservice-count sweep (paper: 25-75).

@@ -47,7 +47,7 @@ func Fig5a(cfg Config) (*Fig5aResult, error) {
 	cells, err := runSweep(c, "fig5a", len(points), func(rng *workload.Rand, p, _ int) (fig5aCell, error) {
 		reqs, n := points[p].reqs, points[p].n
 		scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
-		run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
+		run, err := runOnline(scn.TrueRounds, c.msoaConfig(scn, false), c.optOptions())
 		if err != nil {
 			return fig5aCell{}, fmt.Errorf("experiments: fig5a n=%d R=%d: %w", n, reqs, err)
 		}
@@ -124,7 +124,7 @@ func Fig5b(cfg Config) (*Fig5bResult, error) {
 		ocfg := onlineConfig(n, 100, 2, rounds, false)
 		ocfg.DemandNoise = 0.35
 		scn := workload.Online(rng, ocfg)
-		baseCfg := scn.Config(c.auctionOptions(false))
+		baseCfg := c.msoaConfig(scn, false)
 		// Common denominator from the true rounds, unconstrained.
 		ref, err := runOnline(scn.TrueRounds, baseCfg, c.optOptions())
 		if err != nil {

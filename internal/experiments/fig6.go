@@ -45,7 +45,7 @@ func Fig6a(cfg Config) (*Fig6aResult, error) {
 	cells, err := runSweep(c, "fig6a", len(points), func(rng *workload.Rand, p, _ int) (fig6aCell, error) {
 		j, t := points[p].j, points[p].t
 		scn := workload.Online(rng, onlineConfig(n, 100, j, t, true))
-		run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
+		run, err := runOnline(scn.TrueRounds, c.msoaConfig(scn, false), c.optOptions())
 		if err != nil {
 			return fig6aCell{}, fmt.Errorf("experiments: fig6a T=%d J=%d: %w", t, j, err)
 		}
@@ -124,7 +124,7 @@ func Fig6b(cfg Config) (*Fig6bResult, error) {
 	cells, err := runSweep(c, "fig6b", len(points), func(rng *workload.Rand, p, _ int) (fig6bCell, error) {
 		reqs, n := points[p].reqs, points[p].n
 		scn := workload.Online(rng, onlineConfig(n, reqs, 2, rounds, false))
-		run, err := runOnline(scn.TrueRounds, scn.Config(c.auctionOptions(false)), c.optOptions())
+		run, err := runOnline(scn.TrueRounds, c.msoaConfig(scn, false), c.optOptions())
 		if err != nil {
 			return fig6bCell{}, fmt.Errorf("experiments: fig6b n=%d R=%d: %w", n, reqs, err)
 		}

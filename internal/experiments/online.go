@@ -24,6 +24,10 @@ type onlineRun struct {
 	OptimalSum float64
 	Infeasible int
 	Rounds     int
+	// Penalties is the platform's penalty income over the run, non-zero
+	// only for mechanisms that settle futures defaults (the double
+	// auction). The platform's net outlay is Payment − Penalties.
+	Penalties float64
 	// ExactOpt and TotalOpt count how many per-round denominators the
 	// exact solver closed vs how many were computed at all, so drivers can
 	// report the exact-optimum share instead of silently mixing optima
@@ -76,6 +80,9 @@ func runOnlineOpt(rounds []core.Round, cfg core.MSOAConfig, opt optimal.Options,
 		if isExact {
 			run.ExactOpt++
 		}
+	}
+	if tp, ok := m.Mechanism().(interface{ TotalPenalties() float64 }); ok {
+		run.Penalties = tp.TotalPenalties()
 	}
 	return run, nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check cover fuzz soak soak-quick soak-crash soak-pipeline bench bench-core bench-core-sweep bench-guard bench-load bench-scaling bench-repro repro arena
+.PHONY: all build test check cover fuzz soak soak-quick soak-crash soak-pipeline soak-workload bench bench-core bench-core-sweep bench-guard bench-load bench-scaling bench-repro repro arena
 
 all: build
 
@@ -45,11 +45,13 @@ arena:
 	@echo "mechanism arena smoke OK (/tmp/ARENA_smoke.json)"
 
 # cover enforces the statement-coverage floor on the mechanism-critical
-# packages: the auction kernel, the TCP platform, and the federation.
+# packages: the auction kernel, the TCP platform, the federation, and the
+# topology-driven workload engine with its discrete-event simulator.
 COVER_FLOOR ?= 70
 cover:
 	@$(GO) test -count=1 -cover \
 		./internal/core ./internal/platform ./internal/federation \
+		./internal/workload ./internal/sim \
 		| awk -v floor=$(COVER_FLOOR) ' \
 		/coverage:/ { \
 			pct = 0 + substr($$5, 1, length($$5)-1); \
@@ -101,8 +103,20 @@ soak-pipeline:
 	$(GO) build -o /tmp/edgeauction-chaos ./cmd/chaos
 	/tmp/edgeauction-chaos -scenario pipeline -quiet
 
+# soak-workload is the topology-driven demand gate: the builtin overload
+# scenario drives the platform with demand precomputed from the
+# cascading-overload service graph simulated at 3x work (not i.i.d.
+# draws), under light churn, with the shadow auditor replaying every
+# round. Two runs of the same seed must be audit-clean and byte-identical
+# — the demand schedule is a pure function of the scenario seed.
+soak-workload:
+	$(GO) build -o /tmp/edgeauction-chaos ./cmd/chaos
+	/tmp/edgeauction-chaos -scenario overload -quiet -audit-out /tmp/edgeauction-soak-wl-a.jsonl
+	/tmp/edgeauction-chaos -scenario overload -quiet -audit-out /tmp/edgeauction-soak-wl-b.jsonl
+	cmp /tmp/edgeauction-soak-wl-a.jsonl /tmp/edgeauction-soak-wl-b.jsonl
+
 # soak runs every builtin chaos scenario, including a long churn run.
-soak: soak-quick soak-crash soak-pipeline
+soak: soak-quick soak-crash soak-pipeline soak-workload
 	/tmp/edgeauction-chaos -scenario churn -rounds 1000 -quiet
 	/tmp/edgeauction-chaos -scenario faults -quiet
 	/tmp/edgeauction-chaos -scenario capacity -quiet

@@ -6,6 +6,16 @@
 //
 //	edgesim -services 30 -rounds 10 -seed 7 -workmean 600
 //
+// With -workload NAME (a builtin service topology; use 'list' to see
+// them) or -topology FILE (a YAML topology) the simulator runs in graph
+// mode: requests flow through the service call graph, per-microservice
+// indicators are computed from simulated load, and auction winnings
+// feed back into next-round allocations. Graph mode can also replay or
+// record external arrivals as a JSONL request trace:
+//
+//	edgesim -workload overload -rounds 20 -reqtrace-out arrivals.jsonl
+//	edgesim -workload overload -rounds 20 -reqtrace-in arrivals.jsonl
+//
 // With -load N it instead runs the platform load benchmark: N agents
 // multiplexed over few TCP sessions drive an in-process auctioneer and
 // the tool reports rounds/sec and p99 bid round-trip latency:
@@ -18,12 +28,19 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"edgeauction/internal/core"
 	"edgeauction/internal/obs"
 	"edgeauction/internal/sim"
+	"edgeauction/internal/workload"
 )
+
+// transferUnitRate is the work-rate (work units per second) each traded
+// capacity unit is worth when auction outcomes feed back into the
+// simulator — the same rate the experiments workload sweeps use.
+const transferUnitRate = 10
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -42,6 +59,10 @@ func run(args []string) error {
 	capacity := fs.Int("capacity", 12, "per-bidder lifetime sharing capacity (coverage slots)")
 	parallelism := fs.Int("parallelism", 0, "payment-phase worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 	verbose := fs.Bool("v", false, "print per-microservice indicators each round")
+	workloadName := fs.String("workload", "", "builtin service topology for graph mode ('list' prints the names)")
+	topologyPath := fs.String("topology", "", "YAML service topology file for graph mode")
+	reqTraceIn := fs.String("reqtrace-in", "", "JSONL request trace to replay as external arrivals (graph mode)")
+	reqTraceOut := fs.String("reqtrace-out", "", "write the realized external arrivals as a JSONL request trace (graph mode)")
 	traceOut := fs.String("trace-out", "", "append a JSONL observability event per auction step to this file")
 	loadAgents := fs.Int("load", 0, "run the platform load benchmark with this many multiplexed agents instead of the simulator (0 = off)")
 	loadRounds := fs.Int("load-rounds", 20, "measured rounds for -load")
@@ -68,21 +89,49 @@ func run(args []string) error {
 		})
 	}
 
+	if *workloadName == "list" {
+		fmt.Println(strings.Join(workload.BuiltinGraphNames(), "\n"))
+		return nil
+	}
+	graph, err := resolveGraph(*workloadName, *topologyPath)
+	if err != nil {
+		return err
+	}
+	if graph == nil && (*reqTraceIn != "" || *reqTraceOut != "") {
+		return fmt.Errorf("request traces need graph mode: pass -workload or -topology")
+	}
+	var reqTrace *workload.RequestTrace
+	if *reqTraceIn != "" {
+		reqTrace, err = workload.ReadRequestTraceFile(*reqTraceIn)
+		if err != nil {
+			return err
+		}
+	}
+
 	dist, err := parseWorkDist(*workDist)
 	if err != nil {
 		return err
 	}
-	simulator, err := sim.New(sim.Config{
-		Services: *services,
-		Rounds:   *rounds,
-		WorkMean: *workMean,
-		Work:     dist,
-		Seed:     *seed,
-	})
+	simCfg := sim.Config{Rounds: *rounds, Seed: *seed}
+	bridgeCfg := sim.BridgeConfig{Seed: *seed}
+	if graph != nil {
+		simCfg.Graph = graph
+		simCfg.Trace = reqTrace
+		// Graph mode mirrors the experiments workload loop: cap demand at
+		// the sellers' bid granularity and keep one-request tail backlogs
+		// off the demand side.
+		bridgeCfg.MaxUnits = 10
+		bridgeCfg.NeedyQueue = 2
+	} else {
+		simCfg.Services = *services
+		simCfg.WorkMean = *workMean
+		simCfg.Work = dist
+	}
+	simulator, err := sim.New(simCfg)
 	if err != nil {
 		return fmt.Errorf("build simulator: %w", err)
 	}
-	bridge, err := sim.NewBridge(simulator, sim.BridgeConfig{Seed: *seed})
+	bridge, err := sim.NewBridge(simulator, bridgeCfg)
 	if err != nil {
 		return fmt.Errorf("build bridge: %w", err)
 	}
@@ -113,10 +162,16 @@ func run(args []string) error {
 	topo := simulator.Topology()
 	fmt.Printf("topology: %d edge clouds, %d users, backhaul connected: %v\n",
 		len(topo.Clouds), len(topo.Users), topo.Connected())
-	fmt.Printf("services: %d (alternating delay-sensitive / delay-tolerant)\n\n", *services)
+	if graph != nil {
+		fmt.Printf("service graph: %s (%d microservices, indicators from simulated load)\n\n",
+			graph.Name, len(graph.Services))
+	} else {
+		fmt.Printf("services: %d (alternating delay-sensitive / delay-tolerant)\n\n", *services)
+	}
 
 	totalSLA := 0
-	for _, report := range simulator.Run() {
+	for r := 0; r < *rounds; r++ {
+		report := simulator.RunRound()
 		ar := bridge.Convert(report)
 		sla := 0
 		for _, v := range report.SLAViolations {
@@ -135,10 +190,23 @@ func run(args []string) error {
 			continue
 		}
 		reserveUnits := 0
+		delta := make(map[int]float64)
 		for _, w := range res.Outcome.Winners {
-			if ar.Round.Instance.Bids[w].Bidder >= sim.ReserveBidderID {
-				reserveUnits++
+			bid := ar.Round.Instance.Bids[w]
+			grant := float64(bid.Units) * transferUnitRate / float64(len(bid.Covers))
+			for _, k := range bid.Covers {
+				delta[ar.NeedyIDs[k]] += grant
 			}
+			if bid.Bidder >= sim.ReserveBidderID {
+				reserveUnits += bid.Units
+			} else {
+				delta[bid.Bidder] -= float64(bid.Units) * transferUnitRate
+			}
+		}
+		if graph != nil {
+			// Close the loop: winners' grants (and sellers' drains) adjust
+			// the next round's fair-share allocations.
+			simulator.ApplyTransfers(delta)
 		}
 		fmt.Printf(" — %d winners, social cost %.2f, paid %.2f",
 			len(res.Outcome.Winners), res.Outcome.SocialCost, res.Outcome.TotalPayment())
@@ -151,10 +219,32 @@ func run(args []string) error {
 		}
 	}
 
+	if *reqTraceOut != "" {
+		if err := workload.WriteRequestTraceFile(*reqTraceOut, simulator.RequestTrace()); err != nil {
+			return fmt.Errorf("write request trace: %w", err)
+		}
+		fmt.Printf("\nrequest trace written to %s\n", *reqTraceOut)
+	}
+
 	sum := auction.Summary()
 	fmt.Printf("\nsummary: %d auctioned rounds, social cost %.2f, payments %.2f, %d winning bids, %d infeasible, %d SLA misses\n",
 		sum.Rounds, sum.SocialCost, sum.TotalPayment, sum.WinningBids, sum.InfeasibleRounds, totalSLA)
 	return nil
+}
+
+// resolveGraph loads the service topology selected by -workload (a
+// builtin name) or -topology (a YAML file); nil means flat mode.
+func resolveGraph(builtin, path string) (*workload.ServiceGraph, error) {
+	switch {
+	case builtin != "" && path != "":
+		return nil, fmt.Errorf("-workload and -topology are mutually exclusive")
+	case builtin != "":
+		return workload.BuiltinGraph(builtin)
+	case path != "":
+		return workload.LoadServiceGraph(path)
+	default:
+		return nil, nil
+	}
 }
 
 // parseWorkDist maps the CLI flag to a WorkDist.

@@ -7,6 +7,7 @@
 //
 //	platformd -listen 127.0.0.1:7070 -period 2s -rounds 0   # run forever
 //	platformd -listen 127.0.0.1:7070 -rounds 10             # ten rounds
+//	platformd -rounds 20 -workload overload -work-scale 3   # topology-driven demand
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"edgeauction/internal/core"
 	"edgeauction/internal/obs"
 	"edgeauction/internal/platform"
+	"edgeauction/internal/sim"
 	"edgeauction/internal/workload"
 )
 
@@ -67,11 +69,21 @@ func run(args []string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "admission: how long an open circuit refuses re-registration (0 = default)")
 	queueBound := fs.Int("queue-bound", 0, "admission: max submissions per agent per round before queue_full sheds (0 = unbounded)")
 	mechanism := fs.String("mechanism", "", "mechanism spec, e.g. 'posted-price:epsilon=0.1' or 'double-auction:overbook=1.25' (empty = ssam)")
+	workloadName := fs.String("workload", "", "builtin service topology: announce demand derived from simulated load instead of i.i.d. draws (requires -rounds > 0)")
+	topologyPath := fs.String("topology", "", "YAML service topology file: like -workload but loaded from a file (requires -rounds > 0)")
+	workScale := fs.Float64("work-scale", 1, "multiply every service's work by this factor in -workload/-topology mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *needyHi < *needyLo || *demandHi < *demandLo {
 		return fmt.Errorf("invalid demand ranges")
+	}
+	graph, err := resolveGraph(*workloadName, *topologyPath)
+	if err != nil {
+		return err
+	}
+	if graph != nil && *rounds <= 0 {
+		return fmt.Errorf("-workload/-topology need -rounds > 0 (the demand schedule is precomputed)")
 	}
 	if *pipeline && *rounds <= 0 {
 		return fmt.Errorf("-pipeline needs -rounds > 0 (overlapped rounds run back to back, not on a period)")
@@ -222,7 +234,22 @@ func run(args []string) error {
 	if scfg.Resume != nil {
 		nextRound = scfg.Resume.NextRound
 	}
+	// In -workload/-topology mode the whole schedule is precomputed as a
+	// pure function of the seed, through the last round this process will
+	// announce — a recovered daemon resuming at round N rebuilds exactly
+	// the demand the dead process would have announced at N.
+	var wlSched [][]int
+	if graph != nil {
+		wlSched, err = workloadSchedule(graph, *workScale, nextRound-1+*rounds, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload demand: %q service graph, %d rounds precomputed\n", graph.Name, len(wlSched))
+	}
 	demandFor := func(round int) []int {
+		if wlSched != nil {
+			return append([]int(nil), wlSched[round-1]...)
+		}
 		rng := workload.NewDerived(*seed, "demand", round, 0)
 		needy := rng.UniformInt(*needyLo, *needyHi)
 		demand := make([]int, needy)
@@ -316,6 +343,56 @@ func run(args []string) error {
 			return nil
 		}
 	}
+}
+
+// resolveGraph loads the service topology selected by -workload (a
+// builtin name) or -topology (a YAML file); nil means i.i.d. demand.
+func resolveGraph(builtin, path string) (*workload.ServiceGraph, error) {
+	switch {
+	case builtin != "" && path != "":
+		return nil, fmt.Errorf("-workload and -topology are mutually exclusive")
+	case builtin != "":
+		return workload.BuiltinGraph(builtin)
+	case path != "":
+		return workload.LoadServiceGraph(path)
+	default:
+		return nil, nil
+	}
+}
+
+// workloadSchedule precomputes per-round demand from a simulated service
+// graph bridged through the §III estimator — the same derivation the
+// chaos overload scenario uses. Idle simulator rounds become minimal
+// demand because the platform round machinery expects at least one needy
+// microservice.
+func workloadSchedule(g *workload.ServiceGraph, scale float64, rounds int, seed int64) ([][]int, error) {
+	if scale < 0 {
+		return nil, fmt.Errorf("negative -work-scale %v", scale)
+	}
+	if scale != 0 && scale != 1 {
+		for i := range g.Services {
+			g.Services[i].Work *= scale
+		}
+	}
+	rng := workload.NewDerived(seed, "workload", 0, 0)
+	simulator, err := sim.New(sim.Config{Graph: g, Rounds: rounds, Seed: rng.Int63()})
+	if err != nil {
+		return nil, fmt.Errorf("workload simulator: %w", err)
+	}
+	bridge, err := sim.NewBridge(simulator, sim.BridgeConfig{Seed: rng.Int63(), MaxUnits: 6, NeedyQueue: 2})
+	if err != nil {
+		return nil, fmt.Errorf("workload bridge: %w", err)
+	}
+	sched := make([][]int, rounds)
+	for t := 0; t < rounds; t++ {
+		ar := bridge.Convert(simulator.RunRound())
+		d := append([]int(nil), ar.Round.Instance.Demand...)
+		if len(d) == 0 {
+			d = []int{1}
+		}
+		sched[t] = d
+	}
+	return sched, nil
 }
 
 // debugMux builds the observability endpoint: the server's live metrics

@@ -24,6 +24,7 @@ import (
 	"edgeauction/internal/experiments"
 	"edgeauction/internal/metrics"
 	"edgeauction/internal/obs"
+	"edgeauction/internal/workload"
 )
 
 func main() {
@@ -110,6 +111,27 @@ func figures() []figure {
 			}
 			return r, []*metrics.Series{r.WinPercent, r.BidderWinPercent}, nil
 		}},
+		{"overload", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.WorkloadOverload(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.HotBacklog, r.HotUtil, r.CallerAlloc, r.CallerWait, r.Cost}, nil
+		}},
+		{"spikes", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.WorkloadSpikes(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.NeedyPeak, r.ReserveUnits, r.Cost, r.SLA}, nil
+		}},
+		{"frontier", func(c experiments.Config) (renderable, []*metrics.Series, error) {
+			r, err := experiments.WorkloadFrontier(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, []*metrics.Series{r.SLA, r.ReserveShare, r.MeanWait, r.Cost}, nil
+		}},
 	}
 }
 
@@ -125,7 +147,7 @@ func ablations() map[string]func(experiments.Config) (*experiments.AblationResul
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
-	figFlag := fs.String("fig", "all", "figure to regenerate: 3a,3b,4a,4b,5a,5b,6a,6b, winstats, arena, 'ablations', or 'all'")
+	figFlag := fs.String("fig", "all", "figure to regenerate: 3a,3b,4a,4b,5a,5b,6a,6b, winstats, overload, spikes, frontier, arena, 'ablations', or 'all'")
 	seed := fs.Int64("seed", 1, "workload seed")
 	trials := fs.Int("trials", 5, "instances averaged per sweep point")
 	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
@@ -137,6 +159,7 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "append a JSONL sweep event per completed experiment grid to this file")
 	gomaxprocs := fs.Int("gomaxprocs", 0, "cap GOMAXPROCS for this run (0 = leave unchanged; recorded in -bench-json for multicore sweeps)")
 	mechanism := fs.String("mechanism", "", "mechanism spec for the online figures, e.g. 'posted-price:epsilon=0.1' (empty = ssam; see internal/core.ParseMechanismSpec)")
+	topologyPath := fs.String("topology", "", "YAML service topology replacing the builtin graph of the workload figures (overload, spikes, frontier)")
 	var arenaSpecs specListFlag
 	fs.Var(&arenaSpecs, "arena-spec", "mechanism spec to race in the arena (repeatable; default: ssam, posted-price, double-auction)")
 	arenaJSON := fs.String("arena-json", "", "file to write the arena result as JSON (e.g. results/ARENA.json)")
@@ -157,6 +180,13 @@ func run(args []string) error {
 			return err
 		}
 		cfg.Mechanism = spec
+	}
+	if *topologyPath != "" {
+		g, err := workload.LoadServiceGraph(*topologyPath)
+		if err != nil {
+			return err
+		}
+		cfg.Graph = g
 	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

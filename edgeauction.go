@@ -73,6 +73,12 @@ var (
 	// ErrCrashed reports a scripted platform crash fired by
 	// FaultInjection.Crash (chaos/crash-recovery harnesses).
 	ErrCrashed = platform.ErrCrashed
+	// ErrBadTopology reports an invalid service-topology definition
+	// (YAML parse errors, unknown services, cycles, missing load sources).
+	ErrBadTopology = workload.ErrBadTopology
+	// ErrBadRequestTrace reports a malformed request-trace file (bad
+	// header, mid-stream corruption, mismatched columns).
+	ErrBadRequestTrace = workload.ErrBadRequestTrace
 )
 
 // Mechanism types (see internal/core for full documentation).
@@ -241,6 +247,27 @@ type (
 	User = topology.User
 	// Link is one backhaul link between edge clouds.
 	Link = topology.Link
+	// ServiceGraph is a call-graph service topology: services with work
+	// requirements, error rates, and fan-out edges, plus external load
+	// sources (entries and multi-step user flows). Feed it to the
+	// simulator via SimConfig.Graph for topology-driven demand.
+	ServiceGraph = workload.ServiceGraph
+	// ServiceSpec is one service of a ServiceGraph.
+	ServiceSpec = workload.ServiceSpec
+	// CallSpec is one probabilistic call edge between services.
+	CallSpec = workload.CallSpec
+	// EntrySpec attaches an external arrival process to a service.
+	EntrySpec = workload.EntrySpec
+	// FlowSpec is a multi-step user flow visiting services in sequence.
+	FlowSpec = workload.FlowSpec
+	// ArrivalSpec is a composable arrival process (poisson, onoff,
+	// diurnal, flash) with a pure per-round intensity function.
+	ArrivalSpec = workload.ArrivalSpec
+	// RequestTrace is a recorded per-round external arrival schedule,
+	// exportable to and importable from JSONL (SimConfig.Trace).
+	RequestTrace = workload.RequestTrace
+	// RoundArrivals is one round's arrival counts inside a RequestTrace.
+	RoundArrivals = workload.RoundArrivals
 )
 
 // Workload and simulation constants.
@@ -631,6 +658,41 @@ func ReadAuditLog(r io.Reader) ([]*AuditRecord, error) {
 // reports into auction rounds using the §III demand estimator.
 func NewBridge(s *Simulator, cfg BridgeConfig) (*Bridge, error) {
 	return sim.NewBridge(s, cfg)
+}
+
+// ParseTopology parses a YAML service-topology definition (see
+// internal/workload for the schema) and validates it.
+func ParseTopology(data []byte) (*ServiceGraph, error) {
+	return workload.ParseServiceGraph(data)
+}
+
+// LoadTopology reads and parses a YAML service-topology file.
+func LoadTopology(path string) (*ServiceGraph, error) {
+	return workload.LoadServiceGraph(path)
+}
+
+// BuiltinTopology returns a fresh copy of a named builtin service
+// topology ("three-tier", "overload", "spikes", "frontier").
+func BuiltinTopology(name string) (*ServiceGraph, error) {
+	return workload.BuiltinGraph(name)
+}
+
+// BuiltinTopologyNames lists the builtin service topology names, sorted.
+func BuiltinTopologyNames() []string {
+	return workload.BuiltinGraphNames()
+}
+
+// WriteRequestTrace emits a request trace as JSONL (header line, then one
+// record per round).
+func WriteRequestTrace(w io.Writer, tr *RequestTrace) error {
+	return workload.WriteRequestTrace(w, tr)
+}
+
+// ReadRequestTrace decodes a JSONL request trace. A torn final record
+// returns the complete prefix alongside ErrTruncated (the crash cut);
+// corruption anywhere earlier returns ErrBadRequestTrace.
+func ReadRequestTrace(r io.Reader) (*RequestTrace, error) {
+	return workload.ReadRequestTrace(r)
 }
 
 // RestoreOnlineAuction rebuilds an MSOA from a checkpoint taken with

@@ -33,6 +33,7 @@ var builtins = map[string]func() *Scenario{
 	"federation": federationScenario,
 	"crash":      crashScenario,
 	"pipeline":   pipelineScenario,
+	"overload":   overloadScenario,
 }
 
 // churnScenario is the soak gate: 250 rounds of light randomized churn
@@ -132,6 +133,26 @@ func pipelineScenario() *Scenario {
 		WithAgents(8, 200).
 		WithDemand(DemandSpec{NeedyLo: 2, NeedyHi: 4, DemandLo: 1, DemandHi: 3, SpikeEvery: 25, SpikeFactor: 2}).
 		WithPipelined()
+}
+
+// overloadScenario is the workload-driven soak gate (soak-workload):
+// demand is NOT drawn i.i.d. — it is the precomputed schedule of the
+// cascading-overload service graph simulated at 3× work, bridged through
+// the §III demand estimator. The hot fan-in service saturates, so the
+// platform clears sustained topology-shaped demand under light churn
+// while the auditor shadow-replays every round. Byte-identical across
+// runs like every scenario: the schedule is a pure function of the seed.
+func overloadScenario() *Scenario {
+	return New("overload").
+		WithSeed(23).
+		WithRounds(120).
+		WithDeadline(40).
+		WithAgents(8, 600).
+		WithChurn(ChurnSpec{CrashProb: 0.01, DelayProb: 0.01, AbstainProb: 0.02, RejoinAfter: 2}).
+		// Demand capped at 4 units like the i.i.d. scenarios: eight lightly
+		// churned agents can cover it, so most rounds clear and the soak
+		// exercises the mechanism, not just the infeasible path.
+		WithWorkload(WorkloadSpec{Topology: "overload", WorkScale: 3, MaxDemand: 4})
 }
 
 // federationScenario interleaves a three-cloud federated round after

@@ -477,6 +477,11 @@ func (e *engine) bidsFor(id, t, needy int) []platform.WireBid {
 // scenario — shared by the churn engine and the crash harness, whose
 // restarted platform must see exactly the demand the dead one announced.
 func scenarioDemand(sc *Scenario, t int) []int {
+	if len(sc.wlDemand) >= t && t >= 1 {
+		// Workload-driven scenario: Validate precomputed the schedule from
+		// the simulated service graph; spikes and DemandSpec do not apply.
+		return append([]int(nil), sc.wlDemand[t-1]...)
+	}
 	d := sc.Demand
 	rng := workload.NewDerived(sc.Seed, "demand", t, 0)
 	needy := rng.UniformInt(d.NeedyLo, d.NeedyHi)

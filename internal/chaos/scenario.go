@@ -22,6 +22,8 @@ import (
 
 	"edgeauction/internal/core"
 	"edgeauction/internal/platform"
+	"edgeauction/internal/sim"
+	"edgeauction/internal/workload"
 )
 
 // Scenario actions, used both in scripted events and as the outcome of
@@ -162,6 +164,33 @@ type Scenario struct {
 	// (critical-value spot checks, certificates, ψ trajectories) and, for
 	// the double auction, add the per-round penalty-bound invariant.
 	Mechanism *core.MechanismSpec `json:"mechanism,omitempty"`
+	// Workload, when set, derives the per-round demand from the
+	// topology-driven workload engine instead of DemandSpec's i.i.d.
+	// draw: Validate simulates the service graph for the scenario's
+	// rounds and converts each round's indicators through the §III
+	// estimator bridge into residual demand. The schedule is a pure
+	// function of (Seed, Workload), precomputed before the platform
+	// starts, so crash-restarted rounds replay bit-identical demand.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+
+	// wlDemand is the precomputed per-round demand schedule (built by
+	// Validate when Workload is set). Index t-1 holds round t.
+	wlDemand [][]int
+}
+
+// WorkloadSpec drives a scenario's demand from a simulated service
+// topology.
+type WorkloadSpec struct {
+	// Topology names a builtin service graph ("three-tier", "overload",
+	// "spikes", "frontier") or a YAML topology file path.
+	Topology string `json:"topology"`
+	// WorkScale multiplies every service's per-request work; 0 means 1.
+	// Values above 1 overload the graph, producing sustained demand.
+	WorkScale float64 `json:"work_scale,omitempty"`
+	// MaxDemand caps each needy microservice's per-round residual
+	// demand; 0 means 6, matching DemandSpec's scale so the platform
+	// agents' bid sizing still covers rounds.
+	MaxDemand int `json:"max_demand,omitempty"`
 }
 
 // MechanismSpec resolves the scenario's mechanism selection, mapping a
@@ -248,6 +277,13 @@ func (s *Scenario) CrashPlatformAt(round int, point string) *Scenario {
 // rounds through.
 func (s *Scenario) WithMechanism(spec core.MechanismSpec) *Scenario {
 	s.Mechanism = &spec
+	return s
+}
+
+// WithWorkload derives the scenario's demand from a simulated service
+// topology (see WorkloadSpec).
+func (s *Scenario) WithWorkload(w WorkloadSpec) *Scenario {
+	s.Workload = &w
 	return s
 }
 
@@ -366,6 +402,67 @@ func (s *Scenario) Validate() error {
 		default:
 			return fmt.Errorf("chaos: scenario %q: unknown platform crash point %q", s.Name, c.Point)
 		}
+	}
+	if s.Workload != nil {
+		if err := s.buildWorkloadDemand(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildWorkloadDemand precomputes the Workload demand schedule: it runs
+// the discrete-event simulator over the service graph for the scenario's
+// rounds and bridges each report's indicators into residual demand. All
+// randomness comes from one DeriveSeed sub-stream, so the schedule — and
+// thus every platform round — is a pure function of the scenario.
+func (s *Scenario) buildWorkloadDemand() error {
+	w := s.Workload
+	if w.WorkScale < 0 {
+		return fmt.Errorf("chaos: scenario %q: negative workload work scale %v", s.Name, w.WorkScale)
+	}
+	if w.MaxDemand < 0 {
+		return fmt.Errorf("chaos: scenario %q: negative workload demand cap %d", s.Name, w.MaxDemand)
+	}
+	g, err := workload.BuiltinGraph(w.Topology)
+	if err != nil {
+		loaded, ferr := workload.LoadServiceGraph(w.Topology)
+		if ferr != nil {
+			return fmt.Errorf("chaos: scenario %q: workload topology %q is neither builtin (%v) nor loadable (%v)",
+				s.Name, w.Topology, err, ferr)
+		}
+		g = loaded
+	}
+	if w.WorkScale != 0 {
+		for i := range g.Services {
+			g.Services[i].Work *= w.WorkScale
+		}
+	}
+	maxDemand := w.MaxDemand
+	if maxDemand == 0 {
+		maxDemand = 6
+	}
+	rng := workload.NewDerived(s.Seed, "workload", 0, 0)
+	simulator, err := sim.New(sim.Config{Graph: g, Rounds: s.Rounds, Seed: rng.Int63()})
+	if err != nil {
+		return fmt.Errorf("chaos: scenario %q: workload simulator: %w", s.Name, err)
+	}
+	bridge, err := sim.NewBridge(simulator, sim.BridgeConfig{
+		Seed: rng.Int63(), MaxUnits: maxDemand, NeedyQueue: 2,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: scenario %q: workload bridge: %w", s.Name, err)
+	}
+	s.wlDemand = make([][]int, s.Rounds)
+	for t := 1; t <= s.Rounds; t++ {
+		ar := bridge.Convert(simulator.RunRound())
+		d := append([]int(nil), ar.Round.Instance.Demand...)
+		if len(d) == 0 {
+			// The platform round machinery expects at least one needy
+			// microservice; an idle simulator round becomes minimal demand.
+			d = []int{1}
+		}
+		s.wlDemand[t-1] = d
 	}
 	return nil
 }

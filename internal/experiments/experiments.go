@@ -54,6 +54,11 @@ type Config struct {
 	// DeriveSeed-derived RNG stream, so rendered results are byte-identical
 	// at every level for a fixed seed.
 	TrialParallelism int
+	// Graph, when non-nil, replaces the builtin service topology of the
+	// workload drivers (WorkloadOverload, WorkloadSpikes, WorkloadFrontier)
+	// — the -topology flag of cmd/repro ends up here. Nil runs each
+	// driver's builtin scenario graph.
+	Graph *workload.ServiceGraph
 	// Tracer, when non-nil, receives one obs.Sweep event per completed
 	// (points × trials) grid with the driver tag, cell count, wall-clock,
 	// and worker count. It is deliberately NOT forwarded to the auctions

@@ -39,6 +39,9 @@ func TestFiguresByteIdenticalAcrossTrialParallelism(t *testing.T) {
 		{"truthfulness", func(c Config) (renderable, error) { return TruthfulnessSweep(c) }},
 		{"federation", func(c Config) (renderable, error) { return Federation(c) }},
 		{"demand-ablation", func(c Config) (renderable, error) { return DemandAblation(c) }},
+		{"workload-overload", func(c Config) (renderable, error) { return WorkloadOverload(c) }},
+		{"workload-spikes", func(c Config) (renderable, error) { return WorkloadSpikes(c) }},
+		{"workload-frontier", func(c Config) (renderable, error) { return WorkloadFrontier(c) }},
 	}
 	for _, d := range drivers {
 		d := d

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"edgeauction/internal/metrics"
+	"edgeauction/internal/workload"
+)
+
+// TestWorkloadOverloadPropagation is the acceptance demonstration of the
+// topology-driven workload engine: scaling the hot fan-in service's work
+// starves it (rising utilization and backlog), and — because the demand
+// indicators are computed from the simulated load and auction outcomes
+// feed back into fair shares — the starvation propagates to its
+// colocated callers: they yield resources through winning bids, so their
+// mean allocation falls while their waiting times rise.
+func TestWorkloadOverloadPropagation(t *testing.T) {
+	res, err := WorkloadOverload(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := func(s *metrics.Series) float64 { return s.Y[0] }
+	last := func(s *metrics.Series) float64 { return s.Y[len(s.Y)-1] }
+	if got := res.HotUtil.Len(); got != 4 {
+		t.Fatalf("sweep points = %d, want 4", got)
+	}
+	if f, l := first(res.HotUtil), last(res.HotUtil); l <= f {
+		t.Errorf("hot utilization did not rise with its work: %v -> %v", f, l)
+	}
+	if f, l := first(res.HotBacklog), last(res.HotBacklog); l <= f {
+		t.Errorf("hot backlog did not grow with its work: %v -> %v", f, l)
+	}
+	if f, l := first(res.CallerWait), last(res.CallerWait); l <= f {
+		t.Errorf("caller waiting did not grow with hot work: %v -> %v", f, l)
+	}
+	if f, l := first(res.Cost), last(res.Cost); l <= f {
+		t.Errorf("social cost did not grow with hot work: %v -> %v", f, l)
+	}
+	// The propagation signal: the callers' mean fair share at the highest
+	// multiplier sits measurably below the healthy baseline, because the
+	// starved hot service keeps buying their spare capacity.
+	f, l := first(res.CallerAlloc), last(res.CallerAlloc)
+	if l >= f*0.99 {
+		t.Errorf("caller allocation did not fall under hot starvation: %v -> %v", f, l)
+	}
+}
+
+// TestWorkloadLoopAccounting runs the closed loop directly and checks the
+// auction actually clears rounds and the unit accounting is coherent.
+func TestWorkloadLoopAccounting(t *testing.T) {
+	c := Config{Seed: 3}.withDefaults()
+	g, err := workload.BuiltinGraph("overload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Services[g.Index("hot")].Work *= 3
+	run, err := runWorkloadLoop(c, g, nil, 20, 11, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.reports) != 20 {
+		t.Fatalf("reports = %d, want 20", len(run.reports))
+	}
+	if run.auctioned == 0 {
+		t.Fatal("no rounds auctioned: the overloaded graph produced no needy microservices")
+	}
+	if run.cost <= 0 || run.payments <= 0 {
+		t.Fatalf("cost %v / payments %v, want both positive", run.cost, run.payments)
+	}
+	if run.totalUnits <= 0 || run.reserveUnits > run.totalUnits {
+		t.Fatalf("unit accounting: reserve %d of total %d", run.reserveUnits, run.totalUnits)
+	}
+	if run.needyPeak < 1 {
+		t.Fatalf("needy peak = %d, want >= 1", run.needyPeak)
+	}
+}
+
+// TestWorkloadGraphOverride checks Config.Graph replaces the builtin
+// scenario topology, and the hot-service fallback (highest visit rate)
+// plus caller discovery work on a graph without a service named "hot".
+func TestWorkloadGraphOverride(t *testing.T) {
+	g := &workload.ServiceGraph{
+		Name: "custom",
+		Services: []workload.ServiceSpec{
+			{Name: "a", Class: workload.DelaySensitive, Cloud: 1, Work: 700,
+				Calls: []workload.CallSpec{{To: "b", Prob: 1}}},
+			{Name: "c", Class: workload.DelaySensitive, Cloud: 1, Work: 700,
+				Calls: []workload.CallSpec{{To: "b", Prob: 1}}},
+			{Name: "b", Class: workload.DelaySensitive, Cloud: 1, Work: 900},
+		},
+		Entries: []workload.EntrySpec{
+			{Service: "a", Arrivals: workload.ArrivalSpec{Process: workload.ArrivalPoisson, Rate: 2}},
+			{Service: "c", Arrivals: workload.ArrivalSpec{Process: workload.ArrivalPoisson, Rate: 4}},
+		},
+	}
+	if hot := hotServiceIndex(g); g.Services[hot].Name != "b" {
+		t.Fatalf("fallback hot service = %q, want the highest-visit-rate %q", g.Services[hot].Name, "b")
+	}
+	if callers := callerIndices(g, hotServiceIndex(g)); len(callers) != 2 {
+		t.Fatalf("callers = %v, want both entry services", callers)
+	}
+	res, err := WorkloadOverload(Config{Seed: 5, Quick: true, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.HotUtil.Len(); got != 2 {
+		t.Fatalf("quick sweep points = %d, want 2", got)
+	}
+	if !strings.Contains(res.Render(), "hot work x") {
+		t.Fatal("render missing sweep axis label")
+	}
+	// An invalid override is rejected up front.
+	bad := g.Clone()
+	bad.Services[0].Calls[0].To = "nope"
+	if _, err := WorkloadOverload(Config{Seed: 5, Quick: true, Graph: bad}); err == nil {
+		t.Fatal("invalid Config.Graph accepted")
+	}
+}
+
+// TestWorkloadSpikesResponds checks the flash-height knob reaches the
+// market: the tallest spike must stress the market more than no spike on
+// at least one axis (reserve purchases or social cost).
+func TestWorkloadSpikesResponds(t *testing.T) {
+	res, err := WorkloadSpikes(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := res.Cost.Y
+	rs := res.ReserveUnits.Y
+	if rs[len(rs)-1] <= rs[0] && ys[len(ys)-1] <= ys[0] {
+		t.Fatalf("flash height 8 no more stressful than 0: reserve %v -> %v, cost %v -> %v",
+			rs[0], rs[len(rs)-1], ys[0], ys[len(ys)-1])
+	}
+}
+
+// TestWorkloadFrontierResponds checks shrinking per-cloud capacity
+// degrades service: the tightest capacity must show more SLA misses and
+// higher social cost than the loosest.
+func TestWorkloadFrontierResponds(t *testing.T) {
+	res, err := WorkloadFrontier(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points keep insertion order: index 0 is the loosest capacity (120)
+	// and the last index is the tightest (40).
+	sla := res.SLA.Y
+	cost := res.Cost.Y
+	if sla[len(sla)-1] <= sla[0] {
+		t.Errorf("SLA misses at capacity 40 (%v) not above capacity 120 (%v)", sla[len(sla)-1], sla[0])
+	}
+	if cost[len(cost)-1] <= cost[0] {
+		t.Errorf("social cost at capacity 40 (%v) not above capacity 120 (%v)", cost[len(cost)-1], cost[0])
+	}
+}

@@ -29,6 +29,11 @@ type BridgeConfig struct {
 	// NeedyUtilization is the utilization above which a microservice is
 	// considered needy; zero means 0.7.
 	NeedyUtilization float64
+	// NeedyQueue is the end-of-round backlog at or above which a
+	// microservice is considered needy regardless of utilization; zero
+	// means 1. Raising it keeps services whose only backlog is the
+	// in-flight tail request of the round from entering the demand side.
+	NeedyQueue int
 	// BidderUtilization is the utilization below which a microservice is
 	// willing to yield resources; zero means 0.5.
 	BidderUtilization float64
@@ -37,6 +42,14 @@ type BridgeConfig struct {
 	// UnitsPerDemand scales the continuous demand estimate into integer
 	// coverage units; zero means 1.
 	UnitsPerDemand float64
+	// MaxUnits caps the per-needy coverage demand; zero means uncapped.
+	// The AHP rate factor has a 1/(1−utilization) pole, so a saturated
+	// microservice (graph mode pins utilization at exactly 1 while
+	// backlogged) would otherwise demand millions of units and the market
+	// would degenerate into reserve-pool purchases. Capping at the top of
+	// the paper's §V-A demand range (40) keeps instances in the studied
+	// regime while preserving the estimator's ordering of who is neediest.
+	MaxUnits int
 	// BasePrice anchors bid prices; zero means 10 (the paper's price
 	// range starts at 10). The final price grows with the bidder's
 	// utilization — busier bidders value their resources more.
@@ -64,6 +77,9 @@ const ReserveBidderID = 1 << 30
 func (c BridgeConfig) withDefaults() BridgeConfig {
 	if c.NeedyUtilization == 0 {
 		c.NeedyUtilization = 0.7
+	}
+	if c.NeedyQueue == 0 {
+		c.NeedyQueue = 1
 	}
 	if c.BidderUtilization == 0 {
 		c.BidderUtilization = 0.5
@@ -136,10 +152,13 @@ func (b *Bridge) Convert(rep *RoundReport) *AuctionRound {
 		in := rep.Indicators[id]
 		est := b.estimator.Estimate(in)
 		ar.Estimates[id] = est
-		if in.ExecutionRate >= b.cfg.NeedyUtilization || rep.QueueLengths[id] > 0 {
+		if in.ExecutionRate >= b.cfg.NeedyUtilization || rep.QueueLengths[id] >= b.cfg.NeedyQueue {
 			units := b.estimator.EstimateUnits(in, b.cfg.UnitsPerDemand)
 			if units == 0 {
 				units = 1 // a backlogged service needs at least one unit
+			}
+			if b.cfg.MaxUnits > 0 && units > b.cfg.MaxUnits {
+				units = b.cfg.MaxUnits
 			}
 			needyIdx[id] = len(ar.NeedyIDs)
 			ar.NeedyIDs = append(ar.NeedyIDs, id)

@@ -24,6 +24,8 @@ type event struct {
 	kind eventKind
 	ms   int // microservice id (arrival/completion)
 	seq  int // completion guard: matches microservice.seq or is stale
+	flow int // arriving request's 1-based flow index (graph mode)
+	step int // arriving request's flow step
 	idx  int // heap index
 }
 

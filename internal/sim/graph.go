@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+
+	"edgeauction/internal/workload"
+)
+
+// Graph mode: when Config.Graph is set, the simulator's microservices,
+// arrival processes, and request routing come from a validated
+// workload.ServiceGraph instead of the flat §V-A i.i.d. defaults.
+// External requests enter at the graph's entries and flows, and each
+// successful completion fans out through the service's call edges at
+// the completion instant — so waiting time, processing rate, and
+// utilization (the AHP indicators) emerge from simulated load
+// propagating through the call graph.
+
+// graphRuntime is the per-simulator state of graph mode.
+type graphRuntime struct {
+	graph *workload.ServiceGraph
+	// entryCols are the external arrival sources in document order:
+	// entries first, then flows. Their order fixes the trace columns.
+	entryCols []entryCol
+	// trace, when set, replays recorded counts instead of drawing them.
+	trace *workload.RequestTrace
+	// entryLog records the realized counts per round for export.
+	entryLog [][]int
+}
+
+// entryCol is one external arrival source.
+type entryCol struct {
+	service int // target microservice id (flow: first step)
+	flow    int // 1-based flow index, 0 for plain entries
+	spec    workload.ArrivalSpec
+}
+
+// traceColumns names the entry columns of a graph, in order: the entry
+// services, then "flow:<name>" per flow. A request trace is only valid
+// against the graph whose column list matches exactly.
+func traceColumns(g *workload.ServiceGraph) []string {
+	cols := make([]string, 0, len(g.Entries)+len(g.Flows))
+	for _, e := range g.Entries {
+		cols = append(cols, e.Service)
+	}
+	for _, f := range g.Flows {
+		cols = append(cols, "flow:"+f.Name)
+	}
+	return cols
+}
+
+// buildGraphServices populates the simulator's services from the graph
+// and returns the runtime. Pinned cloud ids are validated against the
+// topology up front (fairShare would otherwise silently allocate zero).
+func (s *Simulator) buildGraphServices(g *workload.ServiceGraph) (*graphRuntime, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	visits := g.VisitRates(s.cfg.Rounds)
+	for i, spec := range g.Services {
+		id := i + 1
+		cloud := spec.Cloud
+		if cloud == 0 {
+			cloud = (i % len(s.topo.Clouds)) + 1
+		}
+		if _, err := s.topo.Cloud(cloud); err != nil {
+			return nil, fmt.Errorf("sim: service %q pinned to cloud %d: %w", spec.Name, spec.Cloud, err)
+		}
+		workMean := spec.Work
+		if workMean == 0 {
+			workMean = s.cfg.WorkMean
+		}
+		def := Microservice{
+			ID:       id,
+			Name:     spec.Name,
+			Class:    spec.Class,
+			Cloud:    cloud,
+			WorkMean: workMean,
+			// In graph mode the needed rate is sized from the propagated
+			// visit rate — derived from simulated load, not sampled.
+			TargetRate: visits[i] / s.cfg.RoundLength * headroom(spec.Class),
+		}
+		s.services[id] = &msState{def: def}
+		s.order = append(s.order, id)
+	}
+	rt := &graphRuntime{graph: g}
+	for _, e := range g.Entries {
+		rt.entryCols = append(rt.entryCols, entryCol{
+			service: g.Index(e.Service) + 1, spec: e.Arrivals,
+		})
+	}
+	for fi, f := range g.Flows {
+		rt.entryCols = append(rt.entryCols, entryCol{
+			service: g.Index(f.Steps[0]) + 1, flow: fi + 1, spec: f.Arrivals,
+		})
+	}
+	return rt, nil
+}
+
+// validateTrace checks a recorded trace against the graph and schedule.
+func (s *Simulator) validateTrace(rt *graphRuntime, tr *workload.RequestTrace) error {
+	want := traceColumns(rt.graph)
+	if len(tr.Services) != len(want) {
+		return fmt.Errorf("%w: trace has %d columns, topology %q has %d entry sources",
+			workload.ErrBadRequestTrace, len(tr.Services), rt.graph.Name, len(want))
+	}
+	for i, name := range want {
+		if tr.Services[i] != name {
+			return fmt.Errorf("%w: trace column %d is %q, topology %q expects %q",
+				workload.ErrBadRequestTrace, i, tr.Services[i], rt.graph.Name, name)
+		}
+	}
+	if len(tr.Rounds) < s.cfg.Rounds {
+		return fmt.Errorf("%w: trace has %d rounds, schedule needs %d",
+			workload.ErrBadRequestTrace, len(tr.Rounds), s.cfg.Rounds)
+	}
+	rt.trace = tr
+	return nil
+}
+
+// seedGraphArrivals injects this round's external arrivals: per entry
+// column, a Poisson draw on the spec's intensity (or the recorded trace
+// count), spread uniformly over the round. Counts are logged for
+// export. All draws come from the simulator's single stream in column
+// order, which is what makes same-seed runs byte-identical.
+func (s *Simulator) seedGraphArrivals(roundEnd float64) {
+	rt := s.wl
+	counts := make([]int, len(rt.entryCols))
+	for c, col := range rt.entryCols {
+		var n int
+		if rt.trace != nil {
+			n = rt.trace.Rounds[s.round-1].Counts[c]
+		} else {
+			n = s.rng.Poisson(col.spec.Intensity(s.round - 1))
+		}
+		counts[c] = n
+		for i := 0; i < n; i++ {
+			at := roundEnd - s.rng.Float64()*s.cfg.RoundLength
+			s.queue.schedule(&event{at: at, kind: evArrival, ms: col.service, flow: col.flow})
+		}
+	}
+	rt.entryLog = append(rt.entryLog, counts)
+}
+
+// cascade fans a successful completion out through the service's call
+// edges and advances the request's flow, scheduling the downstream
+// arrivals at the completion instant. A failed request (error_rate
+// draw) produces no downstream work.
+func (s *Simulator) cascade(st *msState, done request) {
+	g := s.wl.graph
+	spec := g.Services[st.def.ID-1]
+	if spec.ErrorRate > 0 && s.rng.Float64() < spec.ErrorRate {
+		return
+	}
+	for _, c := range spec.Calls {
+		prob := c.Prob
+		if prob == 0 {
+			prob = 1
+		}
+		if prob < 1 && s.rng.Float64() >= prob {
+			continue
+		}
+		s.queue.schedule(&event{
+			at: s.now, kind: evArrival, ms: g.Index(c.To) + 1,
+		})
+	}
+	if done.flow > 0 {
+		steps := g.Flows[done.flow-1].Steps
+		if done.step+1 < len(steps) {
+			s.queue.schedule(&event{
+				at: s.now, kind: evArrival, ms: g.Index(steps[done.step+1]) + 1,
+				flow: done.flow, step: done.step + 1,
+			})
+		}
+	}
+}
+
+// RequestTrace returns the external arrivals realized so far as an
+// importable trace (graph mode only; nil otherwise). Re-running the
+// same topology with the returned trace as Config.Trace reproduces the
+// same external load.
+func (s *Simulator) RequestTrace() *workload.RequestTrace {
+	if s.wl == nil {
+		return nil
+	}
+	tr := &workload.RequestTrace{
+		Name:     s.wl.graph.Name,
+		Services: traceColumns(s.wl.graph),
+	}
+	for i, counts := range s.wl.entryLog {
+		tr.Rounds = append(tr.Rounds, workload.RoundArrivals{
+			T: i + 1, Counts: append([]int(nil), counts...),
+		})
+	}
+	return tr
+}
+
+// ApplyTransfers adjusts the next round's fair-share allocations by the
+// given per-microservice deltas (work-rate units, positive for winners
+// of auctioned resources, negative for sellers). The deltas apply to
+// exactly one round — the auction runs every round, so persistent
+// transfers re-win each time — and allocations are clamped at zero.
+// This is the feedback edge that lets a starved hot service drain its
+// sellers' shares in the cascading-overload scenarios.
+func (s *Simulator) ApplyTransfers(delta map[int]float64) {
+	if len(delta) == 0 {
+		return
+	}
+	if s.transfers == nil {
+		s.transfers = make(map[int]float64, len(delta))
+	}
+	for id, d := range delta {
+		s.transfers[id] += d
+	}
+}

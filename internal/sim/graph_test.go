@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"edgeauction/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// oracleArrivalSpecs covers every arrival process; the queueing tests
+// below run once per spec.
+var oracleArrivalSpecs = []struct {
+	name string
+	spec workload.ArrivalSpec
+}{
+	{"poisson", workload.ArrivalSpec{Process: workload.ArrivalPoisson, Rate: 8}},
+	{"onoff", workload.ArrivalSpec{Process: workload.ArrivalOnOff, Rate: 8, Period: 6, Duty: 0.5}},
+	{"diurnal", workload.ArrivalSpec{Process: workload.ArrivalDiurnal, Rate: 8, Period: 10, Amplitude: 0.8}},
+	{"flash", workload.ArrivalSpec{Process: workload.ArrivalFlash, Rate: 6, At: 10, Width: 3, Height: 5}},
+}
+
+func soloGraph(spec workload.ArrivalSpec) *workload.ServiceGraph {
+	return &workload.ServiceGraph{
+		Name: "solo",
+		Services: []workload.ServiceSpec{
+			{Name: "solo", Class: workload.DelaySensitive, Cloud: 1, Work: 60},
+		},
+		Entries: []workload.EntrySpec{{Service: "solo", Arrivals: spec}},
+	}
+}
+
+// TestGraphLindleyOracle is the queueing audit the flat-path M/M/1 test
+// can't cover under bursty arrivals: an independent Lindley-recursion
+// replay of a single-queue topology must reproduce the simulator's
+// per-round arrivals, completions, and waiting sums exactly, for every
+// arrival process. The oracle replays the simulator's RNG draw order
+// (one Int63 for the topology fork, then per round the Poisson count,
+// the arrival times, and the work draws in arrival order) and computes
+// completion times as C_k = max(A_k, C_{k-1}) + W_k/rate.
+func TestGraphLindleyOracle(t *testing.T) {
+	const (
+		rounds = 30
+		seed   = 11
+		length = 600.0
+	)
+	for _, tc := range oracleArrivalSpecs {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(Config{Graph: soloGraph(tc.spec), Rounds: rounds, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloud, err := s.Topology().Cloud(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rate := cloud.Capacity // only service on its cloud: full share
+			reports := s.Run()
+
+			// Oracle replay on an identical stream.
+			rng := workload.NewRand(seed)
+			rng.Int63() // the topology Fork in New
+			type obs struct {
+				arrivals    int
+				completions int
+				waitingSum  float64
+			}
+			perRound := make([]obs, rounds+1) // 1-based; overflow dropped
+			prevDone := 0.0
+			for r := 0; r < rounds; r++ {
+				roundEnd := float64(r+1) * length
+				n := rng.Poisson(tc.spec.Intensity(r))
+				times := make([]float64, n)
+				for i := range times {
+					times[i] = roundEnd - rng.Float64()*length
+				}
+				sort.Float64s(times)
+				perRound[r+1].arrivals = n
+				// Work draws happen at arrival-event time, i.e. in sorted
+				// arrival order.
+				for _, at := range times {
+					work := drawWork(rng, WorkExponential, 60)
+					start := at
+					if prevDone > start {
+						start = prevDone
+					}
+					done := start + work/rate
+					prevDone = done
+					// Ceil attributes a boundary completion to the ending
+					// round, matching the event order (completions fire
+					// before the round-end event at the same instant).
+					cr := int(math.Ceil(done / length))
+					if cr >= 1 && cr <= rounds {
+						perRound[cr].completions++
+						perRound[cr].waitingSum += start - at
+					}
+				}
+			}
+			for r := 1; r <= rounds; r++ {
+				rep := reports[r-1]
+				ind := rep.Indicators[1]
+				if ind.ReceivedResponses != perRound[r].arrivals {
+					t.Errorf("round %d: arrivals %d, oracle %d", r, ind.ReceivedResponses, perRound[r].arrivals)
+				}
+				if ind.ServedResponses != perRound[r].completions {
+					t.Errorf("round %d: completions %d, oracle %d", r, ind.ServedResponses, perRound[r].completions)
+				}
+				var meanWait float64
+				if perRound[r].completions > 0 {
+					meanWait = perRound[r].waitingSum / float64(perRound[r].completions)
+				}
+				if diff := math.Abs(rep.MeanWaiting[1] - meanWait); diff > 1e-6*(1+meanWait) {
+					t.Errorf("round %d: mean waiting %v, oracle %v", r, rep.MeanWaiting[1], meanWait)
+				}
+			}
+		})
+	}
+}
+
+func meshGraph(workScale float64, spec workload.ArrivalSpec) *workload.ServiceGraph {
+	return &workload.ServiceGraph{
+		Name: "mesh",
+		Services: []workload.ServiceSpec{
+			{Name: "a", Class: workload.DelaySensitive, Cloud: 1, Work: 16 * workScale,
+				Calls: []workload.CallSpec{{To: "b", Prob: 0.7}}},
+			{Name: "b", Class: workload.DelayTolerant, Cloud: 1, Work: 24 * workScale, ErrorRate: 0.1,
+				Calls: []workload.CallSpec{{To: "c", Prob: 1}}},
+			{Name: "c", Class: workload.DelayTolerant, Cloud: 2, Work: 32 * workScale},
+		},
+		Entries: []workload.EntrySpec{{Service: "a", Arrivals: spec}},
+		Flows: []workload.FlowSpec{
+			{Name: "tour", Steps: []string{"a", "c"},
+				Arrivals: workload.ArrivalSpec{Process: workload.ArrivalPoisson, Rate: 2}},
+		},
+	}
+}
+
+// TestGraphMetamorphicWorkScaling is the metamorphic property from the
+// issue: scaling every work mean and the round length by the same
+// power of two preserves the event order and every RNG draw, so waiting
+// times scale by exactly that factor while counts (arrivals,
+// completions, SLA violations) and utilization are invariant. It must
+// hold for every arrival process, including through call-graph fan-out
+// and flows.
+func TestGraphMetamorphicWorkScaling(t *testing.T) {
+	const (
+		rounds = 12
+		seed   = 5
+		alpha  = 2.0 // power of two: FP-exact scaling
+	)
+	for _, tc := range oracleArrivalSpecs {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := New(Config{Graph: meshGraph(1, tc.spec), Rounds: rounds, Seed: seed,
+				RoundLength: 600, WorkMean: 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scaled, err := New(Config{Graph: meshGraph(alpha, tc.spec), Rounds: rounds, Seed: seed,
+				RoundLength: 600 * alpha, WorkMean: 30 * alpha})
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseReps, scaledReps := base.Run(), scaled.Run()
+			for r := 0; r < rounds; r++ {
+				for id := 1; id <= 3; id++ {
+					b, sc := baseReps[r].Indicators[id], scaledReps[r].Indicators[id]
+					if b.ReceivedResponses != sc.ReceivedResponses {
+						t.Errorf("round %d ms %d: arrivals changed %d -> %d", r+1, id, b.ReceivedResponses, sc.ReceivedResponses)
+					}
+					if b.ServedResponses != sc.ServedResponses {
+						t.Errorf("round %d ms %d: completions changed %d -> %d", r+1, id, b.ServedResponses, sc.ServedResponses)
+					}
+					if baseReps[r].SLAViolations[id] != scaledReps[r].SLAViolations[id] {
+						t.Errorf("round %d ms %d: SLA violations changed", r+1, id)
+					}
+					if relDiff(b.ExecutionRate, sc.ExecutionRate) > 1e-12 {
+						t.Errorf("round %d ms %d: utilization changed %v -> %v", r+1, id, b.ExecutionRate, sc.ExecutionRate)
+					}
+					bw, sw := baseReps[r].MeanWaiting[id], scaledReps[r].MeanWaiting[id]
+					if relDiff(alpha*bw, sw) > 1e-9 {
+						t.Errorf("round %d ms %d: waiting %v did not scale x%v (got %v)", r+1, id, bw, alpha, sw)
+					}
+					if relDiff(b.AchievedRate, alpha*sc.AchievedRate) > 1e-12 {
+						t.Errorf("round %d ms %d: achieved rate %v did not scale x1/%v (got %v)", r+1, id, b.AchievedRate, alpha, sc.AchievedRate)
+					}
+				}
+			}
+		})
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(1e-300, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestStarvedServiceUtilization is the regression for the accrue bug:
+// a service whose allocation is drained to zero processes nothing and
+// must report utilization 0 — before the fix it accrued busy time at
+// rate 0 and reported a fully-busy idle server.
+func TestStarvedServiceUtilization(t *testing.T) {
+	g := soloGraph(workload.ArrivalSpec{Process: workload.ArrivalPoisson, Rate: 10})
+	g.Services[0].Work = 50000 // far over capacity: backlog guaranteed
+	s, err := New(Config{Graph: g, Rounds: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.RunRound()
+	if first.QueueLengths[1] == 0 {
+		t.Fatal("expected a backlog after an overloaded round")
+	}
+	s.ApplyTransfers(map[int]float64{1: -1e12})
+	rep := s.RunRound()
+	ind := rep.Indicators[1]
+	if ind.ExecutionRate != 0 {
+		t.Errorf("starved service reports utilization %v, want 0", ind.ExecutionRate)
+	}
+	if ind.ServedResponses != 0 {
+		t.Errorf("starved service completed %d requests", ind.ServedResponses)
+	}
+	if rep.Allocated[1] != 0 {
+		t.Errorf("allocation %v, want clamped to 0", rep.Allocated[1])
+	}
+	// The transfer is consumed: the next round restores the fair share.
+	rep = s.RunRound()
+	if rep.Allocated[1] == 0 {
+		t.Error("transfer was not consumed after one round")
+	}
+}
+
+// TestGraphCascadeFanout pins the call-graph semantics: with prob-1
+// edges and no errors, every upstream completion injects exactly one
+// downstream arrival at the completion instant (same round).
+func TestGraphCascadeFanout(t *testing.T) {
+	g := &workload.ServiceGraph{
+		Name: "chain",
+		Services: []workload.ServiceSpec{
+			{Name: "up", Class: workload.DelaySensitive, Cloud: 1, Work: 5,
+				Calls: []workload.CallSpec{{To: "down", Prob: 1}}},
+			{Name: "down", Class: workload.DelaySensitive, Cloud: 2, Work: 5},
+		},
+		Entries: []workload.EntrySpec{
+			{Service: "up", Arrivals: workload.ArrivalSpec{Process: workload.ArrivalOnOff, Rate: 6, Period: 4}},
+		},
+	}
+	s, err := New(Config{Graph: g, Rounds: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range s.Run() {
+		up, down := rep.Indicators[1], rep.Indicators[2]
+		if down.ReceivedResponses != up.ServedResponses {
+			t.Errorf("round %d: downstream arrivals %d != upstream completions %d",
+				rep.Round, down.ReceivedResponses, up.ServedResponses)
+		}
+	}
+}
+
+// TestGraphFlowSteps pins multi-step flows: each flow user traverses
+// the steps in order, so the second step receives exactly the first
+// step's flow completions (the only load on it in this graph).
+func TestGraphFlowSteps(t *testing.T) {
+	g := &workload.ServiceGraph{
+		Name: "flowchain",
+		Services: []workload.ServiceSpec{
+			{Name: "first", Class: workload.DelaySensitive, Cloud: 1, Work: 5},
+			{Name: "second", Class: workload.DelaySensitive, Cloud: 2, Work: 5},
+		},
+		Flows: []workload.FlowSpec{
+			{Name: "walk", Steps: []string{"first", "second"},
+				Arrivals: workload.ArrivalSpec{Process: workload.ArrivalPoisson, Rate: 5}},
+		},
+	}
+	s, err := New(Config{Graph: g, Rounds: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range s.Run() {
+		first, second := rep.Indicators[1], rep.Indicators[2]
+		if second.ReceivedResponses != first.ServedResponses {
+			t.Errorf("round %d: step-2 arrivals %d != step-1 completions %d",
+				rep.Round, second.ReceivedResponses, first.ServedResponses)
+		}
+	}
+}
+
+// TestGraphDeterministic: identical configs yield identical reports.
+func TestGraphDeterministic(t *testing.T) {
+	run := func() string {
+		g, err := workload.BuiltinGraph("overload")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Graph: g, Rounds: 15, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, rep := range s.Run() {
+			fmt.Fprintf(&b, "%+v\n", *rep)
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Error("same-seed graph runs diverge")
+	}
+}
+
+// TestGraphTraceRoundTrip: exporting a run's request trace and feeding
+// it back reproduces the same external arrival schedule.
+func TestGraphTraceRoundTrip(t *testing.T) {
+	g, err := workload.BuiltinGraph("spikes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{Graph: g, Rounds: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	exported := a.RequestTrace()
+	if exported == nil || len(exported.Rounds) != 8 {
+		t.Fatalf("bad exported trace: %+v", exported)
+	}
+
+	var buf bytes.Buffer
+	if err := workload.WriteRequestTrace(&buf, exported); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := workload.ReadRequestTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(Config{Graph: g.Clone(), Rounds: 8, Seed: 999, Trace: imported})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run()
+	if got := b.RequestTrace(); !reflect.DeepEqual(got, exported) {
+		t.Errorf("replayed trace differs:\n got %+v\nwant %+v", got, exported)
+	}
+}
+
+func TestGraphTraceValidation(t *testing.T) {
+	g, err := workload.BuiltinGraph("spikes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Trace: &workload.RequestTrace{}}); err == nil {
+		t.Error("trace without graph accepted")
+	}
+	short := &workload.RequestTrace{Services: []string{"gateway", "flow:checkout"},
+		Rounds: []workload.RoundArrivals{{T: 1, Counts: []int{1, 1}}}}
+	if _, err := New(Config{Graph: g, Rounds: 5, Trace: short}); err == nil {
+		t.Error("short trace accepted")
+	}
+	wrongCols := &workload.RequestTrace{Services: []string{"nope"}}
+	if _, err := New(Config{Graph: g.Clone(), Rounds: 1, Trace: wrongCols}); err == nil {
+		t.Error("mismatched trace columns accepted")
+	}
+}
+
+func TestGraphRejectsBadCloudPin(t *testing.T) {
+	g := soloGraph(workload.ArrivalSpec{Rate: 1})
+	g.Services[0].Cloud = 99 // default topology has 10 clouds
+	if _, err := New(Config{Graph: g}); err == nil {
+		t.Error("out-of-range cloud pin accepted")
+	}
+}
+
+// TestGraphGolden pins the indicator trajectory of a committed YAML
+// topology so simulator refactors can't silently shift the demand that
+// feeds the AHP estimator. Regenerate with -update-golden after an
+// intentional change, and justify the diff in the commit.
+func TestGraphGolden(t *testing.T) {
+	g, err := workload.LoadServiceGraph(filepath.Join("testdata", "three_tier.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Graph: g, Rounds: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("round service arrivals completions waiting processing util rate queue alloc\n")
+	for _, rep := range s.Run() {
+		for _, ms := range s.Services() {
+			ind := rep.Indicators[ms.ID]
+			fmt.Fprintf(&b, "%d %s %d %d %.6f %.6f %.6f %.6f %d %.3f\n",
+				rep.Round, ms.Name, ind.ReceivedResponses, ind.ServedResponses,
+				rep.MeanWaiting[ms.ID], ind.AchievedRate, ind.ExecutionRate,
+				ind.NeededRate, rep.QueueLengths[ms.ID], rep.Allocated[ms.ID])
+		}
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", "three_tier.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("golden trajectory mismatch (run with -update-golden if intentional):\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -13,6 +13,8 @@ import (
 type Microservice struct {
 	// ID is the 1-based microservice identifier.
 	ID int
+	// Name is the service-graph name in graph mode, empty otherwise.
+	Name string
 	// Class selects the arrival process and priority (§V-A).
 	Class workload.Class
 	// Cloud is the hosting edge cloud id.
@@ -30,6 +32,8 @@ type request struct {
 	started  float64
 	work     float64 // remaining work units
 	deadline float64 // SLA completion deadline (absolute time)
+	flow     int     // 1-based flow index (graph mode), 0 otherwise
+	step     int     // current step within the flow
 }
 
 // msState is the runtime state of one microservice.
@@ -90,6 +94,14 @@ type Config struct {
 	SensitiveShare float64
 	// Seed seeds the simulation RNG.
 	Seed int64
+	// Graph switches the simulator to graph mode: microservices, arrival
+	// processes, and request routing come from this validated service
+	// topology, and Services is ignored. See graph.go.
+	Graph *workload.ServiceGraph
+	// Trace replays recorded external arrival counts instead of drawing
+	// them (graph mode only). Its columns must match the graph's entry
+	// sources and it must cover at least Rounds rounds.
+	Trace *workload.RequestTrace
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +156,10 @@ type Simulator struct {
 	queue    *eventQueue
 	now      float64
 	round    int
+	// wl is the graph-mode runtime, nil on the flat §V-A path.
+	wl *graphRuntime
+	// transfers are pending one-round allocation deltas (ApplyTransfers).
+	transfers map[int]float64
 }
 
 // New builds a simulator. It returns an error for invalid configurations.
@@ -169,6 +185,22 @@ func New(cfg Config) (*Simulator, error) {
 		rng:      rng,
 		services: make(map[int]*msState, c.Services),
 		queue:    &eventQueue{},
+	}
+	if c.Graph != nil {
+		rt, err := s.buildGraphServices(c.Graph)
+		if err != nil {
+			return nil, err
+		}
+		s.wl = rt
+		if c.Trace != nil {
+			if err := s.validateTrace(rt, c.Trace); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	if c.Trace != nil {
+		return nil, fmt.Errorf("sim: Trace requires a service Graph")
 	}
 	for i := 1; i <= c.Services; i++ {
 		class := workload.DelaySensitive
@@ -235,13 +267,19 @@ func (s *Simulator) RunRound() *RoundReport {
 		s.reschedule(st)
 	}
 
-	// Seed this round's Poisson arrivals, uniformly spread in the round.
-	for _, id := range s.order {
-		st := s.services[id]
-		n := s.rng.Poisson(st.arrivalMean)
-		for i := 0; i < n; i++ {
-			at := roundEnd - s.rng.Float64()*s.cfg.RoundLength
-			s.queue.schedule(&event{at: at, kind: evArrival, ms: id})
+	// Seed this round's external arrivals, uniformly spread in the round:
+	// per-class Poisson on the flat path, the graph's entry sources (or a
+	// recorded trace) in graph mode.
+	if s.wl != nil {
+		s.seedGraphArrivals(roundEnd)
+	} else {
+		for _, id := range s.order {
+			st := s.services[id]
+			n := s.rng.Poisson(st.arrivalMean)
+			for i := 0; i < n; i++ {
+				at := roundEnd - s.rng.Float64()*s.cfg.RoundLength
+				s.queue.schedule(&event{at: at, kind: evArrival, ms: id})
+			}
 		}
 	}
 	s.queue.schedule(&event{at: roundEnd, kind: evRoundEnd})
@@ -258,7 +296,7 @@ func (s *Simulator) RunRound() *RoundReport {
 		}
 		switch e.kind {
 		case evArrival:
-			s.onArrival(e.ms)
+			s.onArrival(e)
 		case evCompletion:
 			s.onCompletion(e.ms, e.seq)
 		}
@@ -286,16 +324,32 @@ func (s *Simulator) fairShare() map[int]float64 {
 		st := s.services[id]
 		cloud, err := s.topo.Cloud(st.def.Cloud)
 		if err != nil {
-			continue // unreachable by construction
+			continue // unreachable: cloud ids are validated in New
 		}
 		alloc[id] = cloud.Capacity * weight(st) / cloudWeight[st.def.Cloud]
+	}
+	// Auctioned resource transfers adjust this round's shares, then are
+	// consumed (they re-win each round if demand persists).
+	if len(s.transfers) > 0 {
+		for _, id := range s.order {
+			if d, ok := s.transfers[id]; ok {
+				alloc[id] += d
+				if alloc[id] < 0 {
+					alloc[id] = 0
+				}
+			}
+		}
+		s.transfers = nil
 	}
 	return alloc
 }
 
-// accrue charges elapsed service work and busy time up to s.now.
+// accrue charges elapsed service work and busy time up to s.now. A
+// starved service (rate 0, possible once auction transfers can drain an
+// allocation to nothing) processes no work and must not be counted
+// busy — it would otherwise report utilization 1 while doing nothing.
 func (s *Simulator) accrue(st *msState) {
-	if st.inService && len(st.queue) > 0 {
+	if st.inService && len(st.queue) > 0 && st.rate > 0 {
 		elapsed := s.now - st.lastUpdate
 		st.queue[0].work -= elapsed * st.rate
 		st.stats.busyTime += elapsed
@@ -322,8 +376,8 @@ func (s *Simulator) reschedule(st *msState) {
 	})
 }
 
-func (s *Simulator) onArrival(id int) {
-	st := s.services[id]
+func (s *Simulator) onArrival(e *event) {
+	st := s.services[e.ms]
 	s.accrue(st)
 	st.stats.arrivals++
 	deadline := s.cfg.DeadlineFactor * s.cfg.RoundLength
@@ -334,6 +388,8 @@ func (s *Simulator) onArrival(id int) {
 		arrived:  s.now,
 		work:     drawWork(s.rng, s.cfg.Work, st.def.WorkMean),
 		deadline: s.now + deadline,
+		flow:     e.flow,
+		step:     e.step,
 	})
 	if !st.inService {
 		st.inService = true
@@ -355,6 +411,9 @@ func (s *Simulator) onCompletion(id, seq int) {
 	st.stats.serviceSum += s.now - done.started
 	if s.now > done.deadline {
 		st.stats.slaViolations++
+	}
+	if s.wl != nil {
+		s.cascade(st, done)
 	}
 	if len(st.queue) > 0 {
 		st.queue[0].started = s.now

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arrival-process names accepted by ArrivalSpec.Process.
+const (
+	// ArrivalPoisson is a constant-intensity Poisson process.
+	ArrivalPoisson = "poisson"
+	// ArrivalOnOff is a mean-preserving bursty on/off process: the
+	// nominal rate is concentrated into the "on" fraction of each period.
+	ArrivalOnOff = "onoff"
+	// ArrivalDiurnal modulates the rate sinusoidally over a period.
+	ArrivalDiurnal = "diurnal"
+	// ArrivalFlash adds a flash-crowd pulse on top of a base rate.
+	ArrivalFlash = "flash"
+)
+
+// ArrivalSpec describes an arrival process as a pure intensity function
+// of the 0-based round index: Intensity(t) is the expected number of
+// entry requests in round t, and the simulator draws the realized count
+// as Poisson(Intensity(t)) from its own stream. Keeping the spec
+// stateless is what makes workload runs deterministic under trial
+// parallelism and crash recovery — any (seed, round) pair yields the
+// same schedule with no generator state to carry across rounds.
+type ArrivalSpec struct {
+	// Process is one of the Arrival* names; empty means poisson.
+	Process string `json:"process,omitempty"`
+	// Rate is the nominal mean arrivals per round (required, > 0).
+	Rate float64 `json:"rate"`
+
+	// Duty is the on fraction of an on/off period (default 0.5).
+	Duty float64 `json:"duty,omitempty"`
+	// Period is the cycle length in rounds for onoff (default 8) and
+	// diurnal (default 24).
+	Period int `json:"period,omitempty"`
+	// Phase shifts the cycle start by a number of rounds.
+	Phase int `json:"phase,omitempty"`
+	// Amplitude is the diurnal modulation depth in [0, 1] (default 0.8).
+	Amplitude float64 `json:"amplitude,omitempty"`
+
+	// At is the center round of a flash-crowd pulse.
+	At int `json:"at,omitempty"`
+	// Width is the pulse half-width in rounds (default 1).
+	Width int `json:"width,omitempty"`
+	// Height is the pulse magnification: inside the pulse the intensity
+	// is Rate·(1+Height) (default 4).
+	Height float64 `json:"height,omitempty"`
+}
+
+// onLength returns the period and on-round count of an on/off cycle.
+func (a ArrivalSpec) onLength() (period, on int) {
+	period = a.Period
+	if period <= 0 {
+		period = 8
+	}
+	duty := a.Duty
+	if duty <= 0 {
+		duty = 0.5
+	}
+	on = int(math.Round(duty * float64(period)))
+	if on < 1 {
+		on = 1
+	}
+	if on > period {
+		on = period
+	}
+	return period, on
+}
+
+// Intensity returns the expected arrivals in 0-based round t. It is a
+// pure function of the spec and t.
+func (a ArrivalSpec) Intensity(t int) float64 {
+	switch a.Process {
+	case ArrivalOnOff:
+		period, on := a.onLength()
+		pos := (t + a.Phase) % period
+		if pos < 0 {
+			pos += period
+		}
+		if pos < on {
+			// All of the period's mass arrives during the on rounds, so
+			// the long-run mean over any whole period is exactly Rate.
+			return a.Rate * float64(period) / float64(on)
+		}
+		return 0
+	case ArrivalDiurnal:
+		period := a.Period
+		if period <= 0 {
+			period = 24
+		}
+		amp := a.Amplitude
+		if amp == 0 {
+			amp = 0.8
+		}
+		v := a.Rate * (1 + amp*math.Sin(2*math.Pi*float64(t+a.Phase)/float64(period)))
+		if v < 0 {
+			return 0
+		}
+		return v
+	case ArrivalFlash:
+		width := a.Width
+		if width <= 0 {
+			width = 1
+		}
+		height := a.Height
+		if height == 0 {
+			height = 4
+		}
+		if t >= a.At-width && t <= a.At+width {
+			return a.Rate * (1 + height)
+		}
+		return a.Rate
+	default: // poisson
+		return a.Rate
+	}
+}
+
+// MeanIntensity returns the exact average of Intensity over rounds
+// [0, rounds) — the analytic nominal the property tests compare the
+// empirical rate against.
+func (a ArrivalSpec) MeanIntensity(rounds int) float64 {
+	if rounds <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for t := 0; t < rounds; t++ {
+		sum += a.Intensity(t)
+	}
+	return sum / float64(rounds)
+}
+
+// validate checks the spec; path names the owning entry for errors.
+func (a ArrivalSpec) validate(path string) error {
+	switch a.Process {
+	case "", ArrivalPoisson, ArrivalOnOff, ArrivalDiurnal, ArrivalFlash:
+	default:
+		return fmt.Errorf("%w: %s: unknown arrival process %q", ErrBadTopology, path, a.Process)
+	}
+	if a.Rate <= 0 || math.IsNaN(a.Rate) || math.IsInf(a.Rate, 0) {
+		return fmt.Errorf("%w: %s: arrival rate must be positive, got %v", ErrBadTopology, path, a.Rate)
+	}
+	if a.Duty < 0 || a.Duty > 1 {
+		return fmt.Errorf("%w: %s: duty must be in [0, 1], got %v", ErrBadTopology, path, a.Duty)
+	}
+	if a.Amplitude < 0 || a.Amplitude > 1 {
+		return fmt.Errorf("%w: %s: amplitude must be in [0, 1], got %v", ErrBadTopology, path, a.Amplitude)
+	}
+	if a.Period < 0 {
+		return fmt.Errorf("%w: %s: period must be non-negative, got %d", ErrBadTopology, path, a.Period)
+	}
+	if a.Height < 0 {
+		return fmt.Errorf("%w: %s: height must be non-negative, got %v", ErrBadTopology, path, a.Height)
+	}
+	if a.Width < 0 {
+		return fmt.Errorf("%w: %s: width must be non-negative, got %d", ErrBadTopology, path, a.Width)
+	}
+	return nil
+}
+
+// parseArrivalSpec reads an arrival mapping from parsed YAML.
+func parseArrivalSpec(v any, path string) (ArrivalSpec, error) {
+	var spec ArrivalSpec
+	m, err := yamlMap(v, path)
+	if err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadTopology, err)
+	}
+	for key, val := range m {
+		p := path + "." + key
+		var err error
+		switch key {
+		case "process":
+			spec.Process, err = yamlStr(val, p)
+		case "rate":
+			spec.Rate, err = yamlFloat(val, p)
+		case "duty":
+			spec.Duty, err = yamlFloat(val, p)
+		case "period":
+			spec.Period, err = yamlInt(val, p)
+		case "phase":
+			spec.Phase, err = yamlInt(val, p)
+		case "amplitude":
+			spec.Amplitude, err = yamlFloat(val, p)
+		case "at":
+			spec.At, err = yamlInt(val, p)
+		case "width":
+			spec.Width, err = yamlInt(val, p)
+		case "height":
+			spec.Height, err = yamlFloat(val, p)
+		default:
+			err = fmt.Errorf("%s: unknown arrival field %q", path, key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("%w: %v", ErrBadTopology, err)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtinGraphs are the named topologies the binaries and experiment
+// sweeps accept without a YAML file. Each builder returns a fresh graph
+// so callers may mutate the result.
+var builtinGraphs = map[string]func() *ServiceGraph{
+	// three-tier is the classic frontend → logic → storage chain, small
+	// enough to pin as a golden trajectory.
+	"three-tier": func() *ServiceGraph {
+		return &ServiceGraph{
+			Name: "three-tier",
+			Services: []ServiceSpec{
+				{Name: "frontend", Class: DelaySensitive, Cloud: 1, Work: 1500,
+					Calls: []CallSpec{{To: "logic", Prob: 1}}},
+				{Name: "logic", Class: DelaySensitive, Cloud: 1, Work: 2200, ErrorRate: 0.05,
+					Calls: []CallSpec{{To: "storage", Prob: 0.8}}},
+				{Name: "storage", Class: DelayTolerant, Cloud: 2, Work: 3000},
+			},
+			Entries: []EntrySpec{
+				{Service: "frontend", Arrivals: ArrivalSpec{Process: ArrivalPoisson, Rate: 6}},
+			},
+		}
+	},
+	// overload concentrates a hot fan-in service with its callers on one
+	// cloud: scaling the hot service's work starves it, and — through the
+	// auction feedback — drains its colocated callers' fair shares. This
+	// is the cascading-overload acceptance scenario.
+	"overload": func() *ServiceGraph {
+		return &ServiceGraph{
+			Name: "overload",
+			Services: []ServiceSpec{
+				{Name: "api", Class: DelaySensitive, Cloud: 1, Work: 700,
+					Calls: []CallSpec{{To: "hot", Prob: 1}}},
+				{Name: "search", Class: DelaySensitive, Cloud: 1, Work: 700,
+					Calls: []CallSpec{{To: "hot", Prob: 0.9}}},
+				{Name: "feed", Class: DelayTolerant, Cloud: 1, Work: 600,
+					Calls: []CallSpec{{To: "hot", Prob: 0.7}}},
+				{Name: "hot", Class: DelaySensitive, Cloud: 1, Work: 800,
+					Calls: []CallSpec{{To: "store", Prob: 0.5}}},
+				{Name: "store", Class: DelayTolerant, Cloud: 2, Work: 1000},
+				{Name: "batch", Class: DelayTolerant, Cloud: 2, Work: 1000},
+			},
+			Entries: []EntrySpec{
+				{Service: "api", Arrivals: ArrivalSpec{Process: ArrivalOnOff, Rate: 5, Period: 6, Duty: 0.5}},
+				{Service: "search", Arrivals: ArrivalSpec{Process: ArrivalPoisson, Rate: 4}},
+				{Service: "feed", Arrivals: ArrivalSpec{Process: ArrivalDiurnal, Rate: 3, Period: 12}},
+				{Service: "batch", Arrivals: ArrivalSpec{Process: ArrivalPoisson, Rate: 2}},
+			},
+		}
+	},
+	// spikes drives correlated flash crowds through a shared checkout
+	// flow, so several needy microservices spike in the same rounds.
+	"spikes": func() *ServiceGraph {
+		return &ServiceGraph{
+			Name: "spikes",
+			Services: []ServiceSpec{
+				{Name: "gateway", Class: DelaySensitive, Cloud: 1, Work: 800,
+					Calls: []CallSpec{{To: "catalog", Prob: 1}}},
+				{Name: "catalog", Class: DelaySensitive, Cloud: 1, Work: 900,
+					Calls: []CallSpec{{To: "inventory", Prob: 0.6}}},
+				{Name: "inventory", Class: DelayTolerant, Cloud: 2, Work: 1200},
+				{Name: "cart", Class: DelaySensitive, Cloud: 1, Work: 1000},
+				{Name: "payment", Class: DelaySensitive, Cloud: 2, Work: 1500, ErrorRate: 0.02},
+			},
+			Entries: []EntrySpec{
+				{Service: "gateway", Arrivals: ArrivalSpec{Process: ArrivalFlash, Rate: 4, At: 5, Width: 2, Height: 4}},
+			},
+			Flows: []FlowSpec{
+				{Name: "checkout", Steps: []string{"gateway", "cart", "payment"},
+					Arrivals: ArrivalSpec{Process: ArrivalFlash, Rate: 2, At: 5, Width: 2, Height: 4}},
+			},
+		}
+	},
+	// frontier is a balanced mesh for capacity-frontier stress: load is
+	// spread across clouds so shrinking capacity squeezes every service
+	// at once instead of one hotspot.
+	"frontier": func() *ServiceGraph {
+		return &ServiceGraph{
+			Name: "frontier",
+			Services: []ServiceSpec{
+				{Name: "ingress", Class: DelaySensitive, Cloud: 1, Work: 1200,
+					Calls: []CallSpec{{To: "auth", Prob: 1}, {To: "media", Prob: 0.4}}},
+				{Name: "auth", Class: DelaySensitive, Cloud: 1, Work: 1500,
+					Calls: []CallSpec{{To: "profile", Prob: 0.7}}},
+				{Name: "profile", Class: DelayTolerant, Cloud: 2, Work: 1800},
+				{Name: "media", Class: DelayTolerant, Cloud: 3, Work: 2500},
+				{Name: "analytics", Class: DelayTolerant, Cloud: 2, Work: 2000},
+			},
+			Entries: []EntrySpec{
+				{Service: "ingress", Arrivals: ArrivalSpec{Process: ArrivalOnOff, Rate: 6, Period: 8, Duty: 0.5}},
+				{Service: "analytics", Arrivals: ArrivalSpec{Process: ArrivalDiurnal, Rate: 3, Period: 16}},
+			},
+		}
+	},
+}
+
+// BuiltinGraph returns a fresh copy of a named builtin topology.
+func BuiltinGraph(name string) (*ServiceGraph, error) {
+	build, ok := builtinGraphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown builtin topology %q (have %v)", ErrBadTopology, name, BuiltinGraphNames())
+	}
+	return build(), nil
+}
+
+// BuiltinGraphNames lists the builtin topology names, sorted.
+func BuiltinGraphNames() []string {
+	names := make([]string, 0, len(builtinGraphs))
+	for name := range builtinGraphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"edgeauction/internal/obs"
+)
+
+// Request-trace JSONL: the per-round entry-arrival counts of a workload
+// run, exported by the simulator and re-importable in place of live
+// arrival draws so recorded (or real) traces drive the same demand
+// path. Format: a header line
+//
+//	{"kind":"edgeauction-request-trace","version":1,"name":...,
+//	 "services":[...],"rounds":N}
+//
+// followed by one line per round:
+//
+//	{"t":1,"counts":[...]}
+//
+// with counts[i] the external arrivals injected at services[i] in round
+// t (1-based, sequential). Torn final lines — a crash mid-append —
+// return the complete prefix plus obs.ErrTruncated, matching the
+// WAL/audit convention; malformed records before the end are corruption
+// and hard-error with ErrBadRequestTrace.
+
+// ErrBadRequestTrace reports a malformed request-trace stream.
+var ErrBadRequestTrace = errors.New("workload: malformed request trace")
+
+const (
+	reqTraceKind    = "edgeauction-request-trace"
+	reqTraceVersion = 1
+)
+
+// RequestTrace is a recorded per-round arrival schedule.
+type RequestTrace struct {
+	// Name labels the originating topology.
+	Name string `json:"name"`
+	// Services are the service names, fixing the order of counts.
+	Services []string `json:"services"`
+	// Rounds are the per-round arrival counts, in round order.
+	Rounds []RoundArrivals `json:"rounds"`
+}
+
+// RoundArrivals is one round's external arrivals per service.
+type RoundArrivals struct {
+	// T is the 1-based round index.
+	T int `json:"t"`
+	// Counts has one entry per trace service.
+	Counts []int `json:"counts"`
+}
+
+type reqTraceHeader struct {
+	Kind     string   `json:"kind"`
+	Version  int      `json:"version"`
+	Name     string   `json:"name"`
+	Services []string `json:"services"`
+	Rounds   int      `json:"rounds"`
+}
+
+// WriteRequestTrace writes the trace as JSONL.
+func WriteRequestTrace(w io.Writer, tr *RequestTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := reqTraceHeader{
+		Kind:     reqTraceKind,
+		Version:  reqTraceVersion,
+		Name:     tr.Name,
+		Services: tr.Services,
+		Rounds:   len(tr.Rounds),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, r := range tr.Rounds {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteRequestTraceFile writes the trace to a file.
+func WriteRequestTraceFile(path string, tr *RequestTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteRequestTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRequestTrace reads a JSONL request trace. A torn final line
+// returns the complete prefix plus an error wrapping obs.ErrTruncated;
+// any earlier malformed record, a bad header, non-sequential rounds, or
+// a count vector of the wrong length is corruption and returns
+// ErrBadRequestTrace.
+func ReadRequestTrace(r io.Reader) (*RequestTrace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A trailing newline leaves one empty final element; drop it so the
+	// last non-empty line is the candidate torn record.
+	if len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadRequestTrace)
+	}
+
+	var hdr reqTraceHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		if len(lines) == 1 {
+			return nil, fmt.Errorf("request trace header: %w", obs.ErrTruncated)
+		}
+		return nil, fmt.Errorf("%w: bad header: %v", ErrBadRequestTrace, err)
+	}
+	if hdr.Kind != reqTraceKind {
+		return nil, fmt.Errorf("%w: kind %q, want %q", ErrBadRequestTrace, hdr.Kind, reqTraceKind)
+	}
+	if hdr.Version != reqTraceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadRequestTrace, hdr.Version)
+	}
+	tr := &RequestTrace{Name: hdr.Name, Services: hdr.Services}
+
+	for i, line := range lines[1:] {
+		var rec RoundArrivals
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-2 { // final line: torn append, not corruption
+				return tr, fmt.Errorf("request trace round %d: %w", i+1, obs.ErrTruncated)
+			}
+			return nil, fmt.Errorf("%w: round record %d: %v", ErrBadRequestTrace, i+1, err)
+		}
+		if rec.T != i+1 {
+			return nil, fmt.Errorf("%w: round record %d has t=%d, want %d", ErrBadRequestTrace, i+1, rec.T, i+1)
+		}
+		if len(rec.Counts) != len(hdr.Services) {
+			return nil, fmt.Errorf("%w: round %d has %d counts for %d services", ErrBadRequestTrace, rec.T, len(rec.Counts), len(hdr.Services))
+		}
+		for _, c := range rec.Counts {
+			if c < 0 {
+				return nil, fmt.Errorf("%w: round %d has a negative count", ErrBadRequestTrace, rec.T)
+			}
+		}
+		tr.Rounds = append(tr.Rounds, rec)
+	}
+	if len(tr.Rounds) < hdr.Rounds {
+		// Whole trailing records missing: still a torn tail — the prefix
+		// is intact and usable.
+		return tr, fmt.Errorf("request trace: %d of %d rounds present: %w", len(tr.Rounds), hdr.Rounds, obs.ErrTruncated)
+	}
+	if len(tr.Rounds) > hdr.Rounds {
+		return nil, fmt.Errorf("%w: %d round records but header declares %d", ErrBadRequestTrace, len(tr.Rounds), hdr.Rounds)
+	}
+	return tr, nil
+}
+
+// ReadRequestTraceFile reads a JSONL request trace from a file.
+func ReadRequestTraceFile(path string) (*RequestTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRequestTrace(f)
+}

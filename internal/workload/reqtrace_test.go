@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"edgeauction/internal/obs"
+)
+
+func sampleTrace() *RequestTrace {
+	return &RequestTrace{
+		Name:     "sample",
+		Services: []string{"frontend", "logic", "storage"},
+		Rounds: []RoundArrivals{
+			{T: 1, Counts: []int{4, 0, 1}},
+			{T: 2, Counts: []int{7, 2, 0}},
+			{T: 3, Counts: []int{0, 0, 0}},
+		},
+	}
+}
+
+func TestRequestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteRequestTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequestTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+// TestRequestTraceTornTail checks the WAL convention: a torn final
+// record returns the complete prefix plus obs.ErrTruncated.
+func TestRequestTraceTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequestTrace(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	lines := bytes.Split(bytes.TrimSuffix(full, []byte("\n")), []byte("\n"))
+	last := lines[len(lines)-1]
+
+	for cut := 1; cut < len(last); cut += 7 {
+		torn := bytes.Join(lines[:len(lines)-1], []byte("\n"))
+		torn = append(torn, '\n')
+		torn = append(torn, last[:cut]...)
+		got, err := ReadRequestTrace(bytes.NewReader(torn))
+		if !errors.Is(err, obs.ErrTruncated) {
+			t.Fatalf("cut %d: got err %v, want obs.ErrTruncated", cut, err)
+		}
+		if errors.Is(err, ErrBadRequestTrace) {
+			t.Fatalf("cut %d: torn tail misreported as corruption: %v", cut, err)
+		}
+		if got == nil || len(got.Rounds) != 2 {
+			t.Fatalf("cut %d: prefix not returned: %+v", cut, got)
+		}
+		want := sampleTrace().Rounds[:2]
+		if !reflect.DeepEqual(got.Rounds, want) {
+			t.Fatalf("cut %d: prefix rounds %+v, want %+v", cut, got.Rounds, want)
+		}
+	}
+}
+
+// TestRequestTraceMissingTail checks that cleanly losing whole trailing
+// records (header declares more rounds than present) is also a
+// truncation, with the prefix intact.
+func TestRequestTraceMissingTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequestTrace(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n"))
+	short := append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n')
+	got, err := ReadRequestTrace(bytes.NewReader(short))
+	if !errors.Is(err, obs.ErrTruncated) {
+		t.Fatalf("got err %v, want obs.ErrTruncated", err)
+	}
+	if got == nil || len(got.Rounds) != 2 {
+		t.Fatalf("prefix not returned: %+v", got)
+	}
+}
+
+// TestRequestTraceMidStreamCorruption checks that malformed records
+// with complete records after them hard-error — that's corruption, not
+// a torn append.
+func TestRequestTraceMidStreamCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequestTrace(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n"))
+	lines[2] = []byte(`{"t":2,"counts":[7,`) // torn in the middle
+	corrupt := append(bytes.Join(lines, []byte("\n")), '\n')
+	got, err := ReadRequestTrace(bytes.NewReader(corrupt))
+	if !errors.Is(err, ErrBadRequestTrace) {
+		t.Fatalf("got err %v, want ErrBadRequestTrace", err)
+	}
+	if errors.Is(err, obs.ErrTruncated) {
+		t.Fatalf("mid-stream corruption misreported as truncation: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("corrupt stream returned data: %+v", got)
+	}
+}
+
+func TestRequestTraceRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"wrong kind", `{"kind":"other","version":1,"services":["a"],"rounds":0}` + "\n", "kind"},
+		{"wrong version", `{"kind":"edgeauction-request-trace","version":9,"services":["a"],"rounds":0}` + "\n", "version"},
+		{"non-sequential t", `{"kind":"edgeauction-request-trace","version":1,"services":["a"],"rounds":2}` + "\n" +
+			`{"t":1,"counts":[1]}` + "\n" + `{"t":3,"counts":[1]}` + "\n" + `{"t":3,"counts":[1]}` + "\n", "t=3"},
+		{"count length", `{"kind":"edgeauction-request-trace","version":1,"services":["a","b"],"rounds":2}` + "\n" +
+			`{"t":1,"counts":[1]}` + "\n" + `{"t":2,"counts":[1,2]}` + "\n", "counts"},
+		{"negative count", `{"kind":"edgeauction-request-trace","version":1,"services":["a"],"rounds":2}` + "\n" +
+			`{"t":1,"counts":[-1]}` + "\n" + `{"t":2,"counts":[1]}` + "\n", "negative"},
+		{"extra rounds", `{"kind":"edgeauction-request-trace","version":1,"services":["a"],"rounds":1}` + "\n" +
+			`{"t":1,"counts":[1]}` + "\n" + `{"t":2,"counts":[1]}` + "\n", "declares"},
+		{"empty", "", "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadRequestTrace(strings.NewReader(tc.input))
+			if !errors.Is(err, ErrBadRequestTrace) {
+				t.Fatalf("got err %v, want ErrBadRequestTrace", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A hand-written parser for the YAML subset the service-topology files
+// use: block mappings and sequences nested by indentation, "- key: val"
+// compact sequence items, single-line flow collections ({k: v} and
+// [a, b]), quoted and plain scalars, and # comments. The module has no
+// dependencies by policy, so this stays deliberately small instead of
+// pulling in a full YAML implementation; anchors, multi-document
+// streams, block scalars, and tabs are rejected with line-numbered
+// errors. Scalars are returned as strings; the schema layer converts.
+
+// yamlLine is one significant (non-blank, non-comment) input line.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line
+}
+
+// parseYAML parses data into nested map[string]any / []any / string.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	node, next, err := parseYAMLNode(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected decrease of indentation below the document root", lines[next].num)
+	}
+	return node, nil
+}
+
+// splitYAMLLines strips comments and blank lines and measures indents.
+func splitYAMLLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(string(data), "\n") {
+		if strings.ContainsRune(raw, '\t') {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", num+1)
+		}
+		text := stripYAMLComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		out = append(out, yamlLine{
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+			num:    num + 1,
+		})
+	}
+	return out, nil
+}
+
+// stripYAMLComment removes a trailing comment, respecting quotes.
+func stripYAMLComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseYAMLNode parses the block starting at lines[i], which must sit at
+// exactly the given indent, and returns the node plus the index of the
+// first line after the block.
+func parseYAMLNode(lines []yamlLine, i, indent int) (any, int, error) {
+	if lines[i].indent != indent {
+		return nil, i, fmt.Errorf("yaml line %d: unexpected indentation", lines[i].num)
+	}
+	if lines[i].text == "-" || strings.HasPrefix(lines[i].text, "- ") {
+		return parseYAMLSeq(lines, i, indent)
+	}
+	return parseYAMLMap(lines, i, indent)
+}
+
+func parseYAMLSeq(lines []yamlLine, i, indent int) (any, int, error) {
+	var out []any
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			return nil, i, fmt.Errorf("yaml line %d: expected a '- ' sequence item", ln.num)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		switch {
+		case rest == "":
+			// "-" alone: the item is the nested block below.
+			if i+1 >= len(lines) || lines[i+1].indent <= indent {
+				return nil, i, fmt.Errorf("yaml line %d: empty sequence item", ln.num)
+			}
+			item, next, err := parseYAMLNode(lines, i+1, lines[i+1].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			out = append(out, item)
+			i = next
+		case yamlKeySplit(rest) >= 0:
+			// "- key: ..." compact mapping item: re-root the line two
+			// columns deeper (where the content visually sits) and let the
+			// mapping parser absorb the following deeper lines.
+			lines[i] = yamlLine{indent: indent + 2, text: rest, num: ln.num}
+			item, next, err := parseYAMLMap(lines, i, indent+2)
+			if err != nil {
+				return nil, i, err
+			}
+			out = append(out, item)
+			i = next
+		default:
+			v, err := parseYAMLValue(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			out = append(out, v)
+			i++
+		}
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("yaml line %d: unexpected indentation", lines[i].num)
+	}
+	return out, i, nil
+}
+
+func parseYAMLMap(lines []yamlLine, i, indent int) (any, int, error) {
+	out := map[string]any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			break // a sibling sequence ends the mapping
+		}
+		cut := yamlKeySplit(ln.text)
+		if cut < 0 {
+			return nil, i, fmt.Errorf("yaml line %d: expected 'key: value'", ln.num)
+		}
+		key := unquoteYAML(strings.TrimSpace(ln.text[:cut]))
+		if key == "" {
+			return nil, i, fmt.Errorf("yaml line %d: empty mapping key", ln.num)
+		}
+		if _, dup := out[key]; dup {
+			return nil, i, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		rest := strings.TrimSpace(ln.text[cut+1:])
+		if rest != "" {
+			v, err := parseYAMLValue(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			out[key] = v
+			i++
+			continue
+		}
+		// "key:" with the value as the nested block below (or null).
+		if i+1 < len(lines) && lines[i+1].indent > indent {
+			v, next, err := parseYAMLNode(lines, i+1, lines[i+1].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			out[key] = v
+			i = next
+			continue
+		}
+		out[key] = nil
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("yaml line %d: unexpected indentation", lines[i].num)
+	}
+	return out, i, nil
+}
+
+// yamlKeySplit returns the index of the colon separating a mapping key
+// from its value, or -1 when the text is not a mapping entry. The colon
+// must be followed by a space or end the text, and must sit outside
+// quotes and flow collections.
+func yamlKeySplit(s string) int {
+	var quote byte
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ':' && depth == 0 && (i+1 == len(s) || s[i+1] == ' '):
+			return i
+		}
+	}
+	return -1
+}
+
+// parseYAMLValue parses an inline value: a flow sequence, a flow
+// mapping, or a scalar.
+func parseYAMLValue(s string, num int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence", num)
+		}
+		var out []any
+		for _, part := range splitYAMLFlow(s[1 : len(s)-1]) {
+			if part == "" {
+				continue
+			}
+			v, err := parseYAMLValue(part, num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow mapping", num)
+		}
+		out := map[string]any{}
+		for _, part := range splitYAMLFlow(s[1 : len(s)-1]) {
+			if part == "" {
+				continue
+			}
+			cut := yamlKeySplit(part)
+			if cut < 0 {
+				if cut = strings.IndexByte(part, ':'); cut < 0 {
+					return nil, fmt.Errorf("yaml line %d: flow mapping entry %q has no key", num, part)
+				}
+			}
+			key := unquoteYAML(strings.TrimSpace(part[:cut]))
+			v, err := parseYAMLValue(strings.TrimSpace(part[cut+1:]), num)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		}
+		return out, nil
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("yaml line %d: anchors and block scalars are not supported", num)
+	default:
+		return unquoteYAML(s), nil
+	}
+}
+
+// splitYAMLFlow splits flow-collection content on top-level commas.
+func splitYAMLFlow(s string) []string {
+	var out []string
+	var quote byte
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func unquoteYAML(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// Typed accessors for the schema layer. Paths name the field for errors.
+
+func yamlMap(v any, path string) (map[string]any, error) {
+	if v == nil {
+		return map[string]any{}, nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: expected a mapping", path)
+	}
+	return m, nil
+}
+
+func yamlSeq(v any, path string) ([]any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	s, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: expected a sequence", path)
+	}
+	return s, nil
+}
+
+func yamlStr(v any, path string) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%s: expected a string", path)
+	}
+	return s, nil
+}
+
+func yamlFloat(v any, path string) (float64, error) {
+	s, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("%s: expected a number", path)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not a number", path, s)
+	}
+	return f, nil
+}
+
+func yamlInt(v any, path string) (int, error) {
+	s, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("%s: expected an integer", path)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not an integer", path, s)
+	}
+	return n, nil
+}
